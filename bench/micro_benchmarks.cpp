@@ -1,0 +1,269 @@
+// Micro benchmarks (google-benchmark): instrumentation overhead per
+// operation, event-channel throughput, analysis throughput, and the
+// parallel primitives behind the recommended actions.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/dsspy.hpp"
+#include "ds/ds.hpp"
+#include "parallel/algorithms.hpp"
+#include "runtime/session.hpp"
+#include "runtime/spsc_ring.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace dsspy;
+
+// --- instrumentation overhead ----------------------------------------------
+
+void BM_ListAdd_Plain(benchmark::State& state) {
+    for (auto _ : state) {
+        ds::List<std::int64_t> list;
+        for (int i = 0; i < 1024; ++i) list.add(i);
+        benchmark::DoNotOptimize(list.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ListAdd_Plain);
+
+void BM_ListAdd_ProfiledNullSession(benchmark::State& state) {
+    for (auto _ : state) {
+        ds::ProfiledList<std::int64_t> list(nullptr, {"B", "M", 1});
+        for (int i = 0; i < 1024; ++i) list.add(i);
+        benchmark::DoNotOptimize(list.raw().data());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ListAdd_ProfiledNullSession);
+
+void BM_ListAdd_Buffered(benchmark::State& state) {
+    runtime::ProfilingSession session(runtime::CaptureMode::Buffered);
+    for (auto _ : state) {
+        ds::ProfiledList<std::int64_t> list(&session, {"B", "M", 1});
+        for (int i = 0; i < 1024; ++i) list.add(i);
+        benchmark::DoNotOptimize(list.raw().data());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ListAdd_Buffered);
+
+void BM_ListAdd_Streaming(benchmark::State& state) {
+    runtime::ProfilingSession session(runtime::CaptureMode::Streaming);
+    for (auto _ : state) {
+        ds::ProfiledList<std::int64_t> list(&session, {"B", "M", 1});
+        for (int i = 0; i < 1024; ++i) list.add(i);
+        benchmark::DoNotOptimize(list.raw().data());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ListAdd_Streaming);
+
+void BM_ListGet_Buffered(benchmark::State& state) {
+    runtime::ProfilingSession session(runtime::CaptureMode::Buffered);
+    ds::ProfiledList<std::int64_t> list(&session, {"B", "M", 1});
+    for (int i = 0; i < 1024; ++i) list.add(i);
+    for (auto _ : state) {
+        std::int64_t sum = 0;
+        for (std::size_t i = 0; i < list.count(); ++i) sum += list.get(i);
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ListGet_Buffered);
+
+// --- event channel ----------------------------------------------------------
+
+void BM_SpscRing_PushPop(benchmark::State& state) {
+    runtime::SpscRing<runtime::AccessEvent> ring(4096);
+    runtime::AccessEvent ev;
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i) {
+            ev.seq = static_cast<std::uint64_t>(i);
+            benchmark::DoNotOptimize(ring.try_push(ev));
+        }
+        std::array<runtime::AccessEvent, 256> batch;
+        std::size_t drained = 0;
+        while (drained < 1024) drained += ring.pop_into(batch);
+        benchmark::DoNotOptimize(drained);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SpscRing_PushPop);
+
+// --- analysis throughput -----------------------------------------------------
+
+void BM_PatternDetection(benchmark::State& state) {
+    const auto n = static_cast<int>(state.range(0));
+    runtime::ProfilingSession session;
+    runtime::InstanceId id;
+    {
+        ds::ProfiledList<int> list(&session, {"B", "M", 1});
+        for (int round = 0; round < 4; ++round) {
+            for (int i = 0; i < n / 8; ++i) list.add(i);
+            for (std::size_t i = 0; i < list.count(); ++i)
+                benchmark::DoNotOptimize(list.get(i));
+            list.clear();
+        }
+        id = list.instance_id();
+    }
+    session.stop();
+    const core::RuntimeProfile profile(session.registry().info(id),
+                                       session.store().events(id));
+    const core::PatternDetector detector;
+    for (auto _ : state) {
+        auto patterns = detector.detect(profile);
+        benchmark::DoNotOptimize(patterns.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(profile.total_events()));
+}
+BENCHMARK(BM_PatternDetection)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_FullAnalysis(benchmark::State& state) {
+    runtime::ProfilingSession session;
+    {
+        for (int inst = 0; inst < 16; ++inst) {
+            ds::ProfiledList<int> list(
+                &session, {"B", "M", static_cast<std::uint32_t>(inst)});
+            for (int i = 0; i < 2000; ++i) list.add(i);
+            for (std::size_t i = 0; i < list.count(); ++i)
+                benchmark::DoNotOptimize(list.get(i));
+        }
+    }
+    session.stop();
+    const core::Dsspy analyzer;
+    for (auto _ : state) {
+        auto result = analyzer.analyze(session);
+        benchmark::DoNotOptimize(result.total_instances());
+    }
+}
+BENCHMARK(BM_FullAnalysis);
+
+// --- parallel primitives (the recommended actions) ---------------------------
+
+void BM_SequentialMaxScan(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<double> data(n);
+    support::Rng rng(1);
+    for (auto& v : data) v = rng.next_double();
+    for (auto _ : state) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < data.size(); ++i)
+            if (data[best] < data[i]) best = i;
+        benchmark::DoNotOptimize(best);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SequentialMaxScan)->Arg(100'000)->Arg(1'000'000);
+
+void BM_ParallelMaxIndex(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<double> data(n);
+    support::Rng rng(1);
+    for (auto& v : data) v = rng.next_double();
+    par::ThreadPool& pool = par::ThreadPool::default_pool();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(par::parallel_max_index<double>(pool, data));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelMaxIndex)->Arg(100'000)->Arg(1'000'000);
+
+void BM_SequentialSort(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    support::Rng rng(3);
+    std::vector<std::int64_t> base(n);
+    for (auto& v : base) v = static_cast<std::int64_t>(rng.next());
+    for (auto _ : state) {
+        state.PauseTiming();
+        std::vector<std::int64_t> data = base;
+        state.ResumeTiming();
+        ds::detail::introsort(data.data(), data.data() + data.size());
+        benchmark::DoNotOptimize(data.data());
+    }
+}
+BENCHMARK(BM_SequentialSort)->Arg(1 << 18);
+
+// --- data-structure choice (the Frequent-Search recommendation) -------------
+// "it might be useful to change the data structure to one that is
+// optimized for searches.  Binary trees might be better suited."
+
+void BM_Search_ListIndexOf(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    ds::List<std::int64_t> list;
+    for (std::size_t i = 0; i < n; ++i)
+        list.add(static_cast<std::int64_t>(i) * 3);
+    support::Rng rng(1);
+    for (auto _ : state) {
+        const auto needle =
+            static_cast<std::int64_t>(rng.next_below(n)) * 3;
+        benchmark::DoNotOptimize(list.index_of(needle));
+    }
+}
+BENCHMARK(BM_Search_ListIndexOf)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_Search_SortedListBinarySearch(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    ds::SortedList<std::int64_t, std::int64_t> sorted;
+    for (std::size_t i = 0; i < n; ++i)
+        sorted.add(static_cast<std::int64_t>(i) * 3,
+                   static_cast<std::int64_t>(i));
+    support::Rng rng(1);
+    for (auto _ : state) {
+        const auto needle =
+            static_cast<std::int64_t>(rng.next_below(n)) * 3;
+        benchmark::DoNotOptimize(sorted.index_of_key(needle));
+    }
+}
+BENCHMARK(BM_Search_SortedListBinarySearch)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_Search_SortedSetAvl(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    ds::SortedSet<std::int64_t> set;
+    for (std::size_t i = 0; i < n; ++i)
+        set.add(static_cast<std::int64_t>(i) * 3);
+    support::Rng rng(1);
+    for (auto _ : state) {
+        const auto needle =
+            static_cast<std::int64_t>(rng.next_below(n)) * 3;
+        benchmark::DoNotOptimize(set.contains(needle));
+    }
+}
+BENCHMARK(BM_Search_SortedSetAvl)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_Search_DictionaryHash(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    ds::Dictionary<std::int64_t, std::int64_t> dict;
+    for (std::size_t i = 0; i < n; ++i)
+        dict.set(static_cast<std::int64_t>(i) * 3,
+                 static_cast<std::int64_t>(i));
+    support::Rng rng(1);
+    for (auto _ : state) {
+        const auto needle =
+            static_cast<std::int64_t>(rng.next_below(n)) * 3;
+        benchmark::DoNotOptimize(dict.contains_key(needle));
+    }
+}
+BENCHMARK(BM_Search_DictionaryHash)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_ParallelSort(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    support::Rng rng(3);
+    std::vector<std::int64_t> base(n);
+    for (auto& v : base) v = static_cast<std::int64_t>(rng.next());
+    par::ThreadPool& pool = par::ThreadPool::default_pool();
+    for (auto _ : state) {
+        state.PauseTiming();
+        std::vector<std::int64_t> data = base;
+        state.ResumeTiming();
+        par::parallel_sort<std::int64_t>(pool, data);
+        benchmark::DoNotOptimize(data.data());
+    }
+}
+BENCHMARK(BM_ParallelSort)->Arg(1 << 18);
+
+}  // namespace

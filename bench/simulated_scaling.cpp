@@ -1,0 +1,154 @@
+// Simulated strong scaling of the recommended parallelizations.
+//
+// Replays the recommendation-target regions of three evaluation apps
+// through the virtual-time scheduler (parallel/simulation.hpp) on 1..16
+// simulated workers — the 8-worker column is the simulation of the
+// paper's testbed, with load imbalance included (unlike plain Amdahl):
+//   * Mandelbrot rows: interior rows cost far more than edge rows, so the
+//     imbalance tail caps scaling below the core count.
+//   * GPdotNET fitness: uniform chromosomes, near-linear region scaling.
+//   * WordWheelSolver list chunks: near-uniform scan chunks.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "parallel/simulation.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace dsspy;
+
+// --- kernels (the regions the DSspy recommendations parallelize) ----------
+
+constexpr std::size_t kWidth = 500;
+constexpr std::size_t kHeight = 350;
+
+int mandelbrot_iterate(double cx, double cy) {
+    double zx = 0.0;
+    double zy = 0.0;
+    int iter = 0;
+    while (zx * zx + zy * zy < 4.0 && iter < 96) {
+        const double tmp = zx * zx - zy * zy + cx;
+        zy = 2.0 * zx * zy + cy;
+        zx = tmp;
+        ++iter;
+    }
+    return iter;
+}
+
+par::SimulatedSchedule mandelbrot_rows(std::vector<std::int64_t>& image,
+                                       std::size_t chunks) {
+    return par::simulate_chunks(
+        0, kHeight, chunks, [&image](std::size_t lo, std::size_t hi) {
+            for (std::size_t y = lo; y < hi; ++y) {
+                const double cy = -1.2 + 2.4 * static_cast<double>(y) /
+                                             static_cast<double>(kHeight - 1);
+                for (std::size_t x = 0; x < kWidth; ++x) {
+                    const double cx =
+                        -2.2 + 3.2 * static_cast<double>(x) /
+                                   static_cast<double>(kWidth - 1);
+                    image[y * kWidth + x] = mandelbrot_iterate(cx, cy);
+                }
+            }
+        });
+}
+
+double gp_evaluate(std::uint64_t seed, std::size_t points) {
+    double acc = 0.5;
+    std::uint64_t x = seed;
+    for (std::size_t i = 0; i < points; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        acc = acc * 0.999 + static_cast<double>(x >> 40) * 1e-9;
+    }
+    return acc;
+}
+
+par::SimulatedSchedule gp_fitness(std::vector<double>& fitness,
+                                  std::size_t chunks) {
+    return par::simulate_chunks(
+        0, fitness.size(), chunks,
+        [&fitness](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                fitness[i] = gp_evaluate(i + 1, 3000);
+        });
+}
+
+par::SimulatedSchedule wordwheel_scan(const std::vector<std::uint32_t>& words,
+                                      std::size_t chunks,
+                                      std::size_t& hits) {
+    return par::simulate_chunks(
+        0, words.size(), chunks,
+        [&words, &hits](std::size_t lo, std::size_t hi) {
+            std::size_t local = 0;
+            for (std::size_t i = lo; i < hi; ++i) {
+                // Letter-mask check stands in for the solver predicate.
+                if ((words[i] & 0x5551) == (words[i] & 0x5011)) ++local;
+            }
+            hits += local;
+        });
+}
+
+}  // namespace
+
+int main() {
+    using support::Table;
+
+    std::cout << "Simulated strong scaling of the recommendation targets\n"
+              << "(virtual-time list scheduling over measured chunk "
+                 "durations; the paper's testbed is the 8-worker column)\n\n";
+
+    static constexpr unsigned kWorkerCounts[] = {1, 2, 4, 8, 16};
+
+    Table table({"Region", "Chunks", "Work (ms)", "x1", "x2", "x4", "x8",
+                 "x16", "Imbalance"});
+
+    auto add_region = [&table](const std::string& name,
+                               const par::SimulatedSchedule& schedule) {
+        std::vector<std::string> row{
+            name, std::to_string(schedule.chunk_count()),
+            Table::fmt(static_cast<double>(schedule.total_work_ns()) / 1e6)};
+        for (const unsigned w : kWorkerCounts)
+            row.push_back(Table::fmt(schedule.region_speedup(w)));
+        // Imbalance factor: largest chunk over the mean chunk.
+        const double mean =
+            static_cast<double>(schedule.total_work_ns()) /
+            static_cast<double>(schedule.chunk_count());
+        row.push_back(Table::fmt(
+            static_cast<double>(schedule.critical_chunk_ns()) / mean));
+        table.add_row(row);
+    };
+
+    {
+        std::vector<std::int64_t> image(kWidth * kHeight);
+        add_region("Mandelbrot rows (28 chunks)",
+                   mandelbrot_rows(image, 28));
+        add_region("Mandelbrot rows (350 chunks)",
+                   mandelbrot_rows(image, 350));
+    }
+    {
+        std::vector<double> fitness(240);
+        add_region("GPdotNET fitness (32 chunks)", gp_fitness(fitness, 32));
+    }
+    {
+        support::Rng rng(9);
+        std::vector<std::uint32_t> words(600'000);
+        for (auto& w : words) w = static_cast<std::uint32_t>(rng.next());
+        std::size_t hits = 0;
+        add_region("WordWheel scan (32 chunks)",
+                   wordwheel_scan(words, 32, hits));
+        if (hits == 0) std::cout << "";  // keep side effect alive
+    }
+
+    table.print(std::cout);
+
+    std::cout
+        << "\nReading: uniform regions (fitness, scan) approach the worker "
+           "count until the chunk count binds; Mandelbrot with coarse "
+           "chunks is capped by its imbalance tail (expensive interior "
+           "rows), and fine-grained chunking recovers the scaling — the "
+           "classic grain-size trade-off behind the paper's recommended "
+           "\"split into smaller chunks\" action.\n";
+    return 0;
+}

@@ -1,0 +1,180 @@
+// Table IV — the main evaluation: per app, the dynamic-analysis slowdown,
+// the search-space reduction, the detected use cases, and the speedup from
+// following the recommended actions.
+//
+// Methodology (Section V):
+//   * runtime / profiling-slowdown: the *same* app code runs with a null
+//     session (plain) and with a live session (instrumented); the paper
+//     averaged ten runs, we average DSSPY_RUNS (default 3).
+//   * search-space reduction: 1 - flagged/total over list+array instances.
+//   * speedup: plain sequential runtime over recommendation-parallelized
+//     runtime on the default thread pool.
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "apps/app_registry.hpp"
+#include "core/dsspy.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+int runs_from_env() {
+    if (const char* env = std::getenv("DSSPY_RUNS")) {
+        const int n = std::atoi(env);
+        if (n > 0) return n;
+    }
+    return 3;
+}
+
+unsigned threads_from_env() {
+    if (const char* env = std::getenv("DSSPY_THREADS")) {
+        const int n = std::atoi(env);
+        if (n > 0) return static_cast<unsigned>(n);
+    }
+    return 0;  // hardware concurrency
+}
+
+/// The paper's testbed core count (8-core AMD FX 8120).  The "Sim@8"
+/// column simulates that machine with the virtual-time scheduler (chunk
+/// durations measured sequentially, replayed on 8 virtual workers — load
+/// imbalance included); "Amdahl@8" is the coarser projection from the
+/// sequential/parallelizable split.
+constexpr unsigned kPaperCores = 8;
+
+}  // namespace
+
+int main() {
+    using namespace dsspy;
+    using support::Table;
+
+    const int kRuns = runs_from_env();
+    par::ThreadPool pool(threads_from_env());
+
+    std::cout << "Table IV - Evaluation of DSspy: slowdown, search space "
+                 "reduction, detected use cases, speedup\n"
+              << "(averaged over " << kRuns << " runs; DSSPY_RUNS / "
+              << "DSSPY_THREADS override; pool: " << pool.thread_count()
+              << " threads)\n"
+              << "'Sim@8' replays the recommendation regions on 8 virtual "
+                 "workers (virtual-time scheduling, imbalance included); "
+                 "'Amdahl@8' projects from the measured fractions.\n\n";
+
+    Table table({"Name", "LOC", "Runtime (ms)", "Profiling (ms)",
+                 "Slowdown", "DS", "Flagged", "UCs", "Reduction",
+                 "(paper)", "Speedup", "Sim@8", "Amdahl@8", "(paper)"});
+
+    double slowdown_sum = 0.0;
+    std::vector<double> speedups;
+    std::vector<double> projected;
+    std::size_t total_instances = 0;
+    std::size_t total_flagged = 0;
+
+    for (const apps::AppInfo& app : apps::evaluation_apps()) {
+        std::vector<double> plain_ms;
+        std::vector<double> instr_ms;
+        std::vector<double> par_ms;
+        std::vector<double> seq_fraction;
+        std::size_t instances = 0;
+        std::size_t flagged = 0;
+        std::size_t use_cases = 0;
+
+        for (int run = 0; run < kRuns; ++run) {
+            const apps::RunResult plain = app.run_sequential(nullptr);
+            plain_ms.push_back(static_cast<double>(plain.total_ns) / 1e6);
+            seq_fraction.push_back(plain.sequential_fraction());
+
+            runtime::ProfilingSession session;
+            const apps::RunResult instrumented =
+                app.run_sequential(&session);
+            session.stop();
+            instr_ms.push_back(static_cast<double>(instrumented.total_ns) /
+                               1e6);
+
+            if (run == 0) {
+                const core::AnalysisResult analysis =
+                    core::Dsspy{}.analyze(session);
+                instances = analysis.list_array_instances();
+                flagged = analysis.flagged_instances();
+                for (const core::UseCase& uc : analysis.all_use_cases())
+                    if (uc.parallel_potential) ++use_cases;
+            }
+
+            const apps::RunResult parallel = app.run_parallel(pool);
+            par_ms.push_back(static_cast<double>(parallel.total_ns) / 1e6);
+        }
+
+        const double plain_mean = support::summarize(plain_ms).mean;
+        const double instr_mean = support::summarize(instr_ms).mean;
+        const double par_mean = support::summarize(par_ms).mean;
+        const double slowdown = support::speedup(instr_mean, plain_mean) > 0
+                                    ? instr_mean / plain_mean
+                                    : 0.0;
+        const double reduction =
+            instances == 0 ? 0.0
+                           : 1.0 - static_cast<double>(flagged) /
+                                       static_cast<double>(instances);
+        const double sp = support::speedup(plain_mean, par_mean);
+        const double amdahl = support::amdahl_speedup(
+            support::summarize(seq_fraction).mean, kPaperCores);
+
+        // Virtual-time simulation of the paper's 8-core machine.
+        std::vector<double> sim_ms;
+        for (int run = 0; run < kRuns; ++run) {
+            const apps::RunResult simulated = app.run_simulated(kPaperCores);
+            sim_ms.push_back(static_cast<double>(simulated.total_ns) / 1e6);
+        }
+        const double sim =
+            support::speedup(plain_mean, support::summarize(sim_ms).mean);
+
+        table.add_row({app.name,
+                       Table::with_commas(
+                           static_cast<long long>(app.paper_loc)),
+                       Table::fmt(plain_mean), Table::fmt(instr_mean),
+                       Table::fmt(slowdown), std::to_string(instances),
+                       std::to_string(flagged), std::to_string(use_cases),
+                       Table::pct(reduction), Table::pct(app.paper_reduction),
+                       Table::fmt(sp), Table::fmt(sim), Table::fmt(amdahl),
+                       Table::fmt(app.paper_speedup)});
+
+        slowdown_sum += slowdown;
+        speedups.push_back(sp);
+        projected.push_back(sim);
+        total_instances += instances;
+        total_flagged += flagged;
+    }
+
+    table.add_separator();
+    const double total_reduction =
+        1.0 - static_cast<double>(total_flagged) /
+                  static_cast<double>(total_instances);
+    double speedup_sum = 0.0;
+    for (double s : speedups) speedup_sum += s;
+    double projected_sum = 0.0;
+    for (double s : projected) projected_sum += s;
+    table.add_row({"Total", "15,550", "", "",
+                   Table::fmt(slowdown_sum / 7.0),
+                   std::to_string(total_instances),
+                   std::to_string(total_flagged), "",
+                   Table::pct(total_reduction), "76.92%",
+                   Table::fmt(speedup_sum / static_cast<double>(
+                                                speedups.size())),
+                   Table::fmt(projected_sum / static_cast<double>(
+                                                  projected.size())),
+                   "", "2.13"});
+    table.print(std::cout);
+
+    std::cout << "\nPaper: instances 104 -> 24 flagged (76.92% reduction), "
+                 "average slowdown 47.13 (18.88 w/o gpdotnet outlier), "
+                 "average speedup 2.13 on 8 cores.\n"
+              << "Slowdown depends on the event volume the workload "
+                 "generates; the paper's shape to check is: profiling is a "
+                 "one-time multiple-x cost, reduction is large, speedups "
+                 "are >1 except for the Amdahl-limited CPU Benchmarks.\n"
+              << "'Speedup' is measured wall clock with "
+              << pool.thread_count()
+              << " worker thread(s) on this host; 'Sim@8' replays the "
+                 "measured chunk durations on 8 virtual workers.\n";
+    return 0;
+}

@@ -1,0 +1,27 @@
+// Table V — example DSspy output for GPdotNET: the five use cases with
+// class, method, position, data structure, and category.
+#include <iostream>
+
+#include "apps/gpdotnet.hpp"
+#include "core/dsspy.hpp"
+#include "core/report.hpp"
+
+int main() {
+    using namespace dsspy;
+
+    runtime::ProfilingSession session;
+    (void)apps::run_gpdotnet(&session);
+    session.stop();
+
+    const core::AnalysisResult analysis = core::Dsspy{}.analyze(session);
+
+    std::cout << "Table V - Example DSspy use cases for GPdotNET\n"
+              << "(paper reports: GenerateTerminalSet FLR; CHPopulation "
+                 ".ctor FLR + LI; FitnessProportionateSelection FLR + "
+                 "LI)\n\n";
+    core::print_use_case_report(std::cout, analysis, /*parallel_only=*/true);
+
+    std::cout << "Instance summary:\n";
+    core::print_instance_summary(std::cout, analysis);
+    return 0;
+}

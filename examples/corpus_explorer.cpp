@@ -1,0 +1,62 @@
+// Corpus explorer: browse the empirical-study program models and replay
+// one program's workload under DSspy.
+//
+// Usage: corpus_explorer [program-name]
+//   Without arguments, lists the 37 Figure 1 programs.  With a program
+//   name (e.g. "gpdotnet"), replays its Table III workload and prints the
+//   analysis.
+#include <cstring>
+#include <iostream>
+
+#include "core/dsspy.hpp"
+#include "core/report.hpp"
+#include "corpus/program_model.hpp"
+#include "corpus/workload.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace dsspy;
+    using support::Table;
+
+    if (argc < 2) {
+        Table table({"Program", "Domain", "LOC", "DS instances", "Lists"});
+        for (const corpus::ProgramModel* m : corpus::figure1_programs()) {
+            table.add_row(
+                {m->name, std::string(corpus::domain_short_name(m->domain)),
+                 Table::with_commas(static_cast<long long>(m->loc)),
+                 std::to_string(m->total_instances),
+                 std::to_string(m->instances[static_cast<std::size_t>(
+                     runtime::DsKind::List)])});
+        }
+        table.print(std::cout);
+        std::cout << "\nRun `corpus_explorer <program>` to replay one "
+                     "program's workload (e.g. gpdotnet, clipper).\n";
+        return 0;
+    }
+
+    const corpus::ProgramModel* chosen = nullptr;
+    for (const corpus::ProgramModel& m : corpus::all_programs())
+        if (m.name == argv[1]) chosen = &m;
+    if (chosen == nullptr) {
+        std::cerr << "Unknown program: " << argv[1] << '\n';
+        return 1;
+    }
+
+    runtime::ProfilingSession session;
+    if (chosen->in_eval23) {
+        corpus::run_eval_workload(*chosen, &session);
+    } else {
+        corpus::run_study15_workload(*chosen, &session);
+    }
+    session.stop();
+
+    const core::AnalysisResult analysis = core::Dsspy{}.analyze(session);
+    std::cout << "Program " << chosen->name << " ("
+              << corpus::domain_name(chosen->domain) << ")\n";
+    core::print_instance_summary(std::cout, analysis);
+    std::cout << '\n';
+    core::print_use_case_report(std::cout, analysis, /*parallel_only=*/true);
+    std::cout << "Search space reduction: "
+              << Table::pct(analysis.search_space_reduction()) << '\n';
+    return 0;
+}

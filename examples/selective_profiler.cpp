@@ -1,0 +1,77 @@
+// Selective profiling: instrument only the instances you care about.
+//
+// Section IV: "An engineer can use DSspy as a selective profiler that only
+// analyzes instances that he manually instrumented before."  Here a small
+// order-matching engine has three containers, but only the order book is
+// handed to the session — the other two run uninstrumented and never show
+// up in the analysis.
+#include <iostream>
+
+#include "core/dsspy.hpp"
+#include "core/report.hpp"
+#include "ds/ds.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+struct Order {
+    std::int64_t id;
+    std::int64_t price;
+    friend bool operator==(const Order&, const Order&) = default;
+};
+
+}  // namespace
+
+int main() {
+    using namespace dsspy;
+
+    runtime::ProfilingSession session;
+    support::Rng rng(77);
+
+    {
+        // Manually instrumented: the order book (a list kept sorted by
+        // repeated insertion + linear search — worth profiling).
+        ds::ProfiledList<Order> book(&session,
+                                     {"Exchange.Matching", "OrderBook", 12});
+
+        // NOT instrumented: the trade log and the symbol table.  Pass a
+        // null session and the proxies record nothing.
+        ds::ProfiledList<std::int64_t> trade_log(nullptr, {"", "", 0});
+        ds::ProfiledDictionary<std::int64_t, std::int64_t> symbols(
+            nullptr, {"", "", 0});
+
+        for (int i = 0; i < 40; ++i)
+            symbols.set(i, 1000 + i);
+
+        for (int step = 0; step < 1500; ++step) {
+            const Order order{step,
+                              static_cast<std::int64_t>(rng.next_below(500))};
+            book.add(order);
+            // Match: linear scan for the best counter-offer.
+            std::ptrdiff_t hit = book.find_index([&order](const Order& o) {
+                return o.price >= order.price && o.id != order.id;
+            });
+            if (hit >= 0 && book.count() > 400) {
+                trade_log.add(book.get(static_cast<std::size_t>(hit)).id);
+                book.remove_at(static_cast<std::size_t>(hit));
+            }
+            // Periodic market-depth sweep over the whole book.
+            if (step % 40 == 39) {
+                std::int64_t depth = 0;
+                for (std::size_t i = 0; i < book.count(); ++i)
+                    depth += book.get(i).price;
+                (void)depth;
+            }
+        }
+    }
+
+    session.stop();
+    const core::AnalysisResult analysis = core::Dsspy{}.analyze(session);
+
+    std::cout << "Registered instances: " << analysis.total_instances()
+              << " (only the manually instrumented order book)\n\n";
+    core::print_instance_summary(std::cout, analysis);
+    std::cout << '\n';
+    core::print_use_case_report(std::cout, analysis);
+    return 0;
+}

@@ -1,0 +1,50 @@
+#include "apps/app_registry.hpp"
+
+#include "apps/algorithmia.hpp"
+#include "apps/astrogrep.hpp"
+#include "apps/contentfinder.hpp"
+#include "apps/cpubench.hpp"
+#include "apps/gpdotnet.hpp"
+#include "apps/mandelbrot.hpp"
+#include "apps/wordwheel.hpp"
+
+namespace dsspy::apps {
+
+const std::vector<AppInfo>& evaluation_apps() {
+    static const std::vector<AppInfo> apps = [] {
+        std::vector<AppInfo> v;
+        // Table IV rows: name, domain, LOC, runtime, DS instances, flagged,
+        // detected use cases, true positives, reduction, speedup.
+        v.push_back(AppInfo{"Algorithmia", "Library", 2800, 0.50, 16, 4, 4,
+                            2, 0.7500, 1.83, run_algorithmia,
+                            run_algorithmia_parallel, run_algorithmia_simulated});
+        v.push_back(AppInfo{"Astrogrep", "File Search", 4800, 4.80, 21, 2, 2,
+                            1, 0.9048, 2.90, run_astrogrep,
+                            run_astrogrep_parallel, run_astrogrep_simulated});
+        v.push_back(AppInfo{"Contentfinder", "File Search", 290, 1.80, 11, 2,
+                            2, 2, 0.8182, 1.56, run_contentfinder,
+                            run_contentfinder_parallel, run_contentfinder_simulated});
+        v.push_back(AppInfo{"CPU Benchmarks", "Benchmark", 400, 0.01, 7, 5,
+                            5, 4, 0.2857, 1.20, run_cpubench,
+                            run_cpubench_parallel, run_cpubench_simulated});
+        v.push_back(AppInfo{"Gpdotnet", "Simulation", 7000, 0.36, 37, 5, 5,
+                            2, 0.8649, 2.93, run_gpdotnet,
+                            run_gpdotnet_parallel, run_gpdotnet_simulated});
+        v.push_back(AppInfo{"Mandelbrot", "Solver", 150, 0.11, 7, 4, 4, 4,
+                            0.4286, 3.00, run_mandelbrot,
+                            run_mandelbrot_parallel, run_mandelbrot_simulated});
+        v.push_back(AppInfo{"WordWheelSolver", "Solver", 110, 0.04, 5, 2, 2,
+                            1, 0.6000, 1.50, run_wordwheel,
+                            run_wordwheel_parallel, run_wordwheel_simulated});
+        return v;
+    }();
+    return apps;
+}
+
+const AppInfo* find_app(std::string_view name) {
+    for (const AppInfo& app : evaluation_apps())
+        if (app.name == name) return &app;
+    return nullptr;
+}
+
+}  // namespace dsspy::apps

@@ -1,0 +1,83 @@
+#include "apps/text_corpus.hpp"
+
+#include "support/rng.hpp"
+
+namespace dsspy::apps {
+
+namespace {
+
+const std::vector<std::string>& vocabulary() {
+    static const std::vector<std::string> words = {
+        // High-frequency filler.
+        "the", "of", "and", "to", "in", "that", "is", "was", "for", "with",
+        "as", "on", "by", "at", "from", "this", "which", "not", "are", "be",
+        // Mid-frequency domain words.
+        "system", "data", "structure", "list", "array", "access", "pattern",
+        "thread", "parallel", "profile", "runtime", "engine", "search",
+        "insert", "delete", "index", "queue", "stack", "buffer", "record",
+        "kernel", "module", "memory", "cache", "vector", "matrix", "signal",
+        "galaxy", "nebula", "stellar", "photon", "orbit", "comet", "quasar",
+        // Low-frequency markers (good guaranteed-hit terms).
+        "andromeda", "zenith", "parallax", "spectrograph", "heliosphere",
+    };
+    return words;
+}
+
+}  // namespace
+
+const std::vector<std::string>& corpus_vocabulary() { return vocabulary(); }
+
+std::vector<Document> make_documents(std::size_t count,
+                                     std::size_t lines_per_doc,
+                                     std::uint64_t seed,
+                                     std::size_t words_per_line) {
+    support::Rng rng(seed);
+    const std::vector<std::string>& vocab = vocabulary();
+    std::vector<Document> docs;
+    docs.reserve(count);
+    for (std::size_t d = 0; d < count; ++d) {
+        Document doc;
+        doc.name = "doc" + std::to_string(d) + ".txt";
+        const std::size_t lines =
+            lines_per_doc / 2 + rng.next_below(lines_per_doc);
+        doc.lines.reserve(lines);
+        for (std::size_t l = 0; l < lines; ++l) {
+            std::string line;
+            const std::size_t words =
+                words_per_line / 2 + 1 + rng.next_below(words_per_line);
+            for (std::size_t w = 0; w < words; ++w) {
+                if (w != 0) line += ' ';
+                // Zipf-ish: square the uniform draw to favour the head of
+                // the vocabulary (the filler words).
+                const double u = rng.next_double();
+                const auto idx = static_cast<std::size_t>(
+                    u * u * static_cast<double>(vocab.size()));
+                line += vocab[idx < vocab.size() ? idx : vocab.size() - 1];
+            }
+            doc.lines.push_back(std::move(line));
+        }
+        docs.push_back(std::move(doc));
+    }
+    return docs;
+}
+
+std::vector<std::string> make_word_list(std::size_t count,
+                                        std::uint64_t seed) {
+    support::Rng rng(seed);
+    // Letter pool weighted toward common English letters so that a random
+    // 9-letter wheel yields a realistic number of solutions.
+    static constexpr char kLetters[] = "eeeeaaaiioonnrrttlsssudgcmhpbyfvkw";
+    std::vector<std::string> words;
+    words.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t len = 3 + rng.next_below(7);  // 3..9 letters
+        std::string word;
+        word.reserve(len);
+        for (std::size_t c = 0; c < len; ++c)
+            word += kLetters[rng.next_below(sizeof(kLetters) - 1)];
+        words.push_back(std::move(word));
+    }
+    return words;
+}
+
+}  // namespace dsspy::apps

@@ -1,0 +1,39 @@
+// Deterministic synthetic text corpus shared by the search-style apps.
+//
+// AstroGrep and Contentfinder search real directories of text files and
+// WordWheelSolver needs an English word list; none of those inputs ship
+// with this repository, so this module synthesizes deterministic
+// equivalents: pseudo-natural documents (Zipf-ish word frequencies, fixed
+// seed) and a word list with controlled letter distributions.  The
+// substitution preserves what the profiler sees: the apps' data-structure
+// access behaviour, which depends only on match densities and file sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsspy::apps {
+
+/// One synthetic "file".
+struct Document {
+    std::string name;
+    std::vector<std::string> lines;
+};
+
+/// Generate `count` documents of roughly `lines_per_doc` lines each, with
+/// `words_per_line` +- 50% words per line.  Deterministic for a given seed.
+[[nodiscard]] std::vector<Document> make_documents(
+    std::size_t count, std::size_t lines_per_doc, std::uint64_t seed = 42,
+    std::size_t words_per_line = 10);
+
+/// Vocabulary used by the generator (useful to pick guaranteed-hit and
+/// guaranteed-miss search terms).
+[[nodiscard]] const std::vector<std::string>& corpus_vocabulary();
+
+/// Deterministic word list for the word-wheel solver (lower-case words of
+/// 3..9 letters).
+[[nodiscard]] std::vector<std::string> make_word_list(std::size_t count,
+                                                      std::uint64_t seed = 7);
+
+}  // namespace dsspy::apps

@@ -1,0 +1,84 @@
+// Trivial and compound access types (Section IV of the paper).
+//
+// "We derive the trivial access types Read and Write and define the
+// compound access types Insert, Search, Delete, Clear, Copy, Reverse,
+// Sort and ForAll for each access event."
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "runtime/op.hpp"
+
+namespace dsspy::core {
+
+/// Derived access type of one event.
+enum class AccessType : std::uint8_t {
+    Read,     ///< Trivial positional read (indexer get).
+    Write,    ///< Trivial positional write (indexer set).
+    Insert,   ///< Element added (Add / InsertAt).
+    Delete,   ///< Element removed (RemoveAt / Pop / Dequeue).
+    Search,   ///< Lookup over the container (IndexOf / Contains / Find).
+    Clear,    ///< All elements removed.
+    Copy,     ///< Bulk copy out of / reallocation of the container.
+    Reverse,  ///< In-place reversal.
+    Sort,     ///< Full-container sort.
+    ForAll,   ///< Whole-container traversal via the interface.
+    Count,
+};
+
+inline constexpr std::size_t kAccessTypeCount =
+    static_cast<std::size_t>(AccessType::Count);
+
+/// Map a raw interface operation to its access type.
+[[nodiscard]] constexpr AccessType derive_access_type(
+    runtime::OpKind op) noexcept {
+    using runtime::OpKind;
+    switch (op) {
+        case OpKind::Get: return AccessType::Read;
+        case OpKind::Set: return AccessType::Write;
+        case OpKind::Add: return AccessType::Insert;
+        case OpKind::InsertAt: return AccessType::Insert;
+        case OpKind::RemoveAt: return AccessType::Delete;
+        case OpKind::Clear: return AccessType::Clear;
+        case OpKind::IndexOf: return AccessType::Search;
+        case OpKind::Sort: return AccessType::Sort;
+        case OpKind::Reverse: return AccessType::Reverse;
+        case OpKind::CopyTo: return AccessType::Copy;
+        case OpKind::ForEach: return AccessType::ForAll;
+        case OpKind::Resize: return AccessType::Copy;
+        case OpKind::Count: break;
+    }
+    return AccessType::Read;
+}
+
+/// True if the access observes data without mutating it.
+[[nodiscard]] constexpr bool is_read_like(AccessType type) noexcept {
+    return type == AccessType::Read || type == AccessType::Search ||
+           type == AccessType::Copy || type == AccessType::ForAll;
+}
+
+/// True if the access mutates the container.
+[[nodiscard]] constexpr bool is_write_like(AccessType type) noexcept {
+    return !is_read_like(type);
+}
+
+[[nodiscard]] constexpr std::string_view access_type_name(
+    AccessType type) noexcept {
+    switch (type) {
+        case AccessType::Read: return "Read";
+        case AccessType::Write: return "Write";
+        case AccessType::Insert: return "Insert";
+        case AccessType::Delete: return "Delete";
+        case AccessType::Search: return "Search";
+        case AccessType::Clear: return "Clear";
+        case AccessType::Copy: return "Copy";
+        case AccessType::Reverse: return "Reverse";
+        case AccessType::Sort: return "Sort";
+        case AccessType::ForAll: return "ForAll";
+        case AccessType::Count: break;
+    }
+    return "?";
+}
+
+}  // namespace dsspy::core

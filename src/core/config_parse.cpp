@@ -1,0 +1,119 @@
+#include "core/config_parse.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace dsspy::core {
+
+namespace {
+
+bool parse_size(std::string_view text, std::size_t& out) {
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), out);
+    return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+bool parse_double(std::string_view text, double& out) {
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), out);
+    return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+/// Visit every (name, member) pair of DetectorConfig with `fn(name, ref)`.
+template <typename Fn>
+void visit_fields(DetectorConfig& config, Fn fn) {
+    fn("min_pattern_events", config.min_pattern_events);
+    fn("li_min_insert_share", config.li_min_insert_share);
+    fn("li_min_phase_events", config.li_min_phase_events);
+    fn("iq_min_two_end_share", config.iq_min_two_end_share);
+    fn("iq_min_events", config.iq_min_events);
+    fn("iq_end_window", config.iq_end_window);
+    fn("iq_min_per_end_share", config.iq_min_per_end_share);
+    fn("sai_min_insert_share", config.sai_min_insert_share);
+    fn("sai_min_phase_events", config.sai_min_phase_events);
+    fn("sai_max_gap_events", config.sai_max_gap_events);
+    fn("fs_min_search_ops", config.fs_min_search_ops);
+    fn("fs_min_read_pattern_share", config.fs_min_read_pattern_share);
+    fn("flr_min_read_patterns", config.flr_min_read_patterns);
+    fn("flr_min_read_share", config.flr_min_read_share);
+    fn("flr_min_coverage", config.flr_min_coverage);
+    fn("idf_min_resizes", config.idf_min_resizes);
+    fn("idf_min_front_ops", config.idf_min_front_ops);
+    fn("si_min_ops", config.si_min_ops);
+    fn("si_min_common_end_share", config.si_min_common_end_share);
+    fn("wwr_min_events", config.wwr_min_events);
+    fn("wwr_min_coverage", config.wwr_min_coverage);
+}
+
+}  // namespace
+
+bool apply_config_override(DetectorConfig& config, std::string_view entry) {
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) return false;
+    const std::string_view key = entry.substr(0, eq);
+    const std::string_view value = entry.substr(eq + 1);
+
+    if (key == "share_basis") {
+        if (value == "events") {
+            config.share_basis = ShareBasis::Events;
+            return true;
+        }
+        if (value == "time") {
+            config.share_basis = ShareBasis::Time;
+            return true;
+        }
+        return false;
+    }
+
+    bool applied = false;
+    visit_fields(config, [&](std::string_view name, auto& field) {
+        if (name != key || applied) return;
+        using Field = std::remove_reference_t<decltype(field)>;
+        if constexpr (std::is_same_v<Field, std::size_t>) {
+            std::size_t parsed{};
+            if (parse_size(value, parsed)) {
+                field = parsed;
+                applied = true;
+            }
+        } else {
+            double parsed{};
+            if (parse_double(value, parsed)) {
+                field = parsed;
+                applied = true;
+            }
+        }
+    });
+    return applied;
+}
+
+std::vector<std::string> apply_config_overrides(
+    DetectorConfig& config, const std::vector<std::string>& entries) {
+    std::vector<std::string> rejected;
+    for (const std::string& entry : entries) {
+        if (!apply_config_override(config, entry)) rejected.push_back(entry);
+    }
+    return rejected;
+}
+
+std::vector<std::string> config_to_strings(const DetectorConfig& config) {
+    std::vector<std::string> out;
+    out.push_back(std::string("share_basis=") +
+                  (config.share_basis == ShareBasis::Time ? "time"
+                                                          : "events"));
+    // visit_fields needs a mutable reference; copy and visit the copy.
+    DetectorConfig copy = config;
+    visit_fields(copy, [&out](std::string_view name, auto& field) {
+        using Field = std::remove_reference_t<decltype(field)>;
+        if constexpr (std::is_same_v<Field, std::size_t>) {
+            out.push_back(std::string(name) + "=" + std::to_string(field));
+        } else {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.4f",
+                          static_cast<double>(field));
+            out.push_back(std::string(name) + "=" + buf);
+        }
+    });
+    return out;
+}
+
+}  // namespace dsspy::core

@@ -1,0 +1,26 @@
+// Textual DetectorConfig overrides ("key=value") for the CLI and scripts.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/detector_config.hpp"
+
+namespace dsspy::core {
+
+/// Apply one "key=value" override to `config`.
+/// Keys are the DetectorConfig field names (e.g. "li_min_phase_events=50",
+/// "flr_min_coverage=0.4").  Returns false (config untouched) for unknown
+/// keys or unparsable values.
+bool apply_config_override(DetectorConfig& config, std::string_view entry);
+
+/// Apply a batch of overrides; returns the list of rejected entries.
+std::vector<std::string> apply_config_overrides(
+    DetectorConfig& config, const std::vector<std::string>& entries);
+
+/// All recognized keys with their current values (for --help output).
+[[nodiscard]] std::vector<std::string> config_to_strings(
+    const DetectorConfig& config);
+
+}  // namespace dsspy::core

@@ -1,0 +1,101 @@
+// Threshold configuration for pattern and use-case detection.
+//
+// Defaults are the values Section III of the paper reports after tuning on
+// the 23-program benchmark.  Every bench binary uses the defaults; tests
+// exercise non-default configurations as well.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dsspy::core {
+
+/// How "share of runtime" quantities are measured.
+///
+/// The paper phrases the Long-Insert threshold as ">30% of runtime".  The
+/// default measures shares in access events (deterministic and robust for
+/// uniform per-event cost); `Time` measures them in wall-clock nanoseconds
+/// between the phase's first and last event — closer to the paper's
+/// wording when per-event costs differ wildly.
+enum class ShareBasis : std::uint8_t { Events, Time };
+
+/// All tunables of the DSspy analysis.
+struct DetectorConfig {
+    /// Basis for the "share of runtime" thresholds (LI / SAI).
+    ShareBasis share_basis = ShareBasis::Events;
+
+    // --- pattern detection -------------------------------------------------
+
+    /// Minimum number of adjacent accesses before a run counts as a
+    /// pattern ("Read adjacent elements" needs at least a short streak to
+    /// be a regularity rather than noise).
+    std::size_t min_pattern_events = 3;
+
+    // --- Long-Insert ----------------------------------------------------------
+    /// "...applies to runtime profiles which contain frequent insertion
+    /// phases (>30% of runtime)."  Runtime share is measured as the share
+    /// of access events belonging to insertion phases.
+    double li_min_insert_share = 0.30;
+    /// "An insertion phase is classified as long, if it consists of at
+    /// least 100 consecutive access events."
+    std::size_t li_min_phase_events = 100;
+
+    // --- Implement-Queue ---------------------------------------------------
+    /// "...a high amount of read and write accesses (>60% in sum) affect
+    /// two different ends of the data structure."
+    double iq_min_two_end_share = 0.60;
+    /// Minimum total accesses before the rule applies ("a high amount"):
+    /// a handful of events on a tiny list is not queue usage.
+    std::size_t iq_min_events = 50;
+    /// Events within this many slots of position 0 / the last index count
+    /// as touching the front / back end.
+    std::size_t iq_end_window = 1;
+    /// Each end must carry at least this share of the two-end traffic, so
+    /// that one hot end alone does not mimic a queue.
+    double iq_min_per_end_share = 0.10;
+
+    // --- Sort-After-Insert ------------------------------------------------------
+    /// The insertion phase preceding the sort must satisfy the Long-Insert
+    /// thresholds (>30% of runtime, >100 consecutive events).
+    double sai_min_insert_share = 0.30;
+    std::size_t sai_min_phase_events = 100;
+    /// The Sort must follow the insertion phase within this many events.
+    std::size_t sai_max_gap_events = 8;
+
+    // --- Frequent-Search ----------------------------------------------------
+    /// "(>1000 search operations)."
+    std::size_t fs_min_search_ops = 1000;
+    /// "...at least 2% of all access events are Read-Forward or
+    /// Read-Backward patterns."
+    double fs_min_read_pattern_share = 0.02;
+
+    // --- Frequent-Long-Read ---------------------------------------------------
+    /// ">10 sequential read patterns occur repeatedly."
+    std::size_t flr_min_read_patterns = 10;
+    /// "50% of all access types have to be Read or Search."
+    double flr_min_read_share = 0.50;
+    /// "...each pattern has to read at least 50% of the data structure."
+    double flr_min_coverage = 0.50;
+
+    // --- Insert/Delete-Front (sequential) ------------------------------------
+    /// Number of array reallocations (Resize) before the copy overhead is
+    /// flagged.
+    std::size_t idf_min_resizes = 10;
+    /// Lists with this many front inserts AND front deletes (each) are
+    /// flagged for O(n) shifting as well.
+    std::size_t idf_min_front_ops = 50;
+
+    // --- Stack-Implementation (sequential) -----------------------------------
+    /// Minimum insert+delete traffic before the common-end test applies.
+    std::size_t si_min_ops = 20;
+    /// Share of insert/delete events that must hit the common end.
+    double si_min_common_end_share = 0.95;
+
+    // --- Write-Without-Read (sequential) --------------------------------------
+    /// The trailing write phase must have at least this many events...
+    std::size_t wwr_min_events = 10;
+    /// ...and cover at least this share of the structure.
+    double wwr_min_coverage = 0.50;
+};
+
+}  // namespace dsspy::core

@@ -1,0 +1,64 @@
+#include "core/dsspy.hpp"
+
+namespace dsspy::core {
+
+std::vector<UseCase> AnalysisResult::all_use_cases() const {
+    std::vector<UseCase> out;
+    for (const InstanceAnalysis& ia : instances_)
+        out.insert(out.end(), ia.use_cases.begin(), ia.use_cases.end());
+    return out;
+}
+
+std::array<std::size_t, kUseCaseKindCount> AnalysisResult::use_case_counts()
+    const {
+    std::array<std::size_t, kUseCaseKindCount> counts{};
+    for (const InstanceAnalysis& ia : instances_)
+        for (const UseCase& uc : ia.use_cases)
+            ++counts[static_cast<std::size_t>(uc.kind)];
+    return counts;
+}
+
+std::size_t AnalysisResult::flagged_instances() const noexcept {
+    std::size_t flagged = 0;
+    for (const InstanceAnalysis& ia : instances_) {
+        const runtime::DsKind kind = ia.profile.info().kind;
+        const bool counted = kind == runtime::DsKind::List ||
+                             kind == runtime::DsKind::Array;
+        if (counted && ia.flagged_parallel()) ++flagged;
+    }
+    return flagged;
+}
+
+double AnalysisResult::search_space_reduction() const noexcept {
+    if (list_array_instances_ == 0) return 0.0;
+    return 1.0 - static_cast<double>(flagged_instances()) /
+                     static_cast<double>(list_array_instances_);
+}
+
+AnalysisResult Dsspy::analyze(
+    const runtime::ProfilingSession& session) const {
+    return analyze(session.registry().snapshot(), session.store());
+}
+
+AnalysisResult Dsspy::analyze(
+    const std::vector<runtime::InstanceInfo>& instances,
+    const runtime::ProfileStore& store) const {
+    AnalysisResult result;
+    result.total_instances_ = instances.size();
+    result.total_events_ = store.total_events();
+
+    for (const runtime::InstanceInfo& info : instances) {
+        if (info.kind == runtime::DsKind::List ||
+            info.kind == runtime::DsKind::Array)
+            ++result.list_array_instances_;
+
+        InstanceAnalysis ia;
+        ia.profile = RuntimeProfile(info, store.events(info.id));
+        ia.patterns = detector_.detect(ia.profile);
+        ia.use_cases = engine_.classify(ia.profile, ia.patterns);
+        result.instances_.push_back(std::move(ia));
+    }
+    return result;
+}
+
+}  // namespace dsspy::core

@@ -1,0 +1,115 @@
+// DSspy facade: profile -> patterns -> use cases -> recommendations.
+//
+// "DSspy uses static and dynamic analyses to collect the runtime profiles,
+// to find recurring access patterns and use cases, and to deduce
+// recommended actions" (Section IV, Figure 4).  `Dsspy::analyze` runs the
+// post-mortem half of that pipeline over a stopped ProfilingSession.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "core/detector_config.hpp"
+#include "core/patterns.hpp"
+#include "core/profile.hpp"
+#include "core/use_cases.hpp"
+#include "runtime/session.hpp"
+
+namespace dsspy::core {
+
+/// Per-instance analysis output: the profile view, its patterns, and the
+/// use cases found on it.
+struct InstanceAnalysis {
+    RuntimeProfile profile;
+    std::vector<Pattern> patterns;
+    std::vector<UseCase> use_cases;
+
+    [[nodiscard]] bool flagged() const noexcept { return !use_cases.empty(); }
+
+    [[nodiscard]] bool flagged_parallel() const noexcept {
+        for (const UseCase& uc : use_cases)
+            if (uc.parallel_potential) return true;
+        return false;
+    }
+};
+
+/// Whole-session analysis result.
+///
+/// Lifetime: holds spans into the session's ProfileStore — the session must
+/// outlive the result.
+class AnalysisResult {
+public:
+    [[nodiscard]] const std::vector<InstanceAnalysis>& instances()
+        const noexcept {
+        return instances_;
+    }
+
+    /// All use cases across all instances, in instance order.
+    [[nodiscard]] std::vector<UseCase> all_use_cases() const;
+
+    /// Count of use cases per kind (indexed by UseCaseKind).
+    [[nodiscard]] std::array<std::size_t, kUseCaseKindCount>
+    use_case_counts() const;
+
+    /// Number of registered list/array instances — the search-space
+    /// denominator used in Table IV ("we manually counted the number of
+    /// instantiations of both data structures").
+    [[nodiscard]] std::size_t list_array_instances() const noexcept {
+        return list_array_instances_;
+    }
+
+    /// All registered instances regardless of kind.
+    [[nodiscard]] std::size_t total_instances() const noexcept {
+        return total_instances_;
+    }
+
+    /// List/array instances flagged with at least one parallel use case.
+    [[nodiscard]] std::size_t flagged_instances() const noexcept;
+
+    /// 1 - flagged/total over list+array instances (Table IV's
+    /// "Search Space Reduction"); 0 when there are no instances.
+    [[nodiscard]] double search_space_reduction() const noexcept;
+
+    /// Total number of recorded access events.
+    [[nodiscard]] std::size_t total_events() const noexcept {
+        return total_events_;
+    }
+
+private:
+    friend class Dsspy;
+    std::vector<InstanceAnalysis> instances_;
+    std::size_t list_array_instances_ = 0;
+    std::size_t total_instances_ = 0;
+    std::size_t total_events_ = 0;
+};
+
+/// The analyzer.  Stateless apart from its configuration; reusable.
+class Dsspy {
+public:
+    explicit Dsspy(DetectorConfig config = {})
+        : config_(config), detector_(config), engine_(config) {}
+
+    /// Analyze a stopped session: build a profile per instance, detect
+    /// patterns, classify use cases.
+    [[nodiscard]] AnalysisResult analyze(
+        const runtime::ProfilingSession& session) const;
+
+    /// Analyze explicit instance metadata + a finalized store (e.g. a
+    /// trace deserialized with runtime::read_trace).  The store must
+    /// outlive the result.
+    [[nodiscard]] AnalysisResult analyze(
+        const std::vector<runtime::InstanceInfo>& instances,
+        const runtime::ProfileStore& store) const;
+
+    [[nodiscard]] const DetectorConfig& config() const noexcept {
+        return config_;
+    }
+
+private:
+    DetectorConfig config_;
+    PatternDetector detector_;
+    UseCaseEngine engine_;
+};
+
+}  // namespace dsspy::core

@@ -1,0 +1,164 @@
+#include "core/export.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace dsspy::core {
+
+namespace {
+
+std::string csv_escape(const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) return field;
+    std::string out = "\"";
+    for (char ch : field) {
+        if (ch == '"') out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+std::string json_escape(std::string_view text) {
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (char ch : text) {
+        switch (ch) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(ch) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(ch));
+                    out += buf;
+                } else {
+                    out += ch;
+                }
+        }
+    }
+    return out;
+}
+
+std::string fmt_double(double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    return buf;
+}
+
+}  // namespace
+
+void write_use_cases_csv(std::ostream& os, const AnalysisResult& result) {
+    os << "class,method,position,type,use_case,code,parallel,reason,"
+          "recommendation\n";
+    for (const InstanceAnalysis& ia : result.instances()) {
+        for (const UseCase& uc : ia.use_cases) {
+            os << csv_escape(uc.instance.location.class_name) << ','
+               << csv_escape(uc.instance.location.method) << ','
+               << uc.instance.location.position << ','
+               << csv_escape(uc.instance.type_name) << ','
+               << use_case_name(uc.kind) << ',' << use_case_code(uc.kind)
+               << ',' << (uc.parallel_potential ? 1 : 0) << ','
+               << csv_escape(uc.reason) << ','
+               << csv_escape(uc.recommendation) << '\n';
+        }
+    }
+}
+
+void write_instances_csv(std::ostream& os, const AnalysisResult& result) {
+    os << "id,class,method,position,kind,type,events,reads,writes,inserts,"
+          "deletes,searches,patterns,threads,max_size,flagged_parallel\n";
+    for (const InstanceAnalysis& ia : result.instances()) {
+        const RuntimeProfile& p = ia.profile;
+        const runtime::InstanceInfo& info = p.info();
+        os << info.id << ',' << csv_escape(info.location.class_name) << ','
+           << csv_escape(info.location.method) << ','
+           << info.location.position << ','
+           << runtime::ds_kind_name(info.kind) << ','
+           << csv_escape(info.type_name) << ',' << p.total_events() << ','
+           << p.count(AccessType::Read) << ',' << p.count(AccessType::Write)
+           << ',' << p.count(AccessType::Insert) << ','
+           << p.count(AccessType::Delete) << ','
+           << p.count(AccessType::Search) << ',' << ia.patterns.size()
+           << ',' << p.thread_count() << ',' << p.max_size() << ','
+           << (ia.flagged_parallel() ? 1 : 0) << '\n';
+    }
+}
+
+void write_patterns_csv(std::ostream& os, const AnalysisResult& result) {
+    os << "instance_id,kind,first,last,length,start_pos,end_pos,coverage,"
+          "thread,synthetic\n";
+    for (const InstanceAnalysis& ia : result.instances()) {
+        for (const Pattern& p : ia.patterns) {
+            os << ia.profile.info().id << ',' << pattern_name(p.kind) << ','
+               << p.first << ',' << p.last << ',' << p.length << ','
+               << p.start_pos << ',' << p.end_pos << ','
+               << fmt_double(p.coverage) << ',' << p.thread << ','
+               << (p.synthetic ? 1 : 0) << '\n';
+        }
+    }
+}
+
+void write_analysis_json(std::ostream& os, const AnalysisResult& result) {
+    os << "{\n";
+    os << "  \"total_instances\": " << result.total_instances() << ",\n";
+    os << "  \"list_array_instances\": " << result.list_array_instances()
+       << ",\n";
+    os << "  \"flagged_instances\": " << result.flagged_instances() << ",\n";
+    os << "  \"search_space_reduction\": "
+       << fmt_double(result.search_space_reduction()) << ",\n";
+    os << "  \"total_events\": " << result.total_events() << ",\n";
+    os << "  \"instances\": [\n";
+    bool first_instance = true;
+    for (const InstanceAnalysis& ia : result.instances()) {
+        if (!first_instance) os << ",\n";
+        first_instance = false;
+        const RuntimeProfile& p = ia.profile;
+        const runtime::InstanceInfo& info = p.info();
+        os << "    {\n";
+        os << "      \"id\": " << info.id << ",\n";
+        os << "      \"kind\": \"" << runtime::ds_kind_name(info.kind)
+           << "\",\n";
+        os << "      \"type\": \"" << json_escape(info.type_name) << "\",\n";
+        os << "      \"class\": \""
+           << json_escape(info.location.class_name) << "\",\n";
+        os << "      \"method\": \"" << json_escape(info.location.method)
+           << "\",\n";
+        os << "      \"position\": " << info.location.position << ",\n";
+        os << "      \"events\": " << p.total_events() << ",\n";
+        os << "      \"threads\": " << p.thread_count() << ",\n";
+        os << "      \"max_size\": " << p.max_size() << ",\n";
+        os << "      \"patterns\": [";
+        bool first_pattern = true;
+        for (const Pattern& pat : ia.patterns) {
+            if (!first_pattern) os << ", ";
+            first_pattern = false;
+            os << "{\"kind\": \"" << pattern_name(pat.kind)
+               << "\", \"length\": " << pat.length << ", \"coverage\": "
+               << fmt_double(pat.coverage) << ", \"thread\": "
+               << pat.thread << ", \"synthetic\": "
+               << (pat.synthetic ? "true" : "false") << "}";
+        }
+        os << "],\n";
+        os << "      \"use_cases\": [";
+        bool first_uc = true;
+        for (const UseCase& uc : ia.use_cases) {
+            if (!first_uc) os << ", ";
+            first_uc = false;
+            os << "{\"kind\": \"" << use_case_name(uc.kind)
+               << "\", \"code\": \"" << use_case_code(uc.kind)
+               << "\", \"parallel\": "
+               << (uc.parallel_potential ? "true" : "false")
+               << ", \"reason\": \"" << json_escape(uc.reason)
+               << "\", \"recommendation\": \""
+               << json_escape(uc.recommendation) << "\"}";
+        }
+        os << "]\n    }";
+    }
+    os << "\n  ]\n}\n";
+}
+
+}  // namespace dsspy::core

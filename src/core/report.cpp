@@ -1,0 +1,53 @@
+#include "core/report.hpp"
+
+#include "support/table.hpp"
+
+namespace dsspy::core {
+
+std::string format_use_case(const UseCase& use_case, std::size_t ordinal) {
+    std::string out;
+    out += "Use Case " + std::to_string(ordinal) + "\n";
+    out += "  Class:          " + use_case.instance.location.class_name + "\n";
+    out += "  Method:         " + use_case.instance.location.method + "\n";
+    out += "  Position:       " +
+           std::to_string(use_case.instance.location.position) + "\n";
+    out += "  Data structure: " + use_case.instance.type_name + "\n";
+    out += "  Use Case:       " + std::string(use_case_name(use_case.kind)) +
+           "\n";
+    out += "  Reason:         " + use_case.reason + "\n";
+    out += "  Recommendation: " + use_case.recommendation + "\n";
+    return out;
+}
+
+void print_use_case_report(std::ostream& os, const AnalysisResult& result,
+                           bool parallel_only) {
+    std::size_t ordinal = 0;
+    for (const InstanceAnalysis& ia : result.instances()) {
+        for (const UseCase& uc : ia.use_cases) {
+            if (parallel_only && !uc.parallel_potential) continue;
+            os << format_use_case(uc, ++ordinal) << '\n';
+        }
+    }
+    if (ordinal == 0) os << "No use cases detected.\n";
+}
+
+void print_instance_summary(std::ostream& os, const AnalysisResult& result) {
+    support::Table table({"Instance", "Type", "Events", "Patterns",
+                          "Use cases"});
+    for (const InstanceAnalysis& ia : result.instances()) {
+        if (ia.profile.total_events() == 0) continue;
+        std::string codes;
+        for (const UseCase& uc : ia.use_cases) {
+            if (!codes.empty()) codes += ", ";
+            codes += use_case_code(uc.kind);
+        }
+        table.add_row({ia.profile.info().location.to_string(),
+                       ia.profile.info().type_name,
+                       std::to_string(ia.profile.total_events()),
+                       std::to_string(ia.patterns.size()),
+                       codes.empty() ? "-" : codes});
+    }
+    table.print(os);
+}
+
+}  // namespace dsspy::core

@@ -1,0 +1,76 @@
+// Transformation planning: structured, machine-actionable output.
+//
+// The paper closes with: "For now, each recommendation needs to be
+// implemented manually; however automated transformation is possible if
+// the recommended action is clearly specified [21]."  TransformPlan is
+// that clear specification: every detected use case becomes a typed action
+// bound to an instantiation site, with the concrete API of this library
+// that implements it, ranked by expected impact (event volume weighted by
+// detection confidence).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/dsspy.hpp"
+
+namespace dsspy::core {
+
+/// The typed actions an automated transformer would apply.
+enum class TransformAction : std::uint8_t {
+    ParallelizeInsert,    ///< LI  -> par::parallel_build / parallel_append
+    UseParallelQueue,     ///< IQ  -> par::ConcurrentQueue
+    ParallelSortAndFill,  ///< SAI -> par::parallel_sort + parallel_build
+    ParallelizeSearch,    ///< FS  -> par::parallel_index_of / ParallelList
+    ParallelizeReadLoop,  ///< FLR -> par::parallel_reduce / parallel_max_index
+    UseDynamicStructure,  ///< IDF -> ds::List instead of resized arrays
+    UseStackContainer,    ///< SI  -> ds::Stack
+    DropDeadWrites,       ///< WWR -> delete the trailing write loop
+    Count,
+};
+
+[[nodiscard]] std::string_view transform_action_name(
+    TransformAction action) noexcept;
+
+/// The concrete API in this library that implements the action.
+[[nodiscard]] std::string_view transform_code_hint(
+    TransformAction action) noexcept;
+
+/// Map a use-case category to its transformation action.
+[[nodiscard]] TransformAction action_for(UseCaseKind kind) noexcept;
+
+/// One planned transformation step.
+struct TransformStep {
+    TransformAction action = TransformAction::ParallelizeInsert;
+    UseCaseKind source = UseCaseKind::LongInsert;
+    runtime::InstanceInfo instance;
+    double confidence = 0.0;       ///< From the use case.
+    std::size_t events = 0;        ///< Instance profile size.
+    double impact = 0.0;           ///< events * confidence (ranking key).
+    bool parallel = false;
+    std::string code_hint;
+};
+
+/// A whole-program transformation plan, most impactful step first.
+struct TransformPlan {
+    std::vector<TransformStep> steps;
+
+    [[nodiscard]] std::size_t parallel_steps() const noexcept {
+        std::size_t n = 0;
+        for (const TransformStep& s : steps)
+            if (s.parallel) ++n;
+        return n;
+    }
+};
+
+/// Build a ranked plan from an analysis.
+/// `parallel_only`: drop the sequential-optimization steps.
+[[nodiscard]] TransformPlan plan_transformations(
+    const AnalysisResult& result, bool parallel_only = false);
+
+/// Human-readable rendering of the plan.
+void print_transform_plan(std::ostream& os, const TransformPlan& plan);
+
+}  // namespace dsspy::core

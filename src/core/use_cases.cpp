@@ -1,0 +1,432 @@
+#include "core/use_cases.hpp"
+
+#include <algorithm>
+
+#include "support/table.hpp"
+
+namespace dsspy::core {
+
+namespace {
+
+using support::Table;
+
+/// Linear data structures — the ones positional use cases apply to.
+bool is_linear(runtime::DsKind kind) noexcept {
+    switch (kind) {
+        case runtime::DsKind::List:
+        case runtime::DsKind::Array:
+        case runtime::DsKind::Stack:
+        case runtime::DsKind::Queue:
+        case runtime::DsKind::LinkedList:
+            return true;
+        default:
+            return false;
+    }
+}
+
+/// End-of-structure traffic statistics for the Implement-Queue and
+/// Stack-Implementation rules.
+struct EndTraffic {
+    std::size_t front_insert = 0;
+    std::size_t back_insert = 0;
+    std::size_t front_delete = 0;
+    std::size_t back_delete = 0;
+    std::size_t front_read = 0;
+    std::size_t back_read = 0;
+
+    [[nodiscard]] std::size_t inserts() const noexcept {
+        return front_insert + back_insert;
+    }
+    [[nodiscard]] std::size_t deletes() const noexcept {
+        return front_delete + back_delete;
+    }
+};
+
+EndTraffic end_traffic(const RuntimeProfile& profile, std::size_t window) {
+    EndTraffic t;
+    const auto w = static_cast<std::int64_t>(window);
+    for (const runtime::AccessEvent& ev : profile.events()) {
+        if (ev.position < 0) continue;
+        const auto size = static_cast<std::int64_t>(ev.size);
+        const AccessType type = derive_access_type(ev.op);
+        switch (type) {
+            case AccessType::Insert:
+                // size recorded after the insert; back == landing at size-1.
+                if (ev.position >= size - w) ++t.back_insert;
+                else if (ev.position < w) ++t.front_insert;
+                break;
+            case AccessType::Delete:
+                // size recorded after the removal; back == position >= size.
+                if (ev.position >= size - w + 1) ++t.back_delete;
+                else if (ev.position < w) ++t.front_delete;
+                break;
+            case AccessType::Read:
+            case AccessType::Write:
+                if (ev.position >= size - w) ++t.back_read;
+                else if (ev.position < w) ++t.front_read;
+                break;
+            default:
+                break;
+        }
+    }
+    return t;
+}
+
+/// Long "insertion" patterns: Insert-Front/Back for dynamic structures;
+/// for fixed-size arrays, end-anchored Write-Forward/Backward streaks play
+/// the insertion role (sequential initialization of the buffer).
+bool counts_as_insertion_pattern(const Pattern& p, runtime::DsKind kind) {
+    if (is_insert_pattern(p.kind)) return true;
+    if (kind != runtime::DsKind::Array) return false;
+    if (p.kind == PatternKind::WriteForward && p.start_pos == 0) return true;
+    if (p.kind == PatternKind::WriteBackward &&
+        p.end_pos == 0)  // descending streak that reaches the front
+        return true;
+    return false;
+}
+
+std::size_t count_resizes(const RuntimeProfile& profile) {
+    std::size_t n = 0;
+    for (const runtime::AccessEvent& ev : profile.events())
+        if (ev.op == runtime::OpKind::Resize) ++n;
+    return n;
+}
+
+/// Read-like share with ForAll traversals weighted by the number of
+/// elements they read: one for_each over n elements is n reads, not one
+/// access, for the purposes of the Frequent-Long-Read 50%-reads rule.
+double weighted_read_share(const RuntimeProfile& profile) {
+    double reads = 0.0;
+    double total = 0.0;
+    for (const runtime::AccessEvent& ev : profile.events()) {
+        const AccessType type = derive_access_type(ev.op);
+        const double weight =
+            type == AccessType::ForAll && ev.size > 0
+                ? static_cast<double>(ev.size)
+                : 1.0;
+        total += weight;
+        if (is_read_like(type)) reads += weight;
+    }
+    return total > 0.0 ? reads / total : 0.0;
+}
+
+}  // namespace
+
+std::string_view recommended_action(UseCaseKind kind) noexcept {
+    switch (kind) {
+        case UseCaseKind::LongInsert:
+            return "Parallelize the insert operation.";
+        case UseCaseKind::ImplementQueue:
+            return "Employ a parallel queue as data container.";
+        case UseCaseKind::SortAfterInsert:
+            return "The insertion order is not important: parallelize both "
+                   "the insert and the search phases.";
+        case UseCaseKind::FrequentSearch:
+            return "Either employ a parallel data structure that is "
+                   "optimized for searches or parallelize the search "
+                   "operation by splitting the list into smaller chunks "
+                   "searched in parallel.";
+        case UseCaseKind::FrequentLongRead:
+            return "Check the origin of this access. If it contains a "
+                   "program loop that looks for a specific element, "
+                   "transform the operation into a parallel search.";
+        case UseCaseKind::InsertDeleteFront:
+            return "Insert/delete traffic causes high copy overhead on a "
+                   "fixed-size array: a dynamic data structure like a list "
+                   "might be better suited.";
+        case UseCaseKind::StackImplementation:
+            return "Insert and delete operations always access a common "
+                   "end: think about using a stack implementation.";
+        case UseCaseKind::WriteWithoutRead:
+            return "The results of the trailing write accesses are never "
+                   "read; check whether these writes are necessary or can "
+                   "be left to deallocation/garbage collection.";
+        case UseCaseKind::Count: break;
+    }
+    return "?";
+}
+
+std::vector<UseCase> UseCaseEngine::classify(
+    const RuntimeProfile& profile,
+    const std::vector<Pattern>& patterns) const {
+    std::vector<UseCase> out;
+    const runtime::InstanceInfo& info = profile.info();
+    const std::size_t total = profile.total_events();
+    if (total == 0) return out;
+
+    // Confidence: ~0.5 when the evidence sits exactly at the rule's
+    // threshold, saturating at 1.0 from twice the threshold upward.
+    auto confidence_of = [](double metric, double threshold) {
+        if (threshold <= 0.0) return 1.0;
+        return std::clamp(metric / (2.0 * threshold), 0.0, 1.0);
+    };
+
+    auto emit = [&out, &info, &profile](UseCaseKind kind,
+                                        double confidence,
+                                        std::string reason) {
+        UseCase uc;
+        uc.kind = kind;
+        uc.instance = info;
+        uc.confidence = confidence;
+        uc.reason = std::move(reason);
+        uc.recommendation = std::string(recommended_action(kind));
+        uc.parallel_potential = has_parallel_potential(kind);
+        // DSspy captures thread ids so it can support multithreaded code:
+        // an instance that is already accessed concurrently needs a
+        // synchronization review before further parallelization.
+        if (profile.thread_count() > 1 && uc.parallel_potential) {
+            uc.recommendation +=
+                " Note: this instance is already accessed by " +
+                std::to_string(profile.thread_count()) +
+                " threads; verify synchronization before transforming.";
+        }
+        out.push_back(std::move(uc));
+    };
+
+    const bool linear = is_linear(info.kind);
+
+    // ---- Long-Insert evidence (shared with Sort-After-Insert) -----------
+    std::size_t long_insert_events = 0;
+    std::uint64_t long_insert_ns = 0;
+    const Pattern* longest_insert = nullptr;
+    const auto all_events = profile.events();
+    for (const Pattern& p : patterns) {
+        if (!counts_as_insertion_pattern(p, info.kind)) continue;
+        if (p.length >= config_.li_min_phase_events) {
+            long_insert_events += p.length;
+            if (!p.synthetic)
+                long_insert_ns += all_events[p.last].time_ns -
+                                  all_events[p.first].time_ns;
+            if (longest_insert == nullptr ||
+                p.length > longest_insert->length)
+                longest_insert = &p;
+        }
+    }
+    // "Insertion phases >30% of runtime": measured in events (default) or
+    // wall-clock time between each qualifying phase's first/last event.
+    const double insert_share =
+        config_.share_basis == ShareBasis::Time
+            ? (profile.duration_ns() > 0
+                   ? static_cast<double>(long_insert_ns) /
+                         static_cast<double>(profile.duration_ns())
+                   : 0.0)
+            : static_cast<double>(long_insert_events) /
+                  static_cast<double>(total);
+    const bool li_conditions = linear && longest_insert != nullptr &&
+                               insert_share > config_.li_min_insert_share;
+
+    // ---- Sort-After-Insert: a Sort directly after a long insertion ------
+    bool sai_fired = false;
+    if (li_conditions) {
+        const auto events = profile.events();
+        for (std::uint32_t i = 0; i < events.size(); ++i) {
+            if (derive_access_type(events[i].op) != AccessType::Sort)
+                continue;
+            for (const Pattern& p : patterns) {
+                if (!counts_as_insertion_pattern(p, info.kind)) continue;
+                if (p.length < config_.sai_min_phase_events) continue;
+                if (p.last < i && i - p.last <= config_.sai_max_gap_events) {
+                    emit(UseCaseKind::SortAfterInsert,
+                         confidence_of(insert_share,
+                                       config_.sai_min_insert_share),
+                         "Sort follows an insertion phase of " +
+                             std::to_string(p.length) + " events (" +
+                             Table::pct(insert_share) +
+                             " of the profile is long insertions); the "
+                             "insertion order is obviously not important.");
+                    sai_fired = true;
+                    break;
+                }
+            }
+            if (sai_fired) break;
+        }
+    }
+
+    // ---- Long-Insert (suppressed when subsumed by Sort-After-Insert) ----
+    if (li_conditions && !sai_fired) {
+        emit(UseCaseKind::LongInsert,
+             confidence_of(insert_share, config_.li_min_insert_share),
+             "Insertion phases cover " + Table::pct(insert_share) +
+                 " of the profile (threshold " +
+                 Table::pct(config_.li_min_insert_share) +
+                 "); longest consecutive insertion streak: " +
+                 std::to_string(longest_insert->length) + " events from the " +
+                 (longest_insert->kind == PatternKind::InsertFront
+                      ? "front."
+                      : "end."));
+    }
+
+    // ---- Implement-Queue: two-end traffic on a list ----------------------
+    if (info.kind == runtime::DsKind::List &&
+        total >= config_.iq_min_events) {
+        const EndTraffic t = end_traffic(profile, config_.iq_end_window);
+        // A queue inserts at one end and consumes (reads/deletes) at the
+        // other.  Evaluate both orientations.
+        const std::size_t fifo1 =
+            t.back_insert + t.front_delete + t.front_read;  // enqueue back
+        const std::size_t fifo2 =
+            t.front_insert + t.back_delete + t.back_read;   // enqueue front
+        const bool orientation1 = fifo1 >= fifo2;
+        const std::size_t insert_side =
+            orientation1 ? t.back_insert : t.front_insert;
+        const std::size_t consume_side =
+            orientation1 ? t.front_delete + t.front_read
+                         : t.back_delete + t.back_read;
+        const double two_end_share =
+            static_cast<double>(insert_side + consume_side) /
+            static_cast<double>(total);
+        const double balance =
+            insert_side + consume_side == 0
+                ? 0.0
+                : static_cast<double>(std::min(insert_side, consume_side)) /
+                      static_cast<double>(insert_side + consume_side);
+        if (two_end_share > config_.iq_min_two_end_share &&
+            balance >= config_.iq_min_per_end_share && insert_side > 0 &&
+            consume_side > 0) {
+            emit(UseCaseKind::ImplementQueue,
+                 confidence_of(two_end_share,
+                               config_.iq_min_two_end_share),
+                 Table::pct(two_end_share) +
+                     " of all accesses affect two different ends of the "
+                     "list (" +
+                     std::to_string(insert_side) + " inserts at the " +
+                     (orientation1 ? "back" : "front") + ", " +
+                     std::to_string(consume_side) +
+                     " reads/deletes at the " +
+                     (orientation1 ? "front" : "back") +
+                     "): the list is used like a queue.");
+        }
+    }
+
+    // ---- Frequent-Search --------------------------------------------------
+    const std::size_t search_ops = profile.count(AccessType::Search);
+    if (linear && search_ops > config_.fs_min_search_ops) {
+        std::size_t read_pattern_events = 0;
+        for (const Pattern& p : patterns) {
+            if (is_read_pattern(p.kind) && !p.synthetic)
+                read_pattern_events += p.length;
+        }
+        const double read_pattern_share =
+            static_cast<double>(read_pattern_events) /
+            static_cast<double>(total);
+        if (read_pattern_share >= config_.fs_min_read_pattern_share) {
+            emit(UseCaseKind::FrequentSearch,
+                 confidence_of(static_cast<double>(search_ops),
+                               static_cast<double>(
+                                   config_.fs_min_search_ops)),
+                 std::to_string(search_ops) +
+                     " search operations (threshold " +
+                     std::to_string(config_.fs_min_search_ops) + "); " +
+                     Table::pct(read_pattern_share) +
+                     " of all access events are Read-Forward/Read-Backward "
+                     "patterns.");
+        }
+    }
+
+    // ---- Frequent-Long-Read -------------------------------------------------
+    if (linear) {
+        std::size_t long_read_patterns = 0;
+        for (const Pattern& p : patterns) {
+            if (is_read_pattern(p.kind) &&
+                p.coverage >= config_.flr_min_coverage)
+                ++long_read_patterns;
+        }
+        const double read_share = weighted_read_share(profile);
+        if (long_read_patterns > config_.flr_min_read_patterns &&
+            read_share >= config_.flr_min_read_share) {
+            emit(UseCaseKind::FrequentLongRead,
+                 confidence_of(static_cast<double>(long_read_patterns),
+                               static_cast<double>(
+                                   config_.flr_min_read_patterns)),
+                 std::to_string(long_read_patterns) +
+                     " sequential read patterns each covering at least " +
+                     Table::pct(config_.flr_min_coverage) +
+                     " of the structure; " + Table::pct(read_share) +
+                     " of all access types are Read or Search — this looks "
+                     "like a disguised search operation.");
+        }
+    }
+
+    // ---- Insert/Delete-Front (sequential) --------------------------------
+    if (info.kind == runtime::DsKind::Array) {
+        const std::size_t resizes = count_resizes(profile);
+        if (resizes >= config_.idf_min_resizes) {
+            emit(UseCaseKind::InsertDeleteFront,
+                 confidence_of(static_cast<double>(resizes),
+                               static_cast<double>(
+                                   config_.idf_min_resizes)),
+                 std::to_string(resizes) +
+                     " array reallocations: every resize copies all "
+                     "elements.");
+        }
+    } else if (info.kind == runtime::DsKind::List) {
+        const EndTraffic t = end_traffic(profile, 1);
+        if (t.front_insert >= config_.idf_min_front_ops &&
+            t.front_delete >= config_.idf_min_front_ops) {
+            emit(UseCaseKind::InsertDeleteFront,
+                 confidence_of(
+                     static_cast<double>(
+                         std::min(t.front_insert, t.front_delete)),
+                     static_cast<double>(config_.idf_min_front_ops)),
+                 std::to_string(t.front_insert) + " front inserts and " +
+                     std::to_string(t.front_delete) +
+                     " front deletes each shift the whole tail.");
+        }
+    }
+
+    // ---- Stack-Implementation (sequential) ---------------------------------
+    if (info.kind == runtime::DsKind::List) {
+        const EndTraffic t = end_traffic(profile, 1);
+        const std::size_t muts = t.inserts() + t.deletes();
+        // Count *all* insert/delete events to catch mid-structure traffic
+        // that would disqualify the stack pattern.
+        const std::size_t all_muts = profile.count(AccessType::Insert) +
+                                     profile.count(AccessType::Delete);
+        if (all_muts >= config_.si_min_ops && muts > 0 &&
+            profile.count(AccessType::Insert) > 0 &&
+            profile.count(AccessType::Delete) > 0) {
+            const double back_share =
+                static_cast<double>(t.back_insert + t.back_delete) /
+                static_cast<double>(all_muts);
+            const double front_share =
+                static_cast<double>(t.front_insert + t.front_delete) /
+                static_cast<double>(all_muts);
+            if (back_share >= config_.si_min_common_end_share ||
+                front_share >= config_.si_min_common_end_share) {
+                emit(UseCaseKind::StackImplementation,
+                     confidence_of(std::max(back_share, front_share),
+                                   config_.si_min_common_end_share),
+                     Table::pct(std::max(back_share, front_share)) +
+                         " of all insert/delete operations access the " +
+                         (back_share >= front_share ? "back" : "front") +
+                         " of the list: this is a stack implementation.");
+            }
+        }
+    }
+
+    // ---- Write-Without-Read (sequential) -------------------------------------
+    if (!profile.phases().empty()) {
+        const Phase& tail = profile.phases().back();
+        if (tail.type == AccessType::Write &&
+            tail.length() >= config_.wwr_min_events) {
+            const runtime::AccessEvent& last_ev =
+                profile.events()[tail.last];
+            const double denom =
+                last_ev.size > 0 ? static_cast<double>(last_ev.size) : 1.0;
+            const double coverage =
+                std::min(1.0, static_cast<double>(tail.length()) / denom);
+            if (coverage >= config_.wwr_min_coverage) {
+                emit(UseCaseKind::WriteWithoutRead,
+                     confidence_of(coverage, config_.wwr_min_coverage),
+                     "The profile ends with a write phase of " +
+                         std::to_string(tail.length()) +
+                         " events covering " + Table::pct(coverage) +
+                         " of the structure whose results are never read.");
+            }
+        }
+    }
+
+    return out;
+}
+
+}  // namespace dsspy::core

@@ -1,0 +1,421 @@
+#include "corpus/program_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dsspy::corpus {
+
+namespace {
+
+using runtime::DsKind;
+
+constexpr std::size_t kKinds = runtime::kDsKindCount;
+
+/// Raw program entry before derived fields are filled in.
+struct RawProgram {
+    const char* name;
+    Domain domain;
+    std::size_t instances;  // Figure 1 sigma value (0 = not in Figure 1)
+    std::size_t loc;        // 0 = unknown, apportioned from domain totals
+    bool in_figure1;
+};
+
+// The 37 programs of Figure 1.  Sigma values are the published per-program
+// instance counts; per-domain sums reproduce Table I exactly:
+//   Srch 11, Opt 16, Comp 2, Vis 57, Parser 51, Img lib 60, Game 315,
+//   Simulation 150, Graph lib 184, Office 396, DS lib 718  (total 1,960).
+// LOC values come from Table II / Table IV where published; the rest are
+// apportioned from the domain LOC totals of Table I.
+constexpr RawProgram kFigure1Programs[] = {
+    // Compression (2 instances, 4,342 LOC)
+    {"7zip", Domain::Compression, 2, 4342, true},
+    // DS lib (718 instances, 529,164 LOC)
+    {"dsa", Domain::DsLib, 10, 4099, true},
+    {"compgeo", Domain::DsLib, 13, 0, true},
+    {"orazio1", Domain::DsLib, 32, 0, true},
+    {"dotspatial", Domain::DsLib, 663, 0, true},
+    // Search (11 instances, 1,046 LOC)
+    {"Contentfinder", Domain::Search, 11, 1046, true},
+    // Optimization (16 instances, 2,048 LOC)
+    {"sharpener", Domain::Optimization, 16, 2048, true},
+    // Game (315 instances, 45,512 LOC)
+    {"rrrsroguelike", Domain::Game, 5, 659, true},
+    {"ittycoon.net", Domain::Game, 27, 0, true},
+    {"theAirline", Domain::Game, 130, 0, true},
+    {"ManicDigger2011", Domain::Game, 153, 24970, true},
+    // Graph lib (184 instances, 69,472 LOC)
+    {"zedgraph", Domain::GraphLib, 2, 0, true},
+    {"TreeLayoutHelper", Domain::GraphLib, 22, 4673, true},
+    {"graphsharp", Domain::GraphLib, 160, 0, true},
+    // Image lib (60 instances, 41,456 LOC)
+    {"cognitionmaster", Domain::ImageLib, 60, 41456, true},
+    // Office (396 instances, 151,220 LOC)
+    {"ProcessHacker", Domain::Office, 4, 0, true},
+    {"BeHappy", Domain::Office, 7, 0, true},
+    {"TerraBIB", Domain::Office, 13, 10309, true},
+    {"metaclip", Domain::Office, 14, 0, true},
+    {"clipper", Domain::Office, 20, 3270, true},
+    {"waveletstudio", Domain::Office, 28, 0, true},
+    {"netinfotrace", Domain::Office, 30, 7311, true},
+    {"dddpds (SmartCA)", Domain::Office, 34, 0, true},
+    {"greatmaps", Domain::Office, 77, 0, true},
+    {"OsmExplorer", Domain::Office, 169, 0, true},
+    // Visualization (57 instances, 10,712 LOC)
+    {"SequenceViz", Domain::Visualization, 57, 10712, true},
+    // Parser (51 instances, 17,836 LOC)
+    {"csparser", Domain::Parser, 51, 17836, true},
+    // Simulation (150 instances, 63,548 LOC)
+    {"starsystemsimulator", Domain::Simulation, 1, 0, true},
+    {"Net_With_UI", Domain::Simulation, 1, 1034, true},
+    {"twodsphsim", Domain::Simulation, 8, 0, true},
+    {"Arcanum", Domain::Simulation, 2, 0, true},
+    {"rushHour", Domain::Simulation, 8, 0, true},
+    {"fire", Domain::Simulation, 8, 2137, true},
+    {"borys-MeshRouting", Domain::Simulation, 19, 6429, true},
+    {"evo", Domain::Simulation, 31, 0, true},
+    {"dotqcf", Domain::Simulation, 35, 27170, true},
+    {"gpdotnet", Domain::Simulation, 37, 7000, true},
+};
+
+// Programs that appear in Table II or Table III but not in Figure 1.
+constexpr RawProgram kExtraPrograms[] = {
+    {"astrogrep", Domain::Computation, 14, 846, false},
+    {"MidiSheetMusic", Domain::Office, 40, 4792, false},
+    {"QIT", Domain::Computation, 24, 9200, false},
+    {"netlinwhetcpu", Domain::Computation, 7, 400, false},
+    {"Mandelbrot", Domain::Computation, 7, 150, false},
+    {"quickgraph", Domain::GraphLib, 35, 14500, false},
+    {"DambachMulti", Domain::Simulation, 9, 2600, false},
+    {"LinearAlgebra", Domain::Computation, 12, 5200, false},
+    {"MathNetIridium", Domain::Computation, 28, 22000, false},
+    {"DesktopSuche", Domain::Search, 8, 3100, false},
+    {"FIPL", Domain::ImageLib, 9, 4400, false},
+    {"FreeFlowSPH", Domain::Simulation, 11, 5800, false},
+    {"networkminer", Domain::Office, 18, 12400, false},
+    {"WordWheelSolver", Domain::Computation, 5, 110, false},
+    {"wordSorter", Domain::Computation, 4, 320, false},
+    {"Algorithmia", Domain::DsLib, 16, 2800, false},
+};
+
+// Table I per-domain LOC totals (used to apportion unknown program LOC).
+constexpr std::size_t domain_loc_total(Domain d) {
+    switch (d) {
+        case Domain::Search: return 1046;
+        case Domain::Optimization: return 2048;
+        case Domain::Compression: return 4342;
+        case Domain::Visualization: return 10712;
+        case Domain::Parser: return 17836;
+        case Domain::ImageLib: return 41456;
+        case Domain::Game: return 45512;
+        case Domain::Simulation: return 63548;
+        case Domain::GraphLib: return 69472;
+        case Domain::Office: return 151220;
+        case Domain::DsLib: return 529164;
+        default: return 0;
+    }
+}
+
+// Figure 1 global per-type series: List 1275, Dictionary 324,
+// ArrayList 192, Stack 49, Queue 41; "Rest" (79) resolved from the <2%
+// percentages: HashSet 38 (1.94%), SortedList 20 (1.02%), SortedSet 10
+// (0.51%), SortedDictionary 8 (0.41%), LinkedList 3 (0.15%), Hashtable 0.
+std::array<std::size_t, kKinds> figure1_series() {
+    std::array<std::size_t, kKinds> t{};
+    t[static_cast<std::size_t>(DsKind::List)] = 1275;
+    t[static_cast<std::size_t>(DsKind::Dictionary)] = 324;
+    t[static_cast<std::size_t>(DsKind::ArrayList)] = 192;
+    t[static_cast<std::size_t>(DsKind::Stack)] = 49;
+    t[static_cast<std::size_t>(DsKind::Queue)] = 41;
+    t[static_cast<std::size_t>(DsKind::HashSet)] = 38;
+    t[static_cast<std::size_t>(DsKind::SortedList)] = 20;
+    t[static_cast<std::size_t>(DsKind::SortedSet)] = 10;
+    t[static_cast<std::size_t>(DsKind::SortedDictionary)] = 8;
+    t[static_cast<std::size_t>(DsKind::LinkedList)] = 3;
+    t[static_cast<std::size_t>(DsKind::Hashtable)] = 0;
+    return t;
+}
+
+/// Apportion `total` across weights so that the result sums exactly to
+/// `total` (cumulative-floor / Hamilton method — deterministic).
+std::vector<std::size_t> apportion(std::size_t total,
+                                   const std::vector<std::size_t>& weights) {
+    std::vector<std::size_t> out(weights.size(), 0);
+    std::size_t weight_sum = 0;
+    for (std::size_t w : weights) weight_sum += w;
+    if (weight_sum == 0) return out;
+    std::size_t cum_weight = 0;
+    std::size_t cum_alloc = 0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        cum_weight += weights[i];
+        const std::size_t target = total * cum_weight / weight_sum;
+        out[i] = target - cum_alloc;
+        cum_alloc = target;
+    }
+    return out;
+}
+
+std::vector<ProgramModel> build_all_programs() {
+    std::vector<ProgramModel> programs;
+
+    for (const RawProgram& raw : kFigure1Programs) {
+        ProgramModel m;
+        m.name = raw.name;
+        m.domain = raw.domain;
+        m.total_instances = raw.instances;
+        m.loc = raw.loc;
+        programs.push_back(std::move(m));
+    }
+
+    // Apportion unknown LOC within each Figure 1 domain so per-domain sums
+    // match Table I exactly.
+    for (std::size_t d = 0; d < static_cast<std::size_t>(Domain::Count);
+         ++d) {
+        const Domain domain = static_cast<Domain>(d);
+        const std::size_t total = domain_loc_total(domain);
+        if (total == 0) continue;
+        std::size_t known = 0;
+        std::vector<std::size_t> unknown_idx;
+        std::vector<std::size_t> unknown_weights;
+        for (std::size_t i = 0; i < programs.size(); ++i) {
+            if (programs[i].domain != domain) continue;
+            if (programs[i].loc > 0) {
+                known += programs[i].loc;
+            } else {
+                unknown_idx.push_back(i);
+                unknown_weights.push_back(
+                    std::max<std::size_t>(1, programs[i].total_instances));
+            }
+        }
+        if (unknown_idx.empty()) continue;
+        const std::size_t remaining = total > known ? total - known : 0;
+        const std::vector<std::size_t> shares =
+            apportion(remaining, unknown_weights);
+        for (std::size_t j = 0; j < unknown_idx.size(); ++j)
+            programs[unknown_idx[j]].loc = shares[j];
+    }
+
+    // Apportion the global per-type series across the 37 programs so the
+    // per-type totals match Figure 1 exactly; List takes each program's
+    // residual (it is the dominant type everywhere, as the paper found).
+    const auto series = figure1_series();
+    std::vector<std::size_t> weights;
+    weights.reserve(programs.size());
+    for (const ProgramModel& m : programs)
+        weights.push_back(m.total_instances);
+
+    std::vector<std::size_t> assigned(programs.size(), 0);
+    for (std::size_t k = 0; k < kKinds; ++k) {
+        if (k == static_cast<std::size_t>(DsKind::List) ||
+            k == static_cast<std::size_t>(DsKind::Array))
+            continue;
+        const std::vector<std::size_t> shares = apportion(series[k], weights);
+        for (std::size_t i = 0; i < programs.size(); ++i) {
+            // Never assign more non-list instances than the program has.
+            const std::size_t capped = std::min(
+                shares[i], programs[i].total_instances - assigned[i]);
+            programs[i].instances[k] = capped;
+            assigned[i] += capped;
+        }
+    }
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        programs[i].instances[static_cast<std::size_t>(DsKind::List)] =
+            programs[i].total_instances - assigned[i];
+    }
+
+    // Apportion the 785 study arrays by instance count.
+    const std::vector<std::size_t> array_shares =
+        apportion(kStudyArrayTotal, weights);
+    for (std::size_t i = 0; i < programs.size(); ++i)
+        programs[i].arrays = array_shares[i];
+
+    // Extra (non-Figure 1) programs: type split defaults to mostly lists.
+    for (const RawProgram& raw : kExtraPrograms) {
+        ProgramModel m;
+        m.name = raw.name;
+        m.domain = raw.domain;
+        m.total_instances = raw.instances;
+        m.loc = raw.loc;
+        const std::size_t lists = raw.instances - raw.instances / 4;
+        m.instances[static_cast<std::size_t>(DsKind::List)] = lists;
+        m.instances[static_cast<std::size_t>(DsKind::Dictionary)] =
+            raw.instances - lists;
+        m.arrays = std::max<std::size_t>(1, raw.instances / 3);
+        programs.push_back(std::move(m));
+    }
+
+    auto find = [&programs](std::string_view name) -> ProgramModel& {
+        for (ProgramModel& m : programs)
+            if (m.name == name) return m;
+        assert(false && "unknown program name");
+        return programs.front();
+    };
+
+    // ---- Table II: 15 programs, 81 regularities, 41 parallel use cases.
+    struct T2 {
+        const char* name;
+        std::size_t regularities;
+        std::size_t parallel;
+    };
+    constexpr T2 kTable2[] = {
+        {"TerraBIB", 1, 0},      {"rrrsroguelike", 1, 1},
+        {"fire", 1, 2},          {"dotqcf", 2, 0},
+        {"Contentfinder", 2, 2}, {"astrogrep", 2, 3},
+        {"borys-MeshRouting", 3, 3}, {"csparser", 5, 5},
+        {"dsa", 5, 0},           {"TreeLayoutHelper", 6, 0},
+        {"ManicDigger2011", 6, 6}, {"clipper", 9, 5},
+        {"Net_With_UI", 11, 2},  {"netinfotrace", 13, 5},
+        {"MidiSheetMusic", 14, 7},
+    };
+    for (const T2& row : kTable2) {
+        ProgramModel& m = find(row.name);
+        m.in_study15 = true;
+        m.recurring_regularities = row.regularities;
+        m.parallel_use_cases = row.parallel;
+    }
+
+    // ---- Table III: evaluation programs, use cases by category.
+    // Column totals: LI 49, IQ 3, SAI 1, FS 3, FLR 10 (66 in total).
+    // Per-row category assignment reconstructed to be consistent with the
+    // published row totals and column totals (see DESIGN.md).
+    struct T3 {
+        const char* name;
+        std::size_t li, iq, sai, fs, flr;
+    };
+    constexpr T3 kTable3[] = {
+        {"QIT", 6, 1, 0, 0, 1},
+        {"ManicDigger2011", 6, 0, 0, 0, 0},
+        {"csparser", 5, 0, 0, 0, 0},
+        {"clipper", 4, 1, 0, 0, 0},
+        {"gpdotnet", 2, 0, 0, 0, 3},
+        {"netlinwhetcpu", 4, 0, 0, 0, 1},
+        {"Mandelbrot", 3, 0, 0, 0, 0},
+        {"quickgraph", 2, 0, 0, 0, 1},
+        {"astrogrep", 2, 0, 0, 1, 0},
+        {"borys-MeshRouting", 2, 0, 0, 0, 1},
+        {"Contentfinder", 1, 0, 0, 1, 0},
+        {"DambachMulti", 2, 0, 0, 0, 0},
+        {"LinearAlgebra", 1, 0, 0, 0, 1},
+        {"MathNetIridium", 1, 0, 0, 0, 1},
+        {"Net_With_UI", 1, 1, 0, 0, 0},
+        {"fire", 2, 0, 0, 0, 0},
+        {"DesktopSuche", 0, 0, 0, 1, 0},
+        {"FIPL", 1, 0, 0, 0, 0},
+        {"FreeFlowSPH", 1, 0, 0, 0, 0},
+        {"networkminer", 1, 0, 0, 0, 0},
+        {"rrrsroguelike", 1, 0, 0, 0, 0},
+        {"WordWheelSolver", 1, 0, 0, 0, 0},
+        {"wordSorter", 0, 0, 1, 0, 0},
+        {"Algorithmia", 0, 0, 0, 0, 1},
+    };
+    for (const T3& row : kTable3) {
+        ProgramModel& m = find(row.name);
+        m.in_eval23 = true;
+        m.eval_use_cases[static_cast<std::size_t>(EvalUseCase::LI)] = row.li;
+        m.eval_use_cases[static_cast<std::size_t>(EvalUseCase::IQ)] = row.iq;
+        m.eval_use_cases[static_cast<std::size_t>(EvalUseCase::SAI)] =
+            row.sai;
+        m.eval_use_cases[static_cast<std::size_t>(EvalUseCase::FS)] = row.fs;
+        m.eval_use_cases[static_cast<std::size_t>(EvalUseCase::FLR)] =
+            row.flr;
+    }
+
+    return programs;
+}
+
+}  // namespace
+
+std::string_view domain_name(Domain domain) noexcept {
+    switch (domain) {
+        case Domain::Search: return "File and text search";
+        case Domain::Optimization: return "Source code optimization";
+        case Domain::Compression: return "Compression";
+        case Domain::Visualization: return "Program visualization";
+        case Domain::Parser: return "Parser";
+        case Domain::ImageLib: return "Image algorithm library";
+        case Domain::Game: return "Game";
+        case Domain::Simulation: return "Simulation";
+        case Domain::GraphLib: return "Graph algorithms library";
+        case Domain::Office: return "Office software";
+        case Domain::DsLib: return "Data structures & algorithms library";
+        case Domain::Computation: return "Computation";
+        case Domain::Count: break;
+    }
+    return "?";
+}
+
+std::string_view domain_short_name(Domain domain) noexcept {
+    switch (domain) {
+        case Domain::Search: return "Srch";
+        case Domain::Optimization: return "Opt";
+        case Domain::Compression: return "Comp";
+        case Domain::Visualization: return "Vis";
+        case Domain::Parser: return "Parser";
+        case Domain::ImageLib: return "Img lib";
+        case Domain::Game: return "Game";
+        case Domain::Simulation: return "Simulation";
+        case Domain::GraphLib: return "Graph lib";
+        case Domain::Office: return "Office";
+        case Domain::DsLib: return "DS lib";
+        case Domain::Computation: return "Computation";
+        case Domain::Count: break;
+    }
+    return "?";
+}
+
+const std::vector<ProgramModel>& all_programs() {
+    static const std::vector<ProgramModel> programs = build_all_programs();
+    return programs;
+}
+
+std::vector<const ProgramModel*> figure1_programs() {
+    std::vector<const ProgramModel*> out;
+    const std::vector<ProgramModel>& all = all_programs();
+    for (std::size_t i = 0; i < std::size(kFigure1Programs); ++i)
+        out.push_back(&all[i]);
+    return out;
+}
+
+std::vector<const ProgramModel*> study15_programs() {
+    std::vector<const ProgramModel*> out;
+    for (const ProgramModel& m : all_programs())
+        if (m.in_study15) out.push_back(&m);
+    return out;
+}
+
+std::vector<const ProgramModel*> eval_programs() {
+    std::vector<const ProgramModel*> out;
+    for (const ProgramModel& m : all_programs())
+        if (m.in_eval23) out.push_back(&m);
+    return out;
+}
+
+const std::array<std::size_t, runtime::kDsKindCount>&
+figure1_type_totals() {
+    static const auto totals = figure1_series();
+    return totals;
+}
+
+std::vector<DomainRow> table1_rows() {
+    // Paper order: ascending LOC.
+    constexpr Domain kOrder[] = {
+        Domain::Search,       Domain::Optimization, Domain::Compression,
+        Domain::Visualization, Domain::Parser,      Domain::ImageLib,
+        Domain::Game,         Domain::Simulation,   Domain::GraphLib,
+        Domain::Office,       Domain::DsLib,
+    };
+    std::vector<DomainRow> rows;
+    for (Domain d : kOrder) {
+        DomainRow row;
+        row.domain = d;
+        for (const ProgramModel* m : figure1_programs()) {
+            if (m->domain != d) continue;
+            ++row.programs;
+            row.instances += m->total_instances;
+            row.loc += m->loc;
+        }
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+}  // namespace dsspy::corpus

@@ -1,0 +1,110 @@
+// Models of the paper's benchmark programs (Tables I-III, Figure 1).
+//
+// The 37 open-source C# programs of the empirical study are not
+// redistributable; what the paper publishes about them is:
+//   * Table I   — per-domain instance counts and LOC.
+//   * Figure 1  — per-program total dynamic-instance counts (the sigma
+//                 values on the x-axis) and the global per-type series
+//                 (List 1275, Dictionary 324, ArrayList 192, Stack 49,
+//                 Queue 41, Rest 79).
+//   * Table II  — 15-program subset: recurring regularities and parallel
+//                 use cases per program.
+//   * Table III — 23-program evaluation: use-case counts per category.
+// These models encode exactly those published numbers; the workload
+// drivers (workload.hpp) replay matching access behaviour so DSspy's
+// dynamic pipeline regenerates the tables.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/op.hpp"
+
+namespace dsspy::corpus {
+
+/// Application domains of Table I.
+enum class Domain : std::uint8_t {
+    Search,          ///< File and text search (Srch)
+    Optimization,    ///< Source code optimization (Opt)
+    Compression,     ///< Compression (Comp)
+    Visualization,   ///< Program visualization (Vis)
+    Parser,
+    ImageLib,        ///< Image algorithm library (Img lib)
+    Game,
+    Simulation,
+    GraphLib,        ///< Graph algorithms library (Graph lib)
+    Office,          ///< Office software
+    DsLib,           ///< Data structures & algorithms library (DS lib)
+    Computation,     ///< Used by Table II for astrogrep
+    Count,
+};
+
+[[nodiscard]] std::string_view domain_name(Domain domain) noexcept;
+[[nodiscard]] std::string_view domain_short_name(Domain domain) noexcept;
+
+/// Parallel use-case categories in Table III column order.
+enum class EvalUseCase : std::uint8_t { LI, IQ, SAI, FS, FLR, Count };
+
+/// One benchmark program of the study.
+struct ProgramModel {
+    std::string name;
+    Domain domain = Domain::DsLib;
+    std::size_t loc = 0;                ///< Lines of code.
+    std::size_t total_instances = 0;    ///< Figure 1 sigma value.
+    /// Per-kind dynamic instance counts (sums to total_instances); derived
+    /// deterministically from the global Figure 1 series by apportionment.
+    std::array<std::size_t, runtime::kDsKindCount> instances{};
+    std::size_t arrays = 0;             ///< Share of the study's 785 arrays.
+
+    // Table II (only meaningful when in_study15).
+    bool in_study15 = false;
+    std::size_t recurring_regularities = 0;
+    std::size_t parallel_use_cases = 0;
+
+    // Table III (only meaningful when in_eval23).
+    bool in_eval23 = false;
+    std::array<std::size_t, static_cast<std::size_t>(EvalUseCase::Count)>
+        eval_use_cases{};
+
+    [[nodiscard]] std::size_t eval_use_case_total() const noexcept {
+        std::size_t sum = 0;
+        for (std::size_t c : eval_use_cases) sum += c;
+        return sum;
+    }
+};
+
+/// All programs of the study (the 37 of Figure 1 plus the Table II/III
+/// programs that are not among the 37, e.g. astrogrep, MidiSheetMusic).
+[[nodiscard]] const std::vector<ProgramModel>& all_programs();
+
+/// The 37 programs of Table I / Figure 1.
+[[nodiscard]] std::vector<const ProgramModel*> figure1_programs();
+
+/// The 15-program subset of Table II.
+[[nodiscard]] std::vector<const ProgramModel*> study15_programs();
+
+/// The evaluation programs of Table III (24 rows, 66 use cases).
+[[nodiscard]] std::vector<const ProgramModel*> eval_programs();
+
+/// Global Figure 1 per-type series totals (List=1275, Dictionary=324, ...).
+[[nodiscard]] const std::array<std::size_t, runtime::kDsKindCount>&
+figure1_type_totals();
+
+/// Total arrays found in the study (785).
+inline constexpr std::size_t kStudyArrayTotal = 785;
+
+/// One row of Table I (per-domain aggregate).
+struct DomainRow {
+    Domain domain = Domain::Search;
+    std::size_t programs = 0;
+    std::size_t instances = 0;
+    std::size_t loc = 0;
+};
+
+/// Table I rows (ascending by LOC, as printed in the paper), aggregated
+/// from the Figure 1 program models.
+[[nodiscard]] std::vector<DomainRow> table1_rows();
+
+}  // namespace dsspy::corpus

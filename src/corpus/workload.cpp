@@ -1,0 +1,316 @@
+#include "corpus/workload.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "ds/ds.hpp"
+
+namespace dsspy::corpus {
+
+namespace {
+
+using runtime::ProfilingSession;
+using support::Rng;
+using support::SourceLoc;
+
+/// Scattered reads whose positions never step by +-1, so they can never
+/// extend into a Read-Forward/Backward pattern (stride-7 jumps).
+template <typename ListT>
+void jump_reads(const ListT& list, std::size_t count) {
+    const std::size_t n = list.count();
+    if (n < 10) return;
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        (void)list.get(pos);
+        pos = (pos + 7) % n;
+    }
+}
+
+}  // namespace
+
+void drive_long_insert(ProfilingSession* session, SourceLoc loc, Rng& rng) {
+    ds::ProfiledList<std::int64_t> list(session, std::move(loc));
+    // Three long insertion rounds (>=100 consecutive events each),
+    // separated by scattered reads and a clear — the profile of Figure 3.
+    for (int round = 0; round < 3; ++round) {
+        const std::size_t n = 360 + rng.next_below(80);
+        for (std::size_t i = 0; i < n; ++i)
+            list.add(static_cast<std::int64_t>(rng.next_below(100000)));
+        jump_reads(list, 18);
+        list.clear();
+    }
+}
+
+void drive_long_insert_array(ProfilingSession* session, SourceLoc loc,
+                             Rng& rng) {
+    const std::size_t n = 500 + rng.next_below(100);
+    ds::ProfiledArray<double> array(session, std::move(loc), n);
+    // Sequential initialization loop: Write-Forward from the front — the
+    // array equivalent of a long insertion (e.g. Mandelbrot's image).
+    for (std::size_t i = 0; i < n; ++i)
+        array.set(i, rng.next_double());
+    // A few scattered validation reads.
+    std::size_t pos = 0;
+    for (int i = 0; i < 12; ++i) {
+        (void)array.get(pos);
+        pos = (pos + 7) % n;
+    }
+}
+
+void drive_implement_queue(ProfilingSession* session, SourceLoc loc,
+                           Rng& rng) {
+    ds::ProfiledList<std::int64_t> list(session, std::move(loc));
+    // Producer/consumer on a list: enqueue via add (back), consume via
+    // get(0) + remove_at(0) (front).  Interleaved so insertion runs stay
+    // far below the Long-Insert threshold.
+    for (std::size_t i = 0; i < 5; ++i)
+        list.add(static_cast<std::int64_t>(i));
+    for (std::size_t i = 0; i < 150; ++i) {
+        list.add(static_cast<std::int64_t>(rng.next_below(1000)));
+        (void)list.get(0);
+        list.remove_at(0);
+    }
+    while (list.count() > 0) {
+        (void)list.get(0);
+        list.remove_at(0);
+    }
+}
+
+void drive_sort_after_insert(ProfilingSession* session, SourceLoc loc,
+                             Rng& rng) {
+    ds::ProfiledList<std::int64_t> list(session, std::move(loc));
+    const std::size_t n = 380 + rng.next_below(60);
+    for (std::size_t i = 0; i < n; ++i)
+        list.add(static_cast<std::int64_t>(rng.next_below(1000000)));
+    list.sort();
+    jump_reads(list, 20);
+}
+
+void drive_frequent_search(ProfilingSession* session, SourceLoc loc,
+                           Rng& rng) {
+    ds::ProfiledList<std::int64_t> list(session, std::move(loc), 64);
+    for (std::size_t i = 0; i < 64; ++i)
+        list.add(static_cast<std::int64_t>(i * 3));
+    // >1000 explicit search operations with occasional sequential sweeps
+    // (the read-forward evidence the rule requires).
+    for (std::size_t i = 0; i < 1100; ++i) {
+        (void)list.index_of(static_cast<std::int64_t>(
+            3 * static_cast<std::int64_t>(rng.next_below(64))));
+        if (i % 280 == 0) {
+            for (std::size_t j = 0; j < list.count(); ++j)
+                (void)list.get(j);
+        }
+    }
+}
+
+void drive_frequent_long_read(ProfilingSession* session, SourceLoc loc,
+                              Rng& rng) {
+    ds::ProfiledList<std::int64_t> list(session, std::move(loc), 120);
+    for (std::size_t i = 0; i < 120; ++i)
+        list.add(static_cast<std::int64_t>(rng.next_below(5000)));
+    // 12 full sequential sweeps: a search disguised as a read loop (the
+    // priority-queue-on-a-list case the paper describes for Algorithmia).
+    for (int sweep = 0; sweep < 12; ++sweep) {
+        std::int64_t best = list.get(0);
+        for (std::size_t j = 1; j < list.count(); ++j)
+            best = std::max(best, list.get(j));
+        (void)best;
+    }
+}
+
+void drive_li_flr_combo(ProfilingSession* session, SourceLoc loc,
+                        Rng& rng) {
+    ds::ProfiledList<std::int64_t> list(session, std::move(loc));
+    // Generation loop: rebuild with a long insertion phase, then two full
+    // evaluation sweeps — Long-Insert and Frequent-Long-Read on the same
+    // instance (Table V use cases two and three).
+    for (int gen = 0; gen < 12; ++gen) {
+        const std::size_t n = 140 + rng.next_below(20);
+        for (std::size_t i = 0; i < n; ++i)
+            list.add(static_cast<std::int64_t>(rng.next_below(10000)));
+        for (int sweep = 0; sweep < 2; ++sweep) {
+            std::int64_t acc = 0;
+            for (std::size_t i = 0; i < list.count(); ++i)
+                acc += list.get(i);
+            (void)acc;
+        }
+        list.clear();
+    }
+}
+
+void drive_stack_impl(ProfilingSession* session, SourceLoc loc, Rng& rng) {
+    ds::ProfiledList<std::int64_t> list(session, std::move(loc));
+    // Push/pop always at the back; interleaved so no single insertion run
+    // reaches the Long-Insert threshold.
+    for (std::size_t i = 0; i < 60; ++i) {
+        const std::size_t pushes = 2 + rng.next_below(3);
+        for (std::size_t p = 0; p < pushes; ++p)
+            list.add(static_cast<std::int64_t>(rng.next_below(1000)));
+        if (list.count() > 1) {
+            (void)list.get(list.count() - 1);  // peek
+            list.remove_at(list.count() - 1);  // pop
+        }
+    }
+    while (list.count() > 0) list.remove_at(list.count() - 1);
+}
+
+void drive_write_without_read(ProfilingSession* session, SourceLoc loc,
+                              Rng& rng) {
+    ds::ProfiledList<std::int64_t> list(session, std::move(loc));
+    for (std::size_t i = 0; i < 50; ++i)
+        list.add(static_cast<std::int64_t>(rng.next_below(1000)));
+    jump_reads(list, 25);
+    // Life-cycle cleanup: overwrite most entries, results never read again.
+    for (std::size_t i = 0; i < 30; ++i) list.set(i, 0);
+}
+
+void drive_regularity_only(ProfilingSession* session, SourceLoc loc,
+                           Rng& rng) {
+    ds::ProfiledList<std::int64_t> list(session, std::move(loc));
+    // A clear recurring pattern (short insert-back run + one forward read
+    // streak) that stays below every use-case threshold.
+    for (std::size_t i = 0; i < 40; ++i)
+        list.add(static_cast<std::int64_t>(rng.next_below(1000)));
+    for (std::size_t i = 0; i < 20; ++i) (void)list.get(i);
+    jump_reads(list, 10);
+}
+
+void drive_noise_list(ProfilingSession* session, SourceLoc loc, Rng& rng) {
+    ds::ProfiledList<std::int64_t> list(session, std::move(loc));
+    // Mid-structure inserts never form front/back runs; stride-7 reads
+    // never form directional runs: no pattern at all.
+    for (std::size_t i = 0; i < 15; ++i)
+        list.insert(list.count() / 2,
+                    static_cast<std::int64_t>(rng.next_below(1000)));
+    jump_reads(list, 12);
+}
+
+void drive_noise_dictionary(ProfilingSession* session, SourceLoc loc,
+                            Rng& rng) {
+    ds::ProfiledDictionary<std::int64_t, std::int64_t> dict(session,
+                                                            std::move(loc));
+    for (std::size_t i = 0; i < 20; ++i)
+        dict.set(static_cast<std::int64_t>(rng.next_below(100)),
+                 static_cast<std::int64_t>(i));
+    std::int64_t out = 0;
+    for (std::size_t i = 0; i < 15; ++i)
+        (void)dict.try_get(static_cast<std::int64_t>(rng.next_below(100)),
+                           out);
+}
+
+std::size_t noise_instances_for(const ProgramModel& program) {
+    const std::size_t target = program.total_instances / 4;
+    return std::clamp<std::size_t>(target, 3, 25);
+}
+
+namespace {
+
+SourceLoc make_loc(const ProgramModel& program, const char* method,
+                   std::uint32_t position) {
+    return SourceLoc{program.name + ".Workload", method, position};
+}
+
+using Driver = void (*)(ProfilingSession*, SourceLoc, Rng&);
+
+void run_noise(const ProgramModel& program, ProfilingSession* session,
+               Rng& rng, std::uint32_t& position) {
+    const std::size_t noise = noise_instances_for(program);
+    for (std::size_t i = 0; i < noise; ++i) {
+        if (i % 3 == 2) {
+            drive_noise_dictionary(session,
+                                   make_loc(program, "Noise", ++position),
+                                   rng);
+        } else {
+            drive_noise_list(session, make_loc(program, "Noise", ++position),
+                             rng);
+        }
+    }
+}
+
+}  // namespace
+
+void run_study15_workload(const ProgramModel& program,
+                          ProfilingSession* session, std::uint64_t seed) {
+    Rng rng(seed ^ std::hash<std::string>{}(program.name));
+    std::uint32_t position = 0;
+
+    // A regularity instance can carry one or two parallel use cases (the
+    // Table V population list has both LI and FLR).  When a program
+    // reports more parallel use cases than regularities, combo instances
+    // make up the difference.
+    const std::size_t regularities = program.recurring_regularities;
+    const std::size_t parallel = program.parallel_use_cases;
+    const std::size_t combos =
+        parallel > regularities ? parallel - regularities : 0;
+    const std::size_t singles = parallel - 2 * combos;
+
+    for (std::size_t i = 0; i < combos; ++i)
+        drive_li_flr_combo(session, make_loc(program, "Parallel", ++position),
+                           rng);
+
+    static constexpr Driver kParallel[] = {
+        drive_long_insert, drive_frequent_long_read, drive_implement_queue,
+        drive_frequent_search, drive_sort_after_insert,
+    };
+    for (std::size_t i = 0; i < singles; ++i) {
+        kParallel[i % std::size(kParallel)](
+            session, make_loc(program, "Parallel", ++position), rng);
+    }
+
+    // Remaining regularities carry recurring patterns but no parallel use
+    // case (sequential use cases or below-threshold patterns).
+    static constexpr Driver kSequential[] = {
+        drive_regularity_only, drive_stack_impl, drive_write_without_read,
+    };
+    const std::size_t parallel_instances = combos + singles;
+    const std::size_t rest = regularities > parallel_instances
+                                 ? regularities - parallel_instances
+                                 : 0;
+    for (std::size_t i = 0; i < rest; ++i) {
+        kSequential[i % std::size(kSequential)](
+            session, make_loc(program, "Sequential", ++position), rng);
+    }
+
+    run_noise(program, session, rng, position);
+}
+
+void run_eval_workload(const ProgramModel& program,
+                       ProfilingSession* session, std::uint64_t seed) {
+    Rng rng(seed ^ std::hash<std::string>{}(program.name));
+    std::uint32_t position = 0;
+
+    const auto count_of = [&program](EvalUseCase uc) {
+        return program.eval_use_cases[static_cast<std::size_t>(uc)];
+    };
+
+    // Long-Insert alternates between list and array instances (the paper
+    // reports LI on both, e.g. Mandelbrot's image array).
+    for (std::size_t i = 0; i < count_of(EvalUseCase::LI); ++i) {
+        if (i % 2 == 1) {
+            drive_long_insert_array(
+                session, make_loc(program, "LongInsert", ++position), rng);
+        } else {
+            drive_long_insert(session,
+                              make_loc(program, "LongInsert", ++position),
+                              rng);
+        }
+    }
+    for (std::size_t i = 0; i < count_of(EvalUseCase::IQ); ++i)
+        drive_implement_queue(
+            session, make_loc(program, "ImplementQueue", ++position), rng);
+    for (std::size_t i = 0; i < count_of(EvalUseCase::SAI); ++i)
+        drive_sort_after_insert(
+            session, make_loc(program, "SortAfterInsert", ++position), rng);
+    for (std::size_t i = 0; i < count_of(EvalUseCase::FS); ++i)
+        drive_frequent_search(
+            session, make_loc(program, "FrequentSearch", ++position), rng);
+    for (std::size_t i = 0; i < count_of(EvalUseCase::FLR); ++i)
+        drive_frequent_long_read(
+            session, make_loc(program, "FrequentLongRead", ++position), rng);
+
+    run_noise(program, session, rng, position);
+}
+
+}  // namespace dsspy::corpus

@@ -1,0 +1,81 @@
+// Workload drivers: replay the access behaviour of the study programs.
+//
+// The paper's Tables II and III are produced by running the benchmark
+// programs under DSspy and counting recurring regularities / use cases.
+// The original C# programs are not available here, so each ProgramModel is
+// replayed by a composition of drivers, one per documented behaviour:
+//
+//   drive_long_insert         -> exactly one Long-Insert use case
+//   drive_long_insert_array   -> Long-Insert on a fixed-size array
+//   drive_implement_queue     -> exactly one Implement-Queue use case
+//   drive_sort_after_insert   -> exactly one Sort-After-Insert use case
+//   drive_frequent_search     -> exactly one Frequent-Search use case
+//   drive_frequent_long_read  -> exactly one Frequent-Long-Read use case
+//   drive_stack_impl          -> Stack-Implementation (sequential)
+//   drive_write_without_read  -> Write-Without-Read (sequential)
+//   drive_regularity_only     -> recurring pattern, no use case
+//   drive_noise_list          -> no pattern at all (search-space filler)
+//   drive_noise_dictionary    -> positionless instance (filler)
+//
+// Each driver is deterministic given its Rng and is unit-tested to produce
+// exactly its advertised classification under the default DetectorConfig.
+#pragma once
+
+#include <cstdint>
+
+#include "corpus/program_model.hpp"
+#include "runtime/session.hpp"
+#include "support/rng.hpp"
+#include "support/source_location.hpp"
+
+namespace dsspy::corpus {
+
+// --- individual drivers (exposed for tests) ------------------------------
+
+void drive_long_insert(runtime::ProfilingSession* session,
+                       support::SourceLoc loc, support::Rng& rng);
+void drive_long_insert_array(runtime::ProfilingSession* session,
+                             support::SourceLoc loc, support::Rng& rng);
+void drive_implement_queue(runtime::ProfilingSession* session,
+                           support::SourceLoc loc, support::Rng& rng);
+void drive_sort_after_insert(runtime::ProfilingSession* session,
+                             support::SourceLoc loc, support::Rng& rng);
+void drive_frequent_search(runtime::ProfilingSession* session,
+                           support::SourceLoc loc, support::Rng& rng);
+void drive_frequent_long_read(runtime::ProfilingSession* session,
+                              support::SourceLoc loc, support::Rng& rng);
+/// One instance carrying TWO parallel use cases (Long-Insert and
+/// Frequent-Long-Read) — the GPdotNET-population shape; used when a
+/// Table II program reports more parallel use cases than regularities.
+void drive_li_flr_combo(runtime::ProfilingSession* session,
+                        support::SourceLoc loc, support::Rng& rng);
+void drive_stack_impl(runtime::ProfilingSession* session,
+                      support::SourceLoc loc, support::Rng& rng);
+void drive_write_without_read(runtime::ProfilingSession* session,
+                              support::SourceLoc loc, support::Rng& rng);
+void drive_regularity_only(runtime::ProfilingSession* session,
+                           support::SourceLoc loc, support::Rng& rng);
+void drive_noise_list(runtime::ProfilingSession* session,
+                      support::SourceLoc loc, support::Rng& rng);
+void drive_noise_dictionary(runtime::ProfilingSession* session,
+                            support::SourceLoc loc, support::Rng& rng);
+
+// --- program-level plans ----------------------------------------------------
+
+/// Replay a Table II program: `recurring_regularities` instances with
+/// recurring patterns, of which `parallel_use_cases` carry a parallel use
+/// case, plus pattern-free noise instances.
+void run_study15_workload(const ProgramModel& program,
+                          runtime::ProfilingSession* session,
+                          std::uint64_t seed = 0);
+
+/// Replay a Table III program: the exact per-category use-case counts of
+/// the model, plus noise instances for the search-space denominator.
+void run_eval_workload(const ProgramModel& program,
+                       runtime::ProfilingSession* session,
+                       std::uint64_t seed = 0);
+
+/// Number of noise (pattern-free) instances the plans add for `program`.
+[[nodiscard]] std::size_t noise_instances_for(const ProgramModel& program);
+
+}  // namespace dsspy::corpus

@@ -1,0 +1,182 @@
+// Fixed-size array container modeled after CTS arrays.
+//
+// Arrays are the second data-structure family DSspy instruments.  Unlike
+// List, an Array has a fixed length; `resize()` allocates a new buffer and
+// copies every element — the copy overhead that motivates the paper's
+// Insert/Delete-Front sequential use case ("Resizing them means that an
+// array of the new size is allocated and all elements are copied").
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "ds/detail/raw_buffer.hpp"
+#include "ds/detail/sort.hpp"
+
+namespace dsspy::ds {
+
+/// Fixed-length array with CTS-array semantics.  Elements are
+/// value-initialized on construction (like `new T[n]` in C#).
+template <typename T>
+class Array {
+public:
+    using value_type = T;
+    using iterator = T*;
+    using const_iterator = const T*;
+
+    Array() noexcept = default;
+
+    /// Allocate `length` value-initialized elements.
+    explicit Array(std::size_t length) : storage_(length), length_(length) {
+        std::uninitialized_value_construct(data(), data() + length_);
+    }
+
+    Array(const Array& other) : storage_(other.length_), length_(other.length_) {
+        std::uninitialized_copy(other.data(), other.data() + length_, data());
+    }
+
+    Array(Array&& other) noexcept
+        : storage_(std::move(other.storage_)),
+          length_(std::exchange(other.length_, 0)) {}
+
+    Array& operator=(const Array& other) {
+        if (this != &other) {
+            Array tmp(other);
+            swap(tmp);
+        }
+        return *this;
+    }
+
+    Array& operator=(Array&& other) noexcept {
+        if (this != &other) {
+            destroy_all();
+            storage_ = std::move(other.storage_);
+            length_ = std::exchange(other.length_, 0);
+        }
+        return *this;
+    }
+
+    ~Array() { destroy_all(); }
+
+    // --- element access ----------------------------------------------------
+
+    [[nodiscard]] T& operator[](std::size_t index) {
+        assert(index < length_);
+        return data()[index];
+    }
+    [[nodiscard]] const T& operator[](std::size_t index) const {
+        assert(index < length_);
+        return data()[index];
+    }
+
+    [[nodiscard]] const T& get(std::size_t index) const {
+        assert(index < length_);
+        return data()[index];
+    }
+
+    void set(std::size_t index, T value) {
+        assert(index < length_);
+        data()[index] = std::move(value);
+    }
+
+    [[nodiscard]] T* data() noexcept { return storage_.data(); }
+    [[nodiscard]] const T* data() const noexcept { return storage_.data(); }
+
+    [[nodiscard]] std::size_t length() const noexcept { return length_; }
+    [[nodiscard]] bool empty() const noexcept { return length_ == 0; }
+
+    // --- whole-array operations ---------------------------------------------
+
+    /// Reallocate to `new_length`, copying min(old,new) elements and
+    /// value-initializing any tail (Array.Resize).  O(n) copy — the cost the
+    /// Insert/Delete-Front use case warns about.
+    void resize(std::size_t new_length) {
+        if (new_length == length_) return;
+        detail::RawBuffer<T> next(new_length);
+        const std::size_t keep = new_length < length_ ? new_length : length_;
+        if constexpr (std::is_nothrow_move_constructible_v<T>) {
+            std::uninitialized_move(data(), data() + keep, next.data());
+        } else {
+            std::uninitialized_copy(data(), data() + keep, next.data());
+        }
+        std::uninitialized_value_construct(next.data() + keep,
+                                           next.data() + new_length);
+        std::destroy(data(), data() + length_);
+        storage_ = std::move(next);
+        length_ = new_length;
+    }
+
+    /// Set every element to `value` (Array.Fill).
+    void fill(const T& value) {
+        for (std::size_t i = 0; i < length_; ++i) data()[i] = value;
+    }
+
+    /// Index of the first element equal to `value`, or -1 (Array.IndexOf).
+    [[nodiscard]] std::ptrdiff_t index_of(const T& value) const {
+        for (std::size_t i = 0; i < length_; ++i)
+            if (data()[i] == value) return static_cast<std::ptrdiff_t>(i);
+        return -1;
+    }
+
+    [[nodiscard]] bool contains(const T& value) const {
+        return index_of(value) >= 0;
+    }
+
+    template <typename Less = std::less<T>>
+    void sort(Less less = {}) {
+        detail::introsort(data(), data() + length_, less);
+    }
+
+    void reverse() noexcept {
+        for (std::size_t i = 0, j = length_; i + 1 < j; ++i, --j)
+            std::swap(data()[i], data()[j - 1]);
+    }
+
+    void copy_to(std::span<T> out) const {
+        assert(out.size() >= length_);
+        for (std::size_t i = 0; i < length_; ++i) out[i] = data()[i];
+    }
+
+    template <typename Fn>
+    void for_each(Fn fn) {
+        for (std::size_t i = 0; i < length_; ++i) fn(data()[i]);
+    }
+    template <typename Fn>
+    void for_each(Fn fn) const {
+        for (std::size_t i = 0; i < length_; ++i) fn(data()[i]);
+    }
+
+    [[nodiscard]] iterator begin() noexcept { return data(); }
+    [[nodiscard]] iterator end() noexcept { return data() + length_; }
+    [[nodiscard]] const_iterator begin() const noexcept { return data(); }
+    [[nodiscard]] const_iterator end() const noexcept {
+        return data() + length_;
+    }
+
+    void swap(Array& other) noexcept {
+        storage_.swap(other.storage_);
+        std::swap(length_, other.length_);
+    }
+
+    friend bool operator==(const Array& a, const Array& b) {
+        if (a.length_ != b.length_) return false;
+        for (std::size_t i = 0; i < a.length_; ++i)
+            if (!(a.data()[i] == b.data()[i])) return false;
+        return true;
+    }
+
+private:
+    void destroy_all() noexcept {
+        std::destroy(data(), data() + length_);
+        length_ = 0;
+    }
+
+    detail::RawBuffer<T> storage_;
+    std::size_t length_ = 0;
+};
+
+}  // namespace dsspy::ds

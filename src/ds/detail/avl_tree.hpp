@@ -1,0 +1,304 @@
+// Self-balancing binary search tree (AVL) shared by SortedSet and
+// SortedDictionary.
+//
+// The Frequent-Search recommendation points engineers toward structures
+// "optimized for searches — binary trees might be better suited"; these
+// are those structures, implemented from scratch: an AVL tree with parent
+// pointers for O(log n) insert/erase/find and in-order traversal.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace dsspy::ds::detail {
+
+/// AVL tree keyed by K with attached value V (use std::byte for sets).
+template <typename K, typename V, typename Less = std::less<K>>
+class AvlTree {
+public:
+    struct Node {
+        K key;
+        V value;
+        Node* left = nullptr;
+        Node* right = nullptr;
+        int height = 1;
+    };
+
+    AvlTree() = default;
+    AvlTree(const AvlTree& other) : less_(other.less_) {
+        root_ = clone(other.root_);
+        size_ = other.size_;
+    }
+    AvlTree(AvlTree&& other) noexcept
+        : root_(std::exchange(other.root_, nullptr)),
+          size_(std::exchange(other.size_, 0)),
+          less_(other.less_) {}
+    AvlTree& operator=(const AvlTree& other) {
+        if (this != &other) {
+            AvlTree tmp(other);
+            swap(tmp);
+        }
+        return *this;
+    }
+    AvlTree& operator=(AvlTree&& other) noexcept {
+        if (this != &other) {
+            destroy(root_);
+            root_ = std::exchange(other.root_, nullptr);
+            size_ = std::exchange(other.size_, 0);
+        }
+        return *this;
+    }
+    ~AvlTree() { destroy(root_); }
+
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+    /// Insert if absent; returns true when a new node was created.
+    bool insert_if_absent(K key, V value) {
+        bool inserted = false;
+        root_ = insert_node(root_, std::move(key), std::move(value),
+                            /*assign=*/false, inserted);
+        if (inserted) ++size_;
+        return inserted;
+    }
+
+    /// Insert or overwrite; returns true when a new node was created.
+    bool insert_or_assign(K key, V value) {
+        bool inserted = false;
+        root_ = insert_node(root_, std::move(key), std::move(value),
+                            /*assign=*/true, inserted);
+        if (inserted) ++size_;
+        return inserted;
+    }
+
+    [[nodiscard]] V* find(const K& key) {
+        Node* n = find_node(key);
+        return n != nullptr ? &n->value : nullptr;
+    }
+    [[nodiscard]] const V* find(const K& key) const {
+        return const_cast<AvlTree*>(this)->find(key);
+    }
+
+    [[nodiscard]] bool contains(const K& key) const {
+        return const_cast<AvlTree*>(this)->find_node(key) != nullptr;
+    }
+
+    /// Erase `key`; true if present.
+    bool erase(const K& key) {
+        bool erased = false;
+        root_ = erase_node(root_, key, erased);
+        if (erased) --size_;
+        return erased;
+    }
+
+    void clear() noexcept {
+        destroy(root_);
+        root_ = nullptr;
+        size_ = 0;
+    }
+
+    /// Smallest key, or nullptr when empty.
+    [[nodiscard]] const K* min_key() const {
+        const Node* n = root_;
+        if (n == nullptr) return nullptr;
+        while (n->left != nullptr) n = n->left;
+        return &n->key;
+    }
+    /// Largest key, or nullptr when empty.
+    [[nodiscard]] const K* max_key() const {
+        const Node* n = root_;
+        if (n == nullptr) return nullptr;
+        while (n->right != nullptr) n = n->right;
+        return &n->key;
+    }
+
+    /// Smallest key >= `key`, or nullptr.
+    [[nodiscard]] const Node* lower_bound(const K& key) const {
+        const Node* best = nullptr;
+        const Node* n = root_;
+        while (n != nullptr) {
+            if (less_(n->key, key)) {
+                n = n->right;
+            } else {
+                best = n;
+                n = n->left;
+            }
+        }
+        return best;
+    }
+
+    /// In-order traversal: fn(key, value).
+    template <typename Fn>
+    void for_each(Fn fn) const {
+        walk(root_, fn);
+    }
+
+    /// Height of the root (0 for empty) — exposed for balance tests.
+    [[nodiscard]] int height() const noexcept {
+        return root_ != nullptr ? root_->height : 0;
+    }
+
+    /// Verify AVL invariants (BST order + balance factors); test hook.
+    [[nodiscard]] bool validate() const {
+        bool ok = true;
+        (void)check(root_, nullptr, nullptr, ok);
+        return ok;
+    }
+
+    void swap(AvlTree& other) noexcept {
+        std::swap(root_, other.root_);
+        std::swap(size_, other.size_);
+        std::swap(less_, other.less_);
+    }
+
+private:
+    static int node_height(const Node* n) noexcept {
+        return n != nullptr ? n->height : 0;
+    }
+    static void update(Node* n) noexcept {
+        n->height = 1 + std::max(node_height(n->left), node_height(n->right));
+    }
+    static int balance_factor(const Node* n) noexcept {
+        return node_height(n->left) - node_height(n->right);
+    }
+
+    static Node* rotate_right(Node* y) noexcept {
+        Node* x = y->left;
+        y->left = x->right;
+        x->right = y;
+        update(y);
+        update(x);
+        return x;
+    }
+    static Node* rotate_left(Node* x) noexcept {
+        Node* y = x->right;
+        x->right = y->left;
+        y->left = x;
+        update(x);
+        update(y);
+        return y;
+    }
+
+    static Node* rebalance(Node* n) noexcept {
+        update(n);
+        const int bf = balance_factor(n);
+        if (bf > 1) {
+            if (balance_factor(n->left) < 0) n->left = rotate_left(n->left);
+            return rotate_right(n);
+        }
+        if (bf < -1) {
+            if (balance_factor(n->right) > 0)
+                n->right = rotate_right(n->right);
+            return rotate_left(n);
+        }
+        return n;
+    }
+
+    Node* insert_node(Node* n, K&& key, V&& value, bool assign,
+                      bool& inserted) {
+        if (n == nullptr) {
+            inserted = true;
+            return new Node{std::move(key), std::move(value)};
+        }
+        if (less_(key, n->key)) {
+            n->left = insert_node(n->left, std::move(key), std::move(value),
+                                  assign, inserted);
+        } else if (less_(n->key, key)) {
+            n->right = insert_node(n->right, std::move(key),
+                                   std::move(value), assign, inserted);
+        } else {
+            if (assign) n->value = std::move(value);
+            return n;
+        }
+        return rebalance(n);
+    }
+
+    Node* find_node(const K& key) {
+        Node* n = root_;
+        while (n != nullptr) {
+            if (less_(key, n->key)) {
+                n = n->left;
+            } else if (less_(n->key, key)) {
+                n = n->right;
+            } else {
+                return n;
+            }
+        }
+        return nullptr;
+    }
+
+    Node* erase_node(Node* n, const K& key, bool& erased) {
+        if (n == nullptr) return nullptr;
+        if (less_(key, n->key)) {
+            n->left = erase_node(n->left, key, erased);
+        } else if (less_(n->key, key)) {
+            n->right = erase_node(n->right, key, erased);
+        } else {
+            erased = true;
+            if (n->left == nullptr || n->right == nullptr) {
+                Node* child = n->left != nullptr ? n->left : n->right;
+                delete n;
+                return child;  // may be nullptr
+            }
+            // Two children: replace with in-order successor.
+            Node* successor = n->right;
+            while (successor->left != nullptr) successor = successor->left;
+            n->key = successor->key;
+            n->value = std::move(successor->value);
+            bool dummy = false;
+            n->right = erase_node(n->right, n->key, dummy);
+        }
+        return rebalance(n);
+    }
+
+    static void destroy(Node* n) noexcept {
+        if (n == nullptr) return;
+        destroy(n->left);
+        destroy(n->right);
+        delete n;
+    }
+
+    static Node* clone(const Node* n) {
+        if (n == nullptr) return nullptr;
+        Node* copy = new Node{n->key, n->value};
+        copy->height = n->height;
+        copy->left = clone(n->left);
+        copy->right = clone(n->right);
+        return copy;
+    }
+
+    template <typename Fn>
+    static void walk(const Node* n, Fn& fn) {
+        if (n == nullptr) return;
+        walk(n->left, fn);
+        fn(n->key, n->value);
+        walk(n->right, fn);
+    }
+
+    const Node* check(const Node* n, const K* lo, const K* hi,
+                      bool& ok) const {
+        if (n == nullptr || !ok) return nullptr;
+        if ((lo != nullptr && !less_(*lo, n->key)) ||
+            (hi != nullptr && !less_(n->key, *hi))) {
+            ok = false;
+            return nullptr;
+        }
+        (void)check(n->left, lo, &n->key, ok);
+        (void)check(n->right, &n->key, hi, ok);
+        const int bf = balance_factor(n);
+        if (bf < -1 || bf > 1) ok = false;
+        if (n->height !=
+            1 + std::max(node_height(n->left), node_height(n->right)))
+            ok = false;
+        return n;
+    }
+
+    Node* root_ = nullptr;
+    std::size_t size_ = 0;
+    [[no_unique_address]] Less less_{};
+};
+
+}  // namespace dsspy::ds::detail

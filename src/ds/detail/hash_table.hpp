@@ -1,0 +1,198 @@
+// Open-addressing hash table core shared by Dictionary and HashSet.
+//
+// Linear probing with tombstones, power-of-two capacity, max load factor
+// 0.7, Fibonacci hash mixing of the user hash.  Written from scratch so the
+// substrate carries no hidden standard-container dependency.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace dsspy::ds::detail {
+
+/// Slot state for open addressing.
+enum class SlotState : std::uint8_t { Empty, Occupied, Tombstone };
+
+/// Open-addressing hash table mapping K -> V.  V may be a dummy (std::byte)
+/// for set semantics; the wrappers decide what to expose.
+template <typename K, typename V, typename Hash = std::hash<K>,
+          typename Eq = std::equal_to<K>>
+class HashTable {
+public:
+    struct Slot {
+        K key;
+        V value;
+    };
+
+    HashTable() = default;
+
+    explicit HashTable(std::size_t min_capacity) { rehash_to(bucket_count_for(min_capacity)); }
+
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+    [[nodiscard]] std::size_t bucket_count() const noexcept {
+        return slots_.size();
+    }
+
+    /// Insert or assign; returns true if a new key was inserted.
+    bool insert_or_assign(K key, V value) {
+        ensure_capacity_for(size_ + 1);
+        const std::size_t idx = probe_for_insert(key);
+        if (states_[idx] == SlotState::Occupied) {
+            slots_[idx].value = std::move(value);
+            return false;
+        }
+        if (states_[idx] == SlotState::Tombstone) --tombstones_;
+        states_[idx] = SlotState::Occupied;
+        slots_[idx] = Slot{std::move(key), std::move(value)};
+        ++size_;
+        return true;
+    }
+
+    /// Insert only if absent; returns true if inserted.
+    bool insert_if_absent(K key, V value) {
+        ensure_capacity_for(size_ + 1);
+        const std::size_t idx = probe_for_insert(key);
+        if (states_[idx] == SlotState::Occupied) return false;
+        if (states_[idx] == SlotState::Tombstone) --tombstones_;
+        states_[idx] = SlotState::Occupied;
+        slots_[idx] = Slot{std::move(key), std::move(value)};
+        ++size_;
+        return true;
+    }
+
+    /// Pointer to the value for `key`, or nullptr.
+    [[nodiscard]] V* find(const K& key) {
+        const auto idx = probe_for_lookup(key);
+        return idx ? &slots_[*idx].value : nullptr;
+    }
+    [[nodiscard]] const V* find(const K& key) const {
+        const auto idx = probe_for_lookup(key);
+        return idx ? &slots_[*idx].value : nullptr;
+    }
+
+    [[nodiscard]] bool contains(const K& key) const {
+        return probe_for_lookup(key).has_value();
+    }
+
+    /// Remove `key`; true if it was present.
+    bool erase(const K& key) {
+        const auto idx = probe_for_lookup(key);
+        if (!idx) return false;
+        states_[*idx] = SlotState::Tombstone;
+        slots_[*idx] = Slot{};  // release resources held by key/value
+        ++tombstones_;
+        --size_;
+        return true;
+    }
+
+    void clear() noexcept {
+        for (auto& st : states_) st = SlotState::Empty;
+        for (auto& slot : slots_) slot = Slot{};
+        size_ = 0;
+        tombstones_ = 0;
+    }
+
+    /// Visit every occupied slot (unspecified order).
+    template <typename Fn>
+    void for_each(Fn fn) const {
+        for (std::size_t i = 0; i < slots_.size(); ++i)
+            if (states_[i] == SlotState::Occupied)
+                fn(slots_[i].key, slots_[i].value);
+    }
+    template <typename Fn>
+    void for_each_mut(Fn fn) {
+        for (std::size_t i = 0; i < slots_.size(); ++i)
+            if (states_[i] == SlotState::Occupied)
+                fn(slots_[i].key, slots_[i].value);
+    }
+
+private:
+    static constexpr double kMaxLoad = 0.7;
+
+    [[nodiscard]] static std::size_t bucket_count_for(std::size_t n) {
+        const auto needed =
+            static_cast<std::size_t>(static_cast<double>(n) / kMaxLoad) + 1;
+        return std::bit_ceil(needed < 8 ? std::size_t{8} : needed);
+    }
+
+    [[nodiscard]] std::size_t mix(const K& key) const noexcept {
+        // Fibonacci mixing spreads poor user hashes across the table.
+        const auto h = static_cast<std::uint64_t>(Hash{}(key));
+        return static_cast<std::size_t>((h * 0x9E3779B97F4A7C15ULL) >>
+                                        shift_);
+    }
+
+    void ensure_capacity_for(std::size_t n) {
+        if (slots_.empty() ||
+            static_cast<double>(n + tombstones_) >
+                kMaxLoad * static_cast<double>(slots_.size())) {
+            rehash_to(bucket_count_for(n * 2));
+        }
+    }
+
+    void rehash_to(std::size_t new_buckets) {
+        std::vector<Slot> old_slots = std::move(slots_);
+        std::vector<SlotState> old_states = std::move(states_);
+        slots_.assign(new_buckets, Slot{});
+        states_.assign(new_buckets, SlotState::Empty);
+        shift_ = 64 - std::bit_width(new_buckets - 1);
+        size_ = 0;
+        tombstones_ = 0;
+        for (std::size_t i = 0; i < old_slots.size(); ++i) {
+            if (old_states[i] == SlotState::Occupied) {
+                const std::size_t idx = probe_for_insert(old_slots[i].key);
+                states_[idx] = SlotState::Occupied;
+                slots_[idx] = std::move(old_slots[i]);
+                ++size_;
+            }
+        }
+    }
+
+    /// Index of the slot where `key` lives or should be inserted.
+    [[nodiscard]] std::size_t probe_for_insert(const K& key) const {
+        assert(!slots_.empty());
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t idx = mix(key) & mask;
+        std::optional<std::size_t> first_tombstone;
+        while (true) {
+            if (states_[idx] == SlotState::Empty)
+                return first_tombstone.value_or(idx);
+            if (states_[idx] == SlotState::Tombstone) {
+                if (!first_tombstone) first_tombstone = idx;
+            } else if (Eq{}(slots_[idx].key, key)) {
+                return idx;
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// Index of the occupied slot holding `key`, if present.
+    [[nodiscard]] std::optional<std::size_t> probe_for_lookup(
+        const K& key) const {
+        if (slots_.empty()) return std::nullopt;
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t idx = mix(key) & mask;
+        while (true) {
+            if (states_[idx] == SlotState::Empty) return std::nullopt;
+            if (states_[idx] == SlotState::Occupied &&
+                Eq{}(slots_[idx].key, key))
+                return idx;
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::vector<SlotState> states_;
+    std::size_t size_ = 0;
+    std::size_t tombstones_ = 0;
+    unsigned shift_ = 64;
+};
+
+}  // namespace dsspy::ds::detail

@@ -1,0 +1,72 @@
+// Uninitialized-storage helper shared by the from-scratch containers.
+//
+// The containers in dsspy::ds are written from scratch (not typedefs over
+// the standard containers) because they are the reproduction's substrate:
+// the profiler hooks their interface methods exactly the way DSspy hooked
+// the .NET CTS containers.  RawBuffer owns raw memory for `capacity`
+// elements; element lifetimes are managed by the containers themselves via
+// the std::uninitialized_* / std::destroy algorithms.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace dsspy::ds::detail {
+
+/// Owns uninitialized storage for `capacity()` objects of type T.
+/// Does not construct or destroy elements — that is the caller's job.
+template <typename T>
+class RawBuffer {
+public:
+    RawBuffer() noexcept = default;
+
+    explicit RawBuffer(std::size_t capacity)
+        : data_(capacity != 0 ? alloc_traits::allocate(alloc_, capacity)
+                              : nullptr),
+          capacity_(capacity) {}
+
+    RawBuffer(RawBuffer&& other) noexcept
+        : data_(std::exchange(other.data_, nullptr)),
+          capacity_(std::exchange(other.capacity_, 0)) {}
+
+    RawBuffer& operator=(RawBuffer&& other) noexcept {
+        if (this != &other) {
+            release();
+            data_ = std::exchange(other.data_, nullptr);
+            capacity_ = std::exchange(other.capacity_, 0);
+        }
+        return *this;
+    }
+
+    RawBuffer(const RawBuffer&) = delete;
+    RawBuffer& operator=(const RawBuffer&) = delete;
+
+    ~RawBuffer() { release(); }
+
+    [[nodiscard]] T* data() noexcept { return data_; }
+    [[nodiscard]] const T* data() const noexcept { return data_; }
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+    void swap(RawBuffer& other) noexcept {
+        std::swap(data_, other.data_);
+        std::swap(capacity_, other.capacity_);
+    }
+
+private:
+    using alloc_traits = std::allocator_traits<std::allocator<T>>;
+
+    void release() noexcept {
+        if (data_ != nullptr) {
+            alloc_traits::deallocate(alloc_, data_, capacity_);
+            data_ = nullptr;
+            capacity_ = 0;
+        }
+    }
+
+    [[no_unique_address]] std::allocator<T> alloc_;
+    T* data_ = nullptr;
+    std::size_t capacity_ = 0;
+};
+
+}  // namespace dsspy::ds::detail

@@ -1,0 +1,107 @@
+// From-scratch sorting used by the containers' Sort() interface method.
+//
+// Introsort: quicksort with median-of-three pivot selection, insertion sort
+// below a small threshold, and a heapsort fallback when recursion depth
+// exceeds 2*log2(n) — the same scheme standard libraries use, implemented
+// here so the substrate has no hidden dependencies.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+namespace dsspy::ds::detail {
+
+template <typename T, typename Less>
+void insertion_sort(T* first, T* last, Less less) {
+    for (T* it = first + (last - first > 0 ? 1 : 0); it < last; ++it) {
+        T value = std::move(*it);
+        T* hole = it;
+        while (hole != first && less(value, *(hole - 1))) {
+            *hole = std::move(*(hole - 1));
+            --hole;
+        }
+        *hole = std::move(value);
+    }
+}
+
+template <typename T, typename Less>
+void sift_down(T* data, std::size_t start, std::size_t end, Less less) {
+    std::size_t root = start;
+    while (2 * root + 1 < end) {
+        std::size_t child = 2 * root + 1;
+        if (child + 1 < end && less(data[child], data[child + 1])) ++child;
+        if (!less(data[root], data[child])) return;
+        std::swap(data[root], data[child]);
+        root = child;
+    }
+}
+
+template <typename T, typename Less>
+void heap_sort(T* first, T* last, Less less) {
+    const auto n = static_cast<std::size_t>(last - first);
+    if (n < 2) return;
+    for (std::size_t start = n / 2; start-- > 0;)
+        sift_down(first, start, n, less);
+    for (std::size_t end = n; end-- > 1;) {
+        std::swap(first[0], first[end]);
+        sift_down(first, 0, end, less);
+    }
+}
+
+template <typename T, typename Less>
+T* median_of_three(T* a, T* b, T* c, Less less) {
+    if (less(*a, *b)) {
+        if (less(*b, *c)) return b;
+        return less(*a, *c) ? c : a;
+    }
+    if (less(*a, *c)) return a;
+    return less(*b, *c) ? c : b;
+}
+
+template <typename T, typename Less>
+void introsort_impl(T* first, T* last, int depth_budget, Less less) {
+    constexpr std::ptrdiff_t kInsertionThreshold = 24;
+    while (last - first > kInsertionThreshold) {
+        if (depth_budget-- == 0) {
+            heap_sort(first, last, less);
+            return;
+        }
+        T* mid = first + (last - first) / 2;
+        T* pivot_ptr = median_of_three(first, mid, last - 1, less);
+        std::swap(*pivot_ptr, *(last - 1));
+        const T& pivot = *(last - 1);
+
+        T* store = first;
+        for (T* it = first; it != last - 1; ++it) {
+            if (less(*it, pivot)) {
+                std::swap(*it, *store);
+                ++store;
+            }
+        }
+        std::swap(*store, *(last - 1));
+
+        // Recurse into the smaller half; loop on the larger one.
+        if (store - first < last - (store + 1)) {
+            introsort_impl(first, store, depth_budget, less);
+            first = store + 1;
+        } else {
+            introsort_impl(store + 1, last, depth_budget, less);
+            last = store;
+        }
+    }
+    insertion_sort(first, last, less);
+}
+
+/// Sort [first, last) with `less`; O(n log n) worst case.
+template <typename T, typename Less = std::less<T>>
+void introsort(T* first, T* last, Less less = {}) {
+    if (last - first < 2) return;
+    const auto n = static_cast<std::size_t>(last - first);
+    const int depth_budget = 2 * (std::bit_width(n) + 1);
+    introsort_impl(first, last, depth_budget, less);
+}
+
+}  // namespace dsspy::ds::detail

@@ -1,0 +1,18 @@
+// Umbrella header for the data-structure substrate.
+#pragma once
+
+#include "ds/array.hpp"
+#include "ds/dictionary.hpp"
+#include "ds/hash_set.hpp"
+#include "ds/linked_list.hpp"
+#include "ds/list.hpp"
+#include "ds/probe.hpp"
+#include "ds/profiled_array.hpp"
+#include "ds/profiled_containers.hpp"
+#include "ds/profiled_list.hpp"
+#include "ds/queue.hpp"
+#include "ds/sorted_dictionary.hpp"
+#include "ds/sorted_list.hpp"
+#include "ds/sorted_set.hpp"
+#include "ds/stack.hpp"
+#include "ds/type_names.hpp"

@@ -1,0 +1,45 @@
+// Hash set modeled after the CTS HashSet<T>.
+#pragma once
+
+#include <cstddef>
+#include <cstddef>
+#include <functional>
+
+#include "ds/detail/hash_table.hpp"
+
+namespace dsspy::ds {
+
+/// Unordered unique-element set with C#-HashSet semantics.
+template <typename T, typename Hash = std::hash<T>>
+class HashSet {
+public:
+    HashSet() = default;
+    explicit HashSet(std::size_t capacity) : table_(capacity) {}
+
+    [[nodiscard]] std::size_t count() const noexcept { return table_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return table_.empty(); }
+
+    /// Add `value`; true if it was newly inserted (HashSet.Add).
+    bool add(T value) {
+        return table_.insert_if_absent(std::move(value), std::byte{});
+    }
+
+    [[nodiscard]] bool contains(const T& value) const {
+        return table_.contains(value);
+    }
+
+    /// Remove `value`; true if it was present.
+    bool remove(const T& value) { return table_.erase(value); }
+
+    void clear() noexcept { table_.clear(); }
+
+    template <typename Fn>
+    void for_each(Fn fn) const {
+        table_.for_each([&fn](const T& key, std::byte) { fn(key); });
+    }
+
+private:
+    detail::HashTable<T, std::byte, Hash> table_;
+};
+
+}  // namespace dsspy::ds

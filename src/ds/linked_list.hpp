@@ -1,0 +1,144 @@
+// Doubly-linked list modeled after the CTS LinkedList<T>.
+//
+// Rare in the paper's study (0.15 % of instances) but part of the CTS
+// vocabulary the empirical-study scanner covers.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace dsspy::ds {
+
+/// Doubly-linked list.  Forward ownership via unique_ptr, raw back links.
+template <typename T>
+class LinkedList {
+public:
+    struct Node {
+        T value;
+        std::unique_ptr<Node> next;
+        Node* prev = nullptr;
+    };
+
+    LinkedList() = default;
+    LinkedList(const LinkedList& other) {
+        for (const Node* n = other.head_.get(); n != nullptr; n = n->next.get())
+            add_last(n->value);
+    }
+    LinkedList(LinkedList&&) noexcept = default;
+    LinkedList& operator=(const LinkedList& other) {
+        if (this != &other) {
+            LinkedList tmp(other);
+            swap(tmp);
+        }
+        return *this;
+    }
+    LinkedList& operator=(LinkedList&&) noexcept = default;
+    ~LinkedList() { clear(); }
+
+    [[nodiscard]] std::size_t count() const noexcept { return count_; }
+    [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+    /// Prepend (LinkedList.AddFirst).
+    void add_first(T value) {
+        auto node = std::make_unique<Node>(Node{std::move(value), nullptr, nullptr});
+        if (head_) {
+            head_->prev = node.get();
+            node->next = std::move(head_);
+        } else {
+            tail_ = node.get();
+        }
+        head_ = std::move(node);
+        ++count_;
+    }
+
+    /// Append (LinkedList.AddLast).
+    void add_last(T value) {
+        auto node = std::make_unique<Node>(Node{std::move(value), nullptr, tail_});
+        Node* raw = node.get();
+        if (tail_ != nullptr) {
+            tail_->next = std::move(node);
+        } else {
+            head_ = std::move(node);
+        }
+        tail_ = raw;
+        ++count_;
+    }
+
+    /// Remove the first element.  List must be non-empty.
+    T remove_first() {
+        assert(head_ != nullptr);
+        T value = std::move(head_->value);
+        head_ = std::move(head_->next);
+        if (head_) {
+            head_->prev = nullptr;
+        } else {
+            tail_ = nullptr;
+        }
+        --count_;
+        return value;
+    }
+
+    /// Remove the last element.  List must be non-empty.
+    T remove_last() {
+        assert(tail_ != nullptr);
+        T value = std::move(tail_->value);
+        Node* prev = tail_->prev;
+        if (prev != nullptr) {
+            prev->next.reset();
+            tail_ = prev;
+        } else {
+            head_.reset();
+            tail_ = nullptr;
+        }
+        --count_;
+        return value;
+    }
+
+    [[nodiscard]] const T& first() const {
+        assert(head_ != nullptr);
+        return head_->value;
+    }
+    [[nodiscard]] const T& last() const {
+        assert(tail_ != nullptr);
+        return tail_->value;
+    }
+
+    /// Linear search (LinkedList.Find); nullptr when absent.
+    [[nodiscard]] const Node* find(const T& value) const {
+        for (const Node* n = head_.get(); n != nullptr; n = n->next.get())
+            if (n->value == value) return n;
+        return nullptr;
+    }
+
+    [[nodiscard]] bool contains(const T& value) const {
+        return find(value) != nullptr;
+    }
+
+    template <typename Fn>
+    void for_each(Fn fn) const {
+        for (const Node* n = head_.get(); n != nullptr; n = n->next.get())
+            fn(n->value);
+    }
+
+    void clear() noexcept {
+        // Iteratively unlink to avoid deep recursive unique_ptr destruction.
+        while (head_) head_ = std::move(head_->next);
+        tail_ = nullptr;
+        count_ = 0;
+    }
+
+    void swap(LinkedList& other) noexcept {
+        std::swap(head_, other.head_);
+        std::swap(tail_, other.tail_);
+        std::swap(count_, other.count_);
+    }
+
+private:
+    std::unique_ptr<Node> head_;
+    Node* tail_ = nullptr;
+    std::size_t count_ = 0;
+};
+
+}  // namespace dsspy::ds

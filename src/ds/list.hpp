@@ -1,0 +1,263 @@
+// Growable array container modeled after the CTS List<T>.
+//
+// This is the paper's central data structure: the empirical study found
+// that 65 % of all dynamic data-structure instances were lists, so DSspy
+// instruments lists (and arrays) first.  The interface mirrors the C#
+// List<T> surface that the profiler hooks: Add, Insert, RemoveAt, indexer
+// get/set, IndexOf/Contains, Sort, Reverse, Clear, CopyTo, ForEach.
+//
+// Implemented from scratch on raw storage (geometric growth, factor 2),
+// with the strong guarantee for Add/Insert of nothrow-move types and the
+// basic guarantee otherwise.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "ds/detail/raw_buffer.hpp"
+#include "ds/detail/sort.hpp"
+
+namespace dsspy::ds {
+
+/// Dynamic array with C#-List semantics.
+template <typename T>
+class List {
+public:
+    using value_type = T;
+    using iterator = T*;
+    using const_iterator = const T*;
+
+    List() noexcept = default;
+
+    /// Construct with reserved capacity (like `new List<T>(capacity)`).
+    explicit List(std::size_t capacity) : storage_(capacity) {}
+
+    List(std::initializer_list<T> init) : storage_(init.size()) {
+        std::uninitialized_copy(init.begin(), init.end(), storage_.data());
+        count_ = init.size();
+    }
+
+    List(const List& other) : storage_(other.count_) {
+        std::uninitialized_copy(other.data(), other.data() + other.count_,
+                                storage_.data());
+        count_ = other.count_;
+    }
+
+    List(List&& other) noexcept
+        : storage_(std::move(other.storage_)),
+          count_(std::exchange(other.count_, 0)) {}
+
+    List& operator=(const List& other) {
+        if (this != &other) {
+            List tmp(other);
+            swap(tmp);
+        }
+        return *this;
+    }
+
+    List& operator=(List&& other) noexcept {
+        if (this != &other) {
+            destroy_all();
+            storage_ = std::move(other.storage_);
+            count_ = std::exchange(other.count_, 0);
+        }
+        return *this;
+    }
+
+    ~List() { destroy_all(); }
+
+    // --- element access -------------------------------------------------
+
+    [[nodiscard]] T& operator[](std::size_t index) {
+        assert(index < count_);
+        return data()[index];
+    }
+    [[nodiscard]] const T& operator[](std::size_t index) const {
+        assert(index < count_);
+        return data()[index];
+    }
+
+    /// Indexer read (the interface method the profiler hooks as Get).
+    [[nodiscard]] const T& get(std::size_t index) const {
+        assert(index < count_);
+        return data()[index];
+    }
+
+    /// Indexer write (hooked as Set).
+    void set(std::size_t index, T value) {
+        assert(index < count_);
+        data()[index] = std::move(value);
+    }
+
+    [[nodiscard]] T* data() noexcept { return storage_.data(); }
+    [[nodiscard]] const T* data() const noexcept { return storage_.data(); }
+
+    // --- size / capacity --------------------------------------------------
+
+    [[nodiscard]] std::size_t count() const noexcept { return count_; }
+    [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+    [[nodiscard]] std::size_t capacity() const noexcept {
+        return storage_.capacity();
+    }
+
+    /// Ensure capacity for at least `min_capacity` elements.
+    void reserve(std::size_t min_capacity) {
+        if (min_capacity > storage_.capacity()) grow_to(min_capacity);
+    }
+
+    // --- mutation ---------------------------------------------------------
+
+    /// Append one element (List.Add).
+    void add(T value) {
+        if (count_ == storage_.capacity()) grow_to(grown_capacity());
+        std::construct_at(data() + count_, std::move(value));
+        ++count_;
+    }
+
+    /// Insert at `index`, shifting the tail right (List.Insert).
+    void insert(std::size_t index, T value) {
+        assert(index <= count_);
+        if (count_ == storage_.capacity()) grow_to(grown_capacity());
+        if (index == count_) {
+            std::construct_at(data() + count_, std::move(value));
+        } else {
+            std::construct_at(data() + count_, std::move(data()[count_ - 1]));
+            for (std::size_t i = count_ - 1; i > index; --i)
+                data()[i] = std::move(data()[i - 1]);
+            data()[index] = std::move(value);
+        }
+        ++count_;
+    }
+
+    /// Remove the element at `index`, shifting the tail left (RemoveAt).
+    void remove_at(std::size_t index) {
+        assert(index < count_);
+        for (std::size_t i = index; i + 1 < count_; ++i)
+            data()[i] = std::move(data()[i + 1]);
+        std::destroy_at(data() + count_ - 1);
+        --count_;
+    }
+
+    /// Remove the first element equal to `value`; true if one was removed.
+    bool remove(const T& value) {
+        const std::ptrdiff_t idx = index_of(value);
+        if (idx < 0) return false;
+        remove_at(static_cast<std::size_t>(idx));
+        return true;
+    }
+
+    /// Remove all elements; keeps capacity (List.Clear).
+    void clear() noexcept {
+        std::destroy(data(), data() + count_);
+        count_ = 0;
+    }
+
+    // --- whole-container operations ----------------------------------------
+
+    /// Index of the first element equal to `value`, or -1 (IndexOf).
+    [[nodiscard]] std::ptrdiff_t index_of(const T& value) const {
+        for (std::size_t i = 0; i < count_; ++i)
+            if (data()[i] == value) return static_cast<std::ptrdiff_t>(i);
+        return -1;
+    }
+
+    [[nodiscard]] bool contains(const T& value) const {
+        return index_of(value) >= 0;
+    }
+
+    /// Index of the first element satisfying `pred`, or -1 (FindIndex).
+    template <typename Pred>
+    [[nodiscard]] std::ptrdiff_t find_index(Pred pred) const {
+        for (std::size_t i = 0; i < count_; ++i)
+            if (pred(data()[i])) return static_cast<std::ptrdiff_t>(i);
+        return -1;
+    }
+
+    /// Sort ascending with `less` (List.Sort).
+    template <typename Less = std::less<T>>
+    void sort(Less less = {}) {
+        detail::introsort(data(), data() + count_, less);
+    }
+
+    /// Reverse element order in place (List.Reverse).
+    void reverse() noexcept {
+        for (std::size_t i = 0, j = count_; i + 1 < j; ++i, --j)
+            std::swap(data()[i], data()[j - 1]);
+    }
+
+    /// Copy all elements into `out` (CopyTo). `out.size()` must be >= count.
+    void copy_to(std::span<T> out) const {
+        assert(out.size() >= count_);
+        for (std::size_t i = 0; i < count_; ++i) out[i] = data()[i];
+    }
+
+    /// Apply `fn` to every element in order (ForEach).
+    template <typename Fn>
+    void for_each(Fn fn) {
+        for (std::size_t i = 0; i < count_; ++i) fn(data()[i]);
+    }
+    template <typename Fn>
+    void for_each(Fn fn) const {
+        for (std::size_t i = 0; i < count_; ++i) fn(data()[i]);
+    }
+
+    // --- iteration (bypasses instrumentation; plain container only) -------
+
+    [[nodiscard]] iterator begin() noexcept { return data(); }
+    [[nodiscard]] iterator end() noexcept { return data() + count_; }
+    [[nodiscard]] const_iterator begin() const noexcept { return data(); }
+    [[nodiscard]] const_iterator end() const noexcept {
+        return data() + count_;
+    }
+
+    void swap(List& other) noexcept {
+        storage_.swap(other.storage_);
+        std::swap(count_, other.count_);
+    }
+
+    /// Back door for par::parallel_build / parallel_append: the caller has
+    /// constructed elements [count(), n) directly in reserved storage and
+    /// commits them here.  Capacity must already be >= n.
+    void set_count_after_parallel_build(std::size_t n) noexcept {
+        assert(n <= storage_.capacity());
+        count_ = n;
+    }
+
+    friend bool operator==(const List& a, const List& b) {
+        if (a.count_ != b.count_) return false;
+        for (std::size_t i = 0; i < a.count_; ++i)
+            if (!(a.data()[i] == b.data()[i])) return false;
+        return true;
+    }
+
+private:
+    [[nodiscard]] std::size_t grown_capacity() const noexcept {
+        return storage_.capacity() == 0 ? 4 : storage_.capacity() * 2;
+    }
+
+    void grow_to(std::size_t new_capacity) {
+        detail::RawBuffer<T> next(new_capacity);
+        if constexpr (std::is_nothrow_move_constructible_v<T>) {
+            std::uninitialized_move(data(), data() + count_, next.data());
+        } else {
+            std::uninitialized_copy(data(), data() + count_, next.data());
+        }
+        std::destroy(data(), data() + count_);
+        storage_ = std::move(next);
+    }
+
+    void destroy_all() noexcept {
+        std::destroy(data(), data() + count_);
+        count_ = 0;
+    }
+
+    detail::RawBuffer<T> storage_;
+    std::size_t count_ = 0;
+};
+
+}  // namespace dsspy::ds

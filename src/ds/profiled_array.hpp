@@ -1,0 +1,119 @@
+// Instrumented proxy for Array<T>.
+//
+// Arrays cannot insert or delete; their profile vocabulary is Get/Set plus
+// the whole-array operations.  A loop writing successive indices produces a
+// Write-Forward pattern — for fixed-size arrays this plays the role the
+// insertion pattern plays for lists (e.g. the Mandelbrot image buffer whose
+// "Long-Inserts" the paper reports are sequential pixel writes).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <utility>
+
+#include "ds/array.hpp"
+#include "ds/probe.hpp"
+#include "ds/type_names.hpp"
+
+namespace dsspy::ds {
+
+/// Proxy-instrumented Array<T>.
+template <typename T>
+class ProfiledArray {
+public:
+    ProfiledArray(runtime::ProfilingSession* session,
+                  support::SourceLoc location, std::size_t length)
+        : array_(length),
+          probe_(session, runtime::DsKind::Array,
+                 container_type_name<T>("Array"), std::move(location)) {}
+
+    /// Indexer read; recorded as Get.
+    [[nodiscard]] const T& get(std::size_t index) const {
+        probe_.rec(runtime::OpKind::Get, static_cast<std::int64_t>(index),
+                   array_.length());
+        return array_.get(index);
+    }
+
+    [[nodiscard]] const T& operator[](std::size_t index) const {
+        return get(index);
+    }
+
+    /// Indexer write; recorded as Set.
+    void set(std::size_t index, T value) {
+        probe_.rec(runtime::OpKind::Set, static_cast<std::int64_t>(index),
+                   array_.length());
+        array_.set(index, std::move(value));
+    }
+
+    [[nodiscard]] std::size_t length() const noexcept {
+        return array_.length();
+    }
+    [[nodiscard]] bool empty() const noexcept { return array_.empty(); }
+
+    /// Reallocate-and-copy; recorded as Resize.
+    void resize(std::size_t new_length) {
+        array_.resize(new_length);
+        probe_.rec(runtime::OpKind::Resize, runtime::kWholeContainer,
+                   array_.length());
+    }
+
+    /// Per-element fill; recorded as one Set per element (a fill loop).
+    void fill(const T& value) {
+        for (std::size_t i = 0; i < array_.length(); ++i)
+            set(i, value);
+    }
+
+    /// Linear search; recorded as IndexOf.
+    [[nodiscard]] std::ptrdiff_t index_of(const T& value) const {
+        const std::ptrdiff_t idx = array_.index_of(value);
+        probe_.rec(runtime::OpKind::IndexOf,
+                   idx >= 0 ? idx : runtime::kWholeContainer,
+                   array_.length());
+        return idx;
+    }
+
+    [[nodiscard]] bool contains(const T& value) const {
+        return index_of(value) >= 0;
+    }
+
+    template <typename Less = std::less<T>>
+    void sort(Less less = {}) {
+        array_.sort(less);
+        probe_.rec(runtime::OpKind::Sort, runtime::kWholeContainer,
+                   array_.length());
+    }
+
+    void reverse() {
+        array_.reverse();
+        probe_.rec(runtime::OpKind::Reverse, runtime::kWholeContainer,
+                   array_.length());
+    }
+
+    void copy_to(std::span<T> out) const {
+        array_.copy_to(out);
+        probe_.rec(runtime::OpKind::CopyTo, runtime::kWholeContainer,
+                   array_.length());
+    }
+
+    /// Whole-array traversal; recorded as one ForEach event.
+    template <typename Fn>
+    void for_each(Fn fn) const {
+        probe_.rec(runtime::OpKind::ForEach, runtime::kWholeContainer,
+                   array_.length());
+        array_.for_each(fn);
+    }
+
+    [[nodiscard]] const Array<T>& raw() const noexcept { return array_; }
+    [[nodiscard]] Array<T>& raw_mut() noexcept { return array_; }
+
+    [[nodiscard]] runtime::InstanceId instance_id() const noexcept {
+        return probe_.id();
+    }
+
+private:
+    Array<T> array_;
+    Probe probe_;
+};
+
+}  // namespace dsspy::ds

@@ -1,0 +1,413 @@
+// Instrumented proxies for the remaining CTS containers.
+//
+// DSspy's automatic mode instruments lists and arrays (they cover > 75 % of
+// all instances); the proxy pattern makes the profiler "easily extensible
+// to runtime profiles of other data structures" (Section IV).  These
+// wrappers are that extension: Stack/Queue events map onto the same
+// positional vocabulary (push = back-insert, dequeue = front-delete), and
+// Dictionary/HashSet events are whole-container, contributing instances to
+// the search-space denominator without positional patterns.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "ds/dictionary.hpp"
+#include "ds/hash_set.hpp"
+#include "ds/linked_list.hpp"
+#include "ds/probe.hpp"
+#include "ds/queue.hpp"
+#include "ds/sorted_list.hpp"
+#include "ds/stack.hpp"
+#include "ds/type_names.hpp"
+
+namespace dsspy::ds {
+
+/// Proxy-instrumented Stack<T>.  Push/Pop are back-insert/back-delete.
+template <typename T>
+class ProfiledStack {
+public:
+    ProfiledStack(runtime::ProfilingSession* session,
+                  support::SourceLoc location, std::size_t capacity = 0)
+        : stack_(capacity),
+          probe_(session, runtime::DsKind::Stack,
+                 container_type_name<T>("Stack"), std::move(location)) {}
+
+    [[nodiscard]] std::size_t count() const noexcept { return stack_.count(); }
+    [[nodiscard]] bool empty() const noexcept { return stack_.empty(); }
+
+    void push(T value) {
+        const std::size_t landing = stack_.count();
+        stack_.push(std::move(value));
+        probe_.rec(runtime::OpKind::Add, static_cast<std::int64_t>(landing),
+                   stack_.count());
+    }
+
+    T pop() {
+        T value = stack_.pop();
+        probe_.rec(runtime::OpKind::RemoveAt,
+                   static_cast<std::int64_t>(stack_.count()), stack_.count());
+        return value;
+    }
+
+    [[nodiscard]] const T& peek() const {
+        probe_.rec(runtime::OpKind::Get,
+                   static_cast<std::int64_t>(stack_.count()) - 1,
+                   stack_.count());
+        return stack_.peek();
+    }
+
+    [[nodiscard]] bool contains(const T& value) const {
+        const bool hit = stack_.contains(value);
+        probe_.rec(runtime::OpKind::IndexOf, runtime::kWholeContainer,
+                   stack_.count());
+        return hit;
+    }
+
+    void clear() {
+        stack_.clear();
+        probe_.rec(runtime::OpKind::Clear, runtime::kWholeContainer, 0);
+    }
+
+    [[nodiscard]] runtime::InstanceId instance_id() const noexcept {
+        return probe_.id();
+    }
+
+private:
+    Stack<T> stack_;
+    Probe probe_;
+};
+
+/// Proxy-instrumented Queue<T>.  Enqueue = back-insert, Dequeue =
+/// front-delete — the two-ends profile the Implement-Queue use case is
+/// looking for when it appears on a *list* instead.
+template <typename T>
+class ProfiledQueue {
+public:
+    ProfiledQueue(runtime::ProfilingSession* session,
+                  support::SourceLoc location, std::size_t capacity = 0)
+        : queue_(capacity),
+          probe_(session, runtime::DsKind::Queue,
+                 container_type_name<T>("Queue"), std::move(location)) {}
+
+    [[nodiscard]] std::size_t count() const noexcept { return queue_.count(); }
+    [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+
+    void enqueue(T value) {
+        const std::size_t landing = queue_.count();
+        queue_.enqueue(std::move(value));
+        probe_.rec(runtime::OpKind::Add, static_cast<std::int64_t>(landing),
+                   queue_.count());
+    }
+
+    T dequeue() {
+        T value = queue_.dequeue();
+        probe_.rec(runtime::OpKind::RemoveAt, 0, queue_.count());
+        return value;
+    }
+
+    [[nodiscard]] const T& peek() const {
+        probe_.rec(runtime::OpKind::Get, 0, queue_.count());
+        return queue_.peek();
+    }
+
+    void clear() {
+        queue_.clear();
+        probe_.rec(runtime::OpKind::Clear, runtime::kWholeContainer, 0);
+    }
+
+    [[nodiscard]] runtime::InstanceId instance_id() const noexcept {
+        return probe_.id();
+    }
+
+private:
+    Queue<T> queue_;
+    Probe probe_;
+};
+
+/// Proxy-instrumented Dictionary<K, V>.  No linear positions.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ProfiledDictionary {
+public:
+    ProfiledDictionary(runtime::ProfilingSession* session,
+                       support::SourceLoc location, std::size_t capacity = 0)
+        : dict_(capacity),
+          probe_(session, runtime::DsKind::Dictionary,
+                 container_type_name2<K, V>("Dictionary"),
+                 std::move(location)) {}
+
+    [[nodiscard]] std::size_t count() const noexcept { return dict_.count(); }
+    [[nodiscard]] bool empty() const noexcept { return dict_.empty(); }
+
+    void add(K key, V value) {
+        dict_.add(std::move(key), std::move(value));
+        probe_.rec(runtime::OpKind::Add, runtime::kWholeContainer,
+                   dict_.count());
+    }
+
+    void set(K key, V value) {
+        dict_.set(std::move(key), std::move(value));
+        probe_.rec(runtime::OpKind::Set, runtime::kWholeContainer,
+                   dict_.count());
+    }
+
+    [[nodiscard]] const V& get(const K& key) const {
+        probe_.rec(runtime::OpKind::Get, runtime::kWholeContainer,
+                   dict_.count());
+        return dict_.get(key);
+    }
+
+    bool try_get(const K& key, V& out) const {
+        probe_.rec(runtime::OpKind::Get, runtime::kWholeContainer,
+                   dict_.count());
+        return dict_.try_get(key, out);
+    }
+
+    [[nodiscard]] bool contains_key(const K& key) const {
+        probe_.rec(runtime::OpKind::IndexOf, runtime::kWholeContainer,
+                   dict_.count());
+        return dict_.contains_key(key);
+    }
+
+    bool remove(const K& key) {
+        const bool removed = dict_.remove(key);
+        probe_.rec(runtime::OpKind::RemoveAt, runtime::kWholeContainer,
+                   dict_.count());
+        return removed;
+    }
+
+    void clear() {
+        dict_.clear();
+        probe_.rec(runtime::OpKind::Clear, runtime::kWholeContainer, 0);
+    }
+
+    template <typename Fn>
+    void for_each(Fn fn) const {
+        probe_.rec(runtime::OpKind::ForEach, runtime::kWholeContainer,
+                   dict_.count());
+        dict_.for_each(fn);
+    }
+
+    [[nodiscard]] runtime::InstanceId instance_id() const noexcept {
+        return probe_.id();
+    }
+
+private:
+    Dictionary<K, V, Hash> dict_;
+    Probe probe_;
+};
+
+/// Proxy-instrumented LinkedList<T>.  Front/back operations map onto the
+/// same positional vocabulary as the list proxies.
+template <typename T>
+class ProfiledLinkedList {
+public:
+    ProfiledLinkedList(runtime::ProfilingSession* session,
+                       support::SourceLoc location)
+        : probe_(session, runtime::DsKind::LinkedList,
+                 container_type_name<T>("LinkedList"), std::move(location)) {}
+
+    [[nodiscard]] std::size_t count() const noexcept { return list_.count(); }
+    [[nodiscard]] bool empty() const noexcept { return list_.empty(); }
+
+    void add_first(T value) {
+        list_.add_first(std::move(value));
+        probe_.rec(runtime::OpKind::InsertAt, 0, list_.count());
+    }
+
+    void add_last(T value) {
+        const std::size_t landing = list_.count();
+        list_.add_last(std::move(value));
+        probe_.rec(runtime::OpKind::Add, static_cast<std::int64_t>(landing),
+                   list_.count());
+    }
+
+    T remove_first() {
+        T value = list_.remove_first();
+        probe_.rec(runtime::OpKind::RemoveAt, 0, list_.count());
+        return value;
+    }
+
+    T remove_last() {
+        T value = list_.remove_last();
+        probe_.rec(runtime::OpKind::RemoveAt,
+                   static_cast<std::int64_t>(list_.count()), list_.count());
+        return value;
+    }
+
+    [[nodiscard]] const T& first() const {
+        probe_.rec(runtime::OpKind::Get, 0, list_.count());
+        return list_.first();
+    }
+
+    [[nodiscard]] const T& last() const {
+        probe_.rec(runtime::OpKind::Get,
+                   static_cast<std::int64_t>(list_.count()) - 1,
+                   list_.count());
+        return list_.last();
+    }
+
+    [[nodiscard]] bool contains(const T& value) const {
+        const bool hit = list_.contains(value);
+        probe_.rec(runtime::OpKind::IndexOf, runtime::kWholeContainer,
+                   list_.count());
+        return hit;
+    }
+
+    template <typename Fn>
+    void for_each(Fn fn) const {
+        probe_.rec(runtime::OpKind::ForEach, runtime::kWholeContainer,
+                   list_.count());
+        list_.for_each(fn);
+    }
+
+    void clear() {
+        list_.clear();
+        probe_.rec(runtime::OpKind::Clear, runtime::kWholeContainer, 0);
+    }
+
+    [[nodiscard]] runtime::InstanceId instance_id() const noexcept {
+        return probe_.id();
+    }
+
+private:
+    LinkedList<T> list_;
+    Probe probe_;
+};
+
+/// Proxy-instrumented SortedList<K, V>.  Inserts record the sorted landing
+/// index; key lookups are searches.
+template <typename K, typename V, typename Less = std::less<K>>
+class ProfiledSortedList {
+public:
+    ProfiledSortedList(runtime::ProfilingSession* session,
+                       support::SourceLoc location)
+        : probe_(session, runtime::DsKind::SortedList,
+                 container_type_name2<K, V>("SortedList"),
+                 std::move(location)) {}
+
+    [[nodiscard]] std::size_t count() const noexcept { return list_.count(); }
+    [[nodiscard]] bool empty() const noexcept { return list_.empty(); }
+
+    void add(K key, V value) {
+        list_.add(key, std::move(value));
+        const std::ptrdiff_t landing = list_.index_of_key(key);
+        probe_.rec(runtime::OpKind::InsertAt, landing, list_.count());
+    }
+
+    void set(K key, V value) {
+        list_.set(key, std::move(value));
+        const std::ptrdiff_t landing = list_.index_of_key(key);
+        probe_.rec(runtime::OpKind::Set, landing, list_.count());
+    }
+
+    [[nodiscard]] const V& get(const K& key) const {
+        const std::ptrdiff_t idx = list_.index_of_key(key);
+        probe_.rec(runtime::OpKind::IndexOf,
+                   idx >= 0 ? idx : runtime::kWholeContainer, list_.count());
+        return list_.get(key);
+    }
+
+    bool try_get(const K& key, V& out) const {
+        const std::ptrdiff_t idx = list_.index_of_key(key);
+        probe_.rec(runtime::OpKind::IndexOf,
+                   idx >= 0 ? idx : runtime::kWholeContainer, list_.count());
+        return list_.try_get(key, out);
+    }
+
+    [[nodiscard]] bool contains_key(const K& key) const {
+        const std::ptrdiff_t idx = list_.index_of_key(key);
+        probe_.rec(runtime::OpKind::IndexOf,
+                   idx >= 0 ? idx : runtime::kWholeContainer, list_.count());
+        return idx >= 0;
+    }
+
+    bool remove(const K& key) {
+        const std::ptrdiff_t idx = list_.index_of_key(key);
+        const bool removed = list_.remove(key);
+        if (removed)
+            probe_.rec(runtime::OpKind::RemoveAt, idx, list_.count());
+        return removed;
+    }
+
+    [[nodiscard]] const K& key_at(std::size_t i) const {
+        probe_.rec(runtime::OpKind::Get, static_cast<std::int64_t>(i),
+                   list_.count());
+        return list_.key_at(i);
+    }
+
+    [[nodiscard]] const V& value_at(std::size_t i) const {
+        probe_.rec(runtime::OpKind::Get, static_cast<std::int64_t>(i),
+                   list_.count());
+        return list_.value_at(i);
+    }
+
+    void clear() {
+        list_.clear();
+        probe_.rec(runtime::OpKind::Clear, runtime::kWholeContainer, 0);
+    }
+
+    template <typename Fn>
+    void for_each(Fn fn) const {
+        probe_.rec(runtime::OpKind::ForEach, runtime::kWholeContainer,
+                   list_.count());
+        list_.for_each(fn);
+    }
+
+    [[nodiscard]] runtime::InstanceId instance_id() const noexcept {
+        return probe_.id();
+    }
+
+private:
+    SortedList<K, V, Less> list_;
+    Probe probe_;
+};
+
+/// Proxy-instrumented HashSet<T>.
+template <typename T, typename Hash = std::hash<T>>
+class ProfiledHashSet {
+public:
+    ProfiledHashSet(runtime::ProfilingSession* session,
+                    support::SourceLoc location, std::size_t capacity = 0)
+        : set_(capacity),
+          probe_(session, runtime::DsKind::HashSet,
+                 container_type_name<T>("HashSet"), std::move(location)) {}
+
+    [[nodiscard]] std::size_t count() const noexcept { return set_.count(); }
+    [[nodiscard]] bool empty() const noexcept { return set_.empty(); }
+
+    bool add(T value) {
+        const bool inserted = set_.add(std::move(value));
+        probe_.rec(runtime::OpKind::Add, runtime::kWholeContainer,
+                   set_.count());
+        return inserted;
+    }
+
+    [[nodiscard]] bool contains(const T& value) const {
+        probe_.rec(runtime::OpKind::IndexOf, runtime::kWholeContainer,
+                   set_.count());
+        return set_.contains(value);
+    }
+
+    bool remove(const T& value) {
+        const bool removed = set_.remove(value);
+        probe_.rec(runtime::OpKind::RemoveAt, runtime::kWholeContainer,
+                   set_.count());
+        return removed;
+    }
+
+    void clear() {
+        set_.clear();
+        probe_.rec(runtime::OpKind::Clear, runtime::kWholeContainer, 0);
+    }
+
+    [[nodiscard]] runtime::InstanceId instance_id() const noexcept {
+        return probe_.id();
+    }
+
+private:
+    HashSet<T, Hash> set_;
+    Probe probe_;
+};
+
+}  // namespace dsspy::ds

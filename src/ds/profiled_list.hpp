@@ -1,0 +1,174 @@
+// Instrumented proxy for List<T> — the central DSspy hook.
+//
+// Every interface method records one access event before forwarding to the
+// wrapped container.  Recorded fields follow Section IV of the paper:
+// timestamp and thread id are added by the session; this proxy supplies the
+// operation, the target position, and the container size at the access.
+//
+// Position/size conventions (shared with the pattern detector in core/):
+//   * Get(i)/Set(i)      : position i, size = current count.
+//   * Add                : position = index the element lands on (old
+//                          count), size = count after the insert — so an
+//                          append always satisfies position == size - 1.
+//   * Insert(i, v)       : position i, size = count after the insert.
+//   * RemoveAt(i)        : position i, size = count after the removal — a
+//                          back-removal satisfies position == size.
+//   * IndexOf/Contains   : op IndexOf, position = hit index or -1.
+//   * Clear/Sort/Reverse/CopyTo/ForEach : whole-container (position -1).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <utility>
+
+#include "ds/list.hpp"
+#include "ds/probe.hpp"
+#include "ds/type_names.hpp"
+
+namespace dsspy::ds {
+
+/// Proxy-instrumented List<T>.
+template <typename T>
+class ProfiledList {
+public:
+    /// Wrap a fresh list and register it with `session` (null = unprofiled).
+    ProfiledList(runtime::ProfilingSession* session,
+                 support::SourceLoc location, std::size_t capacity = 0)
+        : list_(capacity),
+          probe_(session, runtime::DsKind::List,
+                 container_type_name<T>("List"), std::move(location)) {}
+
+    // --- element access -----------------------------------------------------
+
+    /// Indexer read; recorded as Get.
+    [[nodiscard]] const T& get(std::size_t index) const {
+        probe_.rec(runtime::OpKind::Get, static_cast<std::int64_t>(index),
+                   list_.count());
+        return list_.get(index);
+    }
+
+    [[nodiscard]] const T& operator[](std::size_t index) const {
+        return get(index);
+    }
+
+    /// Indexer write; recorded as Set.
+    void set(std::size_t index, T value) {
+        probe_.rec(runtime::OpKind::Set, static_cast<std::int64_t>(index),
+                   list_.count());
+        list_.set(index, std::move(value));
+    }
+
+    // --- size ---------------------------------------------------------------
+
+    [[nodiscard]] std::size_t count() const noexcept { return list_.count(); }
+    [[nodiscard]] bool empty() const noexcept { return list_.empty(); }
+    [[nodiscard]] std::size_t capacity() const noexcept {
+        return list_.capacity();
+    }
+
+    // --- mutation -------------------------------------------------------------
+
+    /// Append; recorded as Add at the landing index.
+    void add(T value) {
+        const std::size_t landing = list_.count();
+        list_.add(std::move(value));
+        probe_.rec(runtime::OpKind::Add, static_cast<std::int64_t>(landing),
+                   list_.count());
+    }
+
+    /// Positional insert; recorded as InsertAt.
+    void insert(std::size_t index, T value) {
+        list_.insert(index, std::move(value));
+        probe_.rec(runtime::OpKind::InsertAt,
+                   static_cast<std::int64_t>(index), list_.count());
+    }
+
+    /// Positional removal; recorded as RemoveAt.
+    void remove_at(std::size_t index) {
+        list_.remove_at(index);
+        probe_.rec(runtime::OpKind::RemoveAt,
+                   static_cast<std::int64_t>(index), list_.count());
+    }
+
+    /// Remove first equal element; search + removal are both recorded.
+    bool remove(const T& value) {
+        const std::ptrdiff_t idx = index_of(value);
+        if (idx < 0) return false;
+        remove_at(static_cast<std::size_t>(idx));
+        return true;
+    }
+
+    /// Remove all elements; recorded as Clear.
+    void clear() {
+        list_.clear();
+        probe_.rec(runtime::OpKind::Clear, runtime::kWholeContainer, 0);
+    }
+
+    // --- whole-container operations -------------------------------------------
+
+    /// Linear search; recorded as IndexOf with the hit position.
+    [[nodiscard]] std::ptrdiff_t index_of(const T& value) const {
+        const std::ptrdiff_t idx = list_.index_of(value);
+        probe_.rec(runtime::OpKind::IndexOf,
+                   idx >= 0 ? idx : runtime::kWholeContainer, list_.count());
+        return idx;
+    }
+
+    [[nodiscard]] bool contains(const T& value) const {
+        return index_of(value) >= 0;
+    }
+
+    /// Predicate search; recorded as IndexOf.
+    template <typename Pred>
+    [[nodiscard]] std::ptrdiff_t find_index(Pred pred) const {
+        const std::ptrdiff_t idx = list_.find_index(pred);
+        probe_.rec(runtime::OpKind::IndexOf,
+                   idx >= 0 ? idx : runtime::kWholeContainer, list_.count());
+        return idx;
+    }
+
+    template <typename Less = std::less<T>>
+    void sort(Less less = {}) {
+        list_.sort(less);
+        probe_.rec(runtime::OpKind::Sort, runtime::kWholeContainer,
+                   list_.count());
+    }
+
+    void reverse() {
+        list_.reverse();
+        probe_.rec(runtime::OpKind::Reverse, runtime::kWholeContainer,
+                   list_.count());
+    }
+
+    void copy_to(std::span<T> out) const {
+        list_.copy_to(out);
+        probe_.rec(runtime::OpKind::CopyTo, runtime::kWholeContainer,
+                   list_.count());
+    }
+
+    /// Whole-container traversal; recorded as a single ForEach event.
+    template <typename Fn>
+    void for_each(Fn fn) const {
+        probe_.rec(runtime::OpKind::ForEach, runtime::kWholeContainer,
+                   list_.count());
+        list_.for_each(fn);
+    }
+
+    // --- escape hatches ---------------------------------------------------------
+
+    /// The wrapped (uninstrumented) container.
+    [[nodiscard]] const List<T>& raw() const noexcept { return list_; }
+    [[nodiscard]] List<T>& raw_mut() noexcept { return list_; }
+
+    /// Instance id this proxy records under (kInvalidInstance if unprofiled).
+    [[nodiscard]] runtime::InstanceId instance_id() const noexcept {
+        return probe_.id();
+    }
+
+private:
+    List<T> list_;
+    Probe probe_;
+};
+
+}  // namespace dsspy::ds

@@ -1,0 +1,135 @@
+// FIFO queue modeled after the CTS Queue<T>.
+//
+// The paper's Implement-Queue use case detects lists used like this
+// container (reads and writes concentrated on two different ends) and
+// recommends a (parallel) queue instead.  Implemented as a circular buffer
+// so enqueue/dequeue are O(1) — the very property the recommendation is
+// about.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "ds/detail/raw_buffer.hpp"
+
+namespace dsspy::ds {
+
+/// FIFO queue on a circular buffer with geometric growth.
+template <typename T>
+class Queue {
+public:
+    Queue() = default;
+    explicit Queue(std::size_t capacity) : storage_(capacity) {}
+
+    Queue(const Queue& other) : storage_(other.count_) {
+        for (std::size_t i = 0; i < other.count_; ++i)
+            std::construct_at(storage_.data() + i, other.at(i));
+        count_ = other.count_;
+    }
+
+    Queue(Queue&& other) noexcept
+        : storage_(std::move(other.storage_)),
+          head_(std::exchange(other.head_, 0)),
+          count_(std::exchange(other.count_, 0)) {}
+
+    Queue& operator=(const Queue& other) {
+        if (this != &other) {
+            Queue tmp(other);
+            swap(tmp);
+        }
+        return *this;
+    }
+
+    Queue& operator=(Queue&& other) noexcept {
+        if (this != &other) {
+            destroy_all();
+            storage_ = std::move(other.storage_);
+            head_ = std::exchange(other.head_, 0);
+            count_ = std::exchange(other.count_, 0);
+        }
+        return *this;
+    }
+
+    ~Queue() { destroy_all(); }
+
+    [[nodiscard]] std::size_t count() const noexcept { return count_; }
+    [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+    /// Append at the back (Queue.Enqueue).
+    void enqueue(T value) {
+        if (count_ == storage_.capacity()) grow();
+        std::construct_at(slot(count_), std::move(value));
+        ++count_;
+    }
+
+    /// Remove from the front (Queue.Dequeue).  Queue must be non-empty.
+    T dequeue() {
+        assert(count_ > 0);
+        T* front = slot(0);
+        T value = std::move(*front);
+        std::destroy_at(front);
+        head_ = storage_.capacity() == 0 ? 0 : (head_ + 1) % storage_.capacity();
+        --count_;
+        return value;
+    }
+
+    /// Front element without removing it (Queue.Peek).
+    [[nodiscard]] const T& peek() const {
+        assert(count_ > 0);
+        return *slot(0);
+    }
+
+    /// i-th element from the front (used for traversal/copy).
+    [[nodiscard]] const T& at(std::size_t i) const {
+        assert(i < count_);
+        return *slot(i);
+    }
+
+    [[nodiscard]] bool contains(const T& value) const {
+        for (std::size_t i = 0; i < count_; ++i)
+            if (at(i) == value) return true;
+        return false;
+    }
+
+    void clear() noexcept {
+        for (std::size_t i = 0; i < count_; ++i) std::destroy_at(slot(i));
+        head_ = 0;
+        count_ = 0;
+    }
+
+    void swap(Queue& other) noexcept {
+        storage_.swap(other.storage_);
+        std::swap(head_, other.head_);
+        std::swap(count_, other.count_);
+    }
+
+private:
+    [[nodiscard]] T* slot(std::size_t i) const noexcept {
+        const std::size_t cap = storage_.capacity();
+        return const_cast<T*>(storage_.data()) + (head_ + i) % (cap == 0 ? 1 : cap);
+    }
+
+    void grow() {
+        const std::size_t new_cap =
+            storage_.capacity() == 0 ? 4 : storage_.capacity() * 2;
+        detail::RawBuffer<T> next(new_cap);
+        for (std::size_t i = 0; i < count_; ++i) {
+            std::construct_at(next.data() + i, std::move(*slot(i)));
+            std::destroy_at(slot(i));
+        }
+        storage_ = std::move(next);
+        head_ = 0;
+    }
+
+    void destroy_all() noexcept {
+        clear();
+    }
+
+    detail::RawBuffer<T> storage_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+}  // namespace dsspy::ds

@@ -1,0 +1,75 @@
+// Ordered key/value map modeled after the CTS SortedDictionary<K, V>.
+//
+// AVL-backed: O(log n) everywhere, unlike SortedList whose array layout
+// makes inserts O(n) — the classic trade-off between the two CTS types.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+
+#include "ds/detail/avl_tree.hpp"
+
+namespace dsspy::ds {
+
+/// Ordered map with O(log n) add/get/remove and in-order traversal.
+template <typename K, typename V, typename Less = std::less<K>>
+class SortedDictionary {
+public:
+    SortedDictionary() = default;
+
+    [[nodiscard]] std::size_t count() const noexcept { return tree_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return tree_.empty(); }
+
+    /// Add a new key; throws on duplicates (SortedDictionary.Add).
+    void add(K key, V value) {
+        if (!tree_.insert_if_absent(std::move(key), std::move(value)))
+            throw std::invalid_argument(
+                "SortedDictionary::add: duplicate key");
+    }
+
+    /// Insert or overwrite (indexer set).
+    void set(K key, V value) {
+        tree_.insert_or_assign(std::move(key), std::move(value));
+    }
+
+    /// Indexer get; throws if missing.
+    [[nodiscard]] const V& get(const K& key) const {
+        const V* v = tree_.find(key);
+        if (v == nullptr)
+            throw std::out_of_range("SortedDictionary::get: missing key");
+        return *v;
+    }
+
+    bool try_get(const K& key, V& out) const {
+        const V* v = tree_.find(key);
+        if (v == nullptr) return false;
+        out = *v;
+        return true;
+    }
+
+    [[nodiscard]] bool contains_key(const K& key) const {
+        return tree_.contains(key);
+    }
+
+    bool remove(const K& key) { return tree_.erase(key); }
+
+    [[nodiscard]] const K* min_key() const { return tree_.min_key(); }
+    [[nodiscard]] const K* max_key() const { return tree_.max_key(); }
+
+    void clear() noexcept { tree_.clear(); }
+
+    /// Ascending-key traversal: fn(key, value).
+    template <typename Fn>
+    void for_each(Fn fn) const {
+        tree_.for_each(fn);
+    }
+
+    /// Test hook: AVL invariants hold.
+    [[nodiscard]] bool validate() const { return tree_.validate(); }
+
+private:
+    detail::AvlTree<K, V, Less> tree_;
+};
+
+}  // namespace dsspy::ds

@@ -1,0 +1,120 @@
+// Sorted key/value container modeled after the CTS SortedList<K, V>.
+//
+// Keeps keys in a sorted array with binary-search lookup — the data
+// structure the paper's Frequent-Search recommendation points engineers
+// toward when a list is linearly scanned for specific elements.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+
+#include "ds/list.hpp"
+
+namespace dsspy::ds {
+
+/// Sorted associative array; O(log n) lookup, O(n) insert.
+template <typename K, typename V, typename Less = std::less<K>>
+class SortedList {
+public:
+    SortedList() = default;
+
+    [[nodiscard]] std::size_t count() const noexcept { return keys_.count(); }
+    [[nodiscard]] bool empty() const noexcept { return keys_.empty(); }
+
+    /// Insert a new key (SortedList.Add). Throws on duplicates.
+    void add(K key, V value) {
+        const std::size_t pos = lower_bound(key);
+        if (pos < keys_.count() && equal(keys_[pos], key))
+            throw std::invalid_argument("SortedList::add: duplicate key");
+        keys_.insert(pos, std::move(key));
+        values_.insert(pos, std::move(value));
+    }
+
+    /// Insert or overwrite (indexer set).
+    void set(K key, V value) {
+        const std::size_t pos = lower_bound(key);
+        if (pos < keys_.count() && equal(keys_[pos], key)) {
+            values_.set(pos, std::move(value));
+        } else {
+            keys_.insert(pos, std::move(key));
+            values_.insert(pos, std::move(value));
+        }
+    }
+
+    /// Indexer get. Throws if missing.
+    [[nodiscard]] const V& get(const K& key) const {
+        const auto idx = index_of_key(key);
+        if (idx < 0) throw std::out_of_range("SortedList::get: missing key");
+        return values_[static_cast<std::size_t>(idx)];
+    }
+
+    bool try_get(const K& key, V& out) const {
+        const auto idx = index_of_key(key);
+        if (idx < 0) return false;
+        out = values_[static_cast<std::size_t>(idx)];
+        return true;
+    }
+
+    /// Binary-search index of `key`, or -1 (SortedList.IndexOfKey).
+    [[nodiscard]] std::ptrdiff_t index_of_key(const K& key) const {
+        const std::size_t pos = lower_bound(key);
+        if (pos < keys_.count() && equal(keys_[pos], key))
+            return static_cast<std::ptrdiff_t>(pos);
+        return -1;
+    }
+
+    [[nodiscard]] bool contains_key(const K& key) const {
+        return index_of_key(key) >= 0;
+    }
+
+    bool remove(const K& key) {
+        const auto idx = index_of_key(key);
+        if (idx < 0) return false;
+        keys_.remove_at(static_cast<std::size_t>(idx));
+        values_.remove_at(static_cast<std::size_t>(idx));
+        return true;
+    }
+
+    /// Key at sorted position i.
+    [[nodiscard]] const K& key_at(std::size_t i) const { return keys_[i]; }
+    /// Value at sorted position i.
+    [[nodiscard]] const V& value_at(std::size_t i) const { return values_[i]; }
+
+    void clear() noexcept {
+        keys_.clear();
+        values_.clear();
+    }
+
+    template <typename Fn>
+    void for_each(Fn fn) const {
+        for (std::size_t i = 0; i < keys_.count(); ++i)
+            fn(keys_[i], values_[i]);
+    }
+
+private:
+    [[nodiscard]] std::size_t lower_bound(const K& key) const {
+        std::size_t lo = 0;
+        std::size_t hi = keys_.count();
+        while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (Less{}(keys_[mid], key)) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        return lo;
+    }
+
+    [[nodiscard]] static bool equal(const K& a, const K& b) {
+        return !Less{}(a, b) && !Less{}(b, a);
+    }
+
+    List<K> keys_;
+    List<V> values_;
+};
+
+}  // namespace dsspy::ds

@@ -1,0 +1,62 @@
+// Ordered unique-element set modeled after the CTS SortedSet<T>.
+//
+// Backed by the from-scratch AVL tree — the "binary tree from the standard
+// library" the paper's code inspections found people re-implementing on
+// lists (Section II: "In one case a list was used to act like a binary
+// tree, although binary tree implementations are available").
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "ds/detail/avl_tree.hpp"
+
+namespace dsspy::ds {
+
+/// Ordered set with O(log n) add/contains/remove.
+template <typename T, typename Less = std::less<T>>
+class SortedSet {
+public:
+    SortedSet() = default;
+
+    [[nodiscard]] std::size_t count() const noexcept { return tree_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return tree_.empty(); }
+
+    /// Add `value`; true if newly inserted (SortedSet.Add).
+    bool add(T value) {
+        return tree_.insert_if_absent(std::move(value), std::byte{});
+    }
+
+    [[nodiscard]] bool contains(const T& value) const {
+        return tree_.contains(value);
+    }
+
+    bool remove(const T& value) { return tree_.erase(value); }
+
+    /// Smallest / largest element (SortedSet.Min / .Max); nullptr if empty.
+    [[nodiscard]] const T* min() const { return tree_.min_key(); }
+    [[nodiscard]] const T* max() const { return tree_.max_key(); }
+
+    /// Smallest element >= `value`, or nullptr.
+    [[nodiscard]] const T* ceiling(const T& value) const {
+        const auto* node = tree_.lower_bound(value);
+        return node != nullptr ? &node->key : nullptr;
+    }
+
+    void clear() noexcept { tree_.clear(); }
+
+    /// Ascending-order traversal.
+    template <typename Fn>
+    void for_each(Fn fn) const {
+        tree_.for_each([&fn](const T& key, std::byte) { fn(key); });
+    }
+
+    /// Test hook: AVL invariants hold.
+    [[nodiscard]] bool validate() const { return tree_.validate(); }
+    [[nodiscard]] int tree_height() const noexcept { return tree_.height(); }
+
+private:
+    detail::AvlTree<T, std::byte, Less> tree_;
+};
+
+}  // namespace dsspy::ds

@@ -1,0 +1,52 @@
+// LIFO stack modeled after the CTS Stack<T>.
+//
+// The paper's Stack-Implementation use case detects lists that behave like
+// this container ("insert and delete operations always access a common
+// end") and recommends switching to it.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+#include "ds/list.hpp"
+
+namespace dsspy::ds {
+
+/// LIFO stack backed by a growable array (as the CTS Stack is).
+template <typename T>
+class Stack {
+public:
+    Stack() = default;
+    explicit Stack(std::size_t capacity) : items_(capacity) {}
+
+    [[nodiscard]] std::size_t count() const noexcept { return items_.count(); }
+    [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+
+    /// Push on top (Stack.Push).
+    void push(T value) { items_.add(std::move(value)); }
+
+    /// Pop the top element (Stack.Pop).  Stack must be non-empty.
+    T pop() {
+        assert(!items_.empty());
+        T value = std::move(items_[items_.count() - 1]);
+        items_.remove_at(items_.count() - 1);
+        return value;
+    }
+
+    /// Top element without removing it (Stack.Peek).
+    [[nodiscard]] const T& peek() const {
+        assert(!items_.empty());
+        return items_[items_.count() - 1];
+    }
+
+    [[nodiscard]] bool contains(const T& value) const {
+        return items_.contains(value);
+    }
+
+    void clear() noexcept { items_.clear(); }
+
+private:
+    List<T> items_;
+};
+
+}  // namespace dsspy::ds

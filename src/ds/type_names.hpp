@@ -1,0 +1,52 @@
+// Human-readable element-type names for instance registration.
+//
+// DSspy reports instances as e.g. "List<GPdotNET.Core.IChromosome>" or
+// "Array<System.Double>" (Table V).  This trait produces those names.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dsspy::ds {
+
+/// Customization point: specialize for domain types to get nice report
+/// names; the primary template falls back to a generic placeholder.
+template <typename T>
+struct TypeName {
+    static constexpr std::string_view value = "T";
+};
+
+template <> struct TypeName<bool> { static constexpr std::string_view value = "Boolean"; };
+template <> struct TypeName<char> { static constexpr std::string_view value = "Char"; };
+template <> struct TypeName<std::int32_t> { static constexpr std::string_view value = "Int32"; };
+template <> struct TypeName<std::uint32_t> { static constexpr std::string_view value = "UInt32"; };
+template <> struct TypeName<std::int64_t> { static constexpr std::string_view value = "Int64"; };
+template <> struct TypeName<std::uint64_t> { static constexpr std::string_view value = "UInt64"; };
+template <> struct TypeName<float> { static constexpr std::string_view value = "Single"; };
+template <> struct TypeName<double> { static constexpr std::string_view value = "Double"; };
+template <> struct TypeName<std::string> { static constexpr std::string_view value = "String"; };
+
+/// "List<Int32>"-style name for a container of T.
+template <typename T>
+[[nodiscard]] std::string container_type_name(std::string_view container) {
+    std::string out(container);
+    out += '<';
+    out += TypeName<T>::value;
+    out += '>';
+    return out;
+}
+
+/// "Dictionary<String, Int32>"-style name.
+template <typename K, typename V>
+[[nodiscard]] std::string container_type_name2(std::string_view container) {
+    std::string out(container);
+    out += '<';
+    out += TypeName<K>::value;
+    out += ", ";
+    out += TypeName<V>::value;
+    out += '>';
+    return out;
+}
+
+}  // namespace dsspy::ds

@@ -1,0 +1,80 @@
+// Thread-safe MPMC queue — the "parallel queue" of the Implement-Queue
+// recommendation ("Employ a parallel queue as data container").
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+
+#include "ds/queue.hpp"
+
+namespace dsspy::par {
+
+/// Blocking multi-producer/multi-consumer queue on top of ds::Queue.
+///
+/// `close()` wakes every blocked consumer; after close, `pop()` drains the
+/// remaining elements and then returns nullopt.
+template <typename T>
+class ConcurrentQueue {
+public:
+    ConcurrentQueue() = default;
+    explicit ConcurrentQueue(std::size_t capacity) : queue_(capacity) {}
+
+    /// Enqueue one element; wakes one waiting consumer.
+    void push(T value) {
+        {
+            std::scoped_lock lock(mutex_);
+            queue_.enqueue(std::move(value));
+        }
+        cv_.notify_one();
+    }
+
+    /// Dequeue one element, blocking while the queue is empty and open.
+    /// Returns nullopt once the queue is closed and drained.
+    std::optional<T> pop() {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+        if (queue_.empty()) return std::nullopt;
+        return queue_.dequeue();
+    }
+
+    /// Non-blocking dequeue.
+    std::optional<T> try_pop() {
+        std::scoped_lock lock(mutex_);
+        if (queue_.empty()) return std::nullopt;
+        return queue_.dequeue();
+    }
+
+    /// Mark the queue closed; consumers drain and then receive nullopt.
+    void close() {
+        {
+            std::scoped_lock lock(mutex_);
+            closed_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    [[nodiscard]] bool closed() const {
+        std::scoped_lock lock(mutex_);
+        return closed_;
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        std::scoped_lock lock(mutex_);
+        return queue_.count();
+    }
+
+    [[nodiscard]] bool empty() const {
+        std::scoped_lock lock(mutex_);
+        return queue_.empty();
+    }
+
+private:
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    ds::Queue<T> queue_;
+    bool closed_ = false;
+};
+
+}  // namespace dsspy::par

@@ -1,0 +1,61 @@
+// Blocking data-parallel loops over index ranges.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <latch>
+
+#include "parallel/thread_pool.hpp"
+
+namespace dsspy::par {
+
+/// Invoke `body(begin, end)` over contiguous chunks of [begin, end) on the
+/// pool; blocks until all chunks are done.  `body` must be safe to run
+/// concurrently on disjoint ranges.
+template <typename Body>
+void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         Body body) {
+    if (begin >= end) return;
+    const std::size_t n = end - begin;
+    const std::size_t chunks =
+        std::min<std::size_t>(pool.thread_count() * 4, n);
+    if (chunks <= 1) {
+        body(begin, end);
+        return;
+    }
+    std::latch done(static_cast<std::ptrdiff_t>(chunks));
+    const std::size_t chunk_size = (n + chunks - 1) / chunks;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t lo = begin + c * chunk_size;
+        const std::size_t hi = std::min(end, lo + chunk_size);
+        pool.submit([lo, hi, &body, &done] {
+            if (lo < hi) body(lo, hi);
+            done.count_down();
+        });
+    }
+    done.wait();
+}
+
+/// Invoke `body(i)` for every i in [begin, end) in parallel.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  Body body) {
+    parallel_for_chunks(pool, begin, end,
+                        [&body](std::size_t lo, std::size_t hi) {
+                            for (std::size_t i = lo; i < hi; ++i) body(i);
+                        });
+}
+
+/// Convenience overloads on the default pool.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, Body body) {
+    parallel_for(ThreadPool::default_pool(), begin, end, std::move(body));
+}
+
+template <typename Body>
+void parallel_for_chunks(std::size_t begin, std::size_t end, Body body) {
+    parallel_for_chunks(ThreadPool::default_pool(), begin, end,
+                        std::move(body));
+}
+
+}  // namespace dsspy::par

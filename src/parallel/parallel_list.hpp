@@ -1,0 +1,145 @@
+// ParallelList<T> — a drop-in list whose whole-container operations run in
+// parallel above a size threshold.
+//
+// This is the library form of two recommended actions:
+//   * Frequent-Search: "Either employ a parallel data structure that is
+//     optimized for searches or parallelize the search operation..."
+//   * Sort-After-Insert / Frequent-Long-Read: parallel sort / parallel
+//     reductions over the whole structure.
+// Small containers stay on the sequential paths (parallel dispatch has a
+// fixed cost); the crossover is configurable per instance.
+//
+// Thread-safety contract: like the sequential List, ParallelList is
+// externally synchronized — concurrent mutation is the caller's problem.
+// The internal parallelism only spans the duration of a single call.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+#include "ds/list.hpp"
+#include "parallel/algorithms.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace dsspy::par {
+
+/// List with internally parallel search/sort/reduce operations.
+template <typename T>
+class ParallelList {
+public:
+    /// `parallel_threshold`: container size at which whole-container
+    /// operations switch to the pool.
+    explicit ParallelList(ThreadPool& pool = ThreadPool::default_pool(),
+                          std::size_t parallel_threshold = 2048)
+        : pool_(&pool), threshold_(parallel_threshold) {}
+
+    ParallelList(std::size_t capacity, ThreadPool& pool,
+                 std::size_t parallel_threshold = 2048)
+        : list_(capacity), pool_(&pool), threshold_(parallel_threshold) {}
+
+    // --- sequential element interface (same as ds::List) -----------------
+
+    void add(T value) { list_.add(std::move(value)); }
+    void insert(std::size_t index, T value) {
+        list_.insert(index, std::move(value));
+    }
+    void remove_at(std::size_t index) { list_.remove_at(index); }
+    void clear() noexcept { list_.clear(); }
+    void set(std::size_t index, T value) {
+        list_.set(index, std::move(value));
+    }
+    [[nodiscard]] const T& get(std::size_t index) const {
+        return list_.get(index);
+    }
+    [[nodiscard]] const T& operator[](std::size_t index) const {
+        return list_[index];
+    }
+    [[nodiscard]] std::size_t count() const noexcept { return list_.count(); }
+    [[nodiscard]] bool empty() const noexcept { return list_.empty(); }
+    void reserve(std::size_t capacity) { list_.reserve(capacity); }
+
+    // --- parallel whole-container operations ------------------------------
+
+    /// First index of `value`, or -1; chunked parallel scan when large.
+    [[nodiscard]] std::ptrdiff_t index_of(const T& value) const {
+        if (list_.count() < threshold_) return list_.index_of(value);
+        return parallel_index_of(*pool_, view(), value);
+    }
+
+    [[nodiscard]] bool contains(const T& value) const {
+        return index_of(value) >= 0;
+    }
+
+    /// First index satisfying `pred`, or -1.
+    template <typename Pred>
+    [[nodiscard]] std::ptrdiff_t find_index(Pred pred) const {
+        if (list_.count() < threshold_) return list_.find_index(pred);
+        return parallel_find_index(*pool_, view(), pred);
+    }
+
+    /// Index of the maximum element (parallel extract-max).
+    template <typename Less = std::less<T>>
+    [[nodiscard]] std::ptrdiff_t max_index(Less less = {}) const {
+        if (list_.empty()) return -1;
+        if (list_.count() < threshold_) {
+            std::size_t best = 0;
+            for (std::size_t i = 1; i < list_.count(); ++i)
+                if (less(list_[best], list_[i])) best = i;
+            return static_cast<std::ptrdiff_t>(best);
+        }
+        return parallel_max_index(*pool_, view(), less);
+    }
+
+    /// Parallel merge sort when large, introsort otherwise.
+    template <typename Less = std::less<T>>
+    void sort(Less less = {}) {
+        if (list_.count() < threshold_) {
+            list_.sort(less);
+        } else {
+            parallel_sort(*pool_, std::span<T>(list_.data(), list_.count()),
+                          less);
+        }
+    }
+
+    /// Parallel map/reduce over the elements.
+    template <typename R, typename Map, typename Combine>
+    [[nodiscard]] R reduce(R identity, Map map, Combine combine) const {
+        if (list_.count() < threshold_) {
+            R acc = identity;
+            for (std::size_t i = 0; i < list_.count(); ++i)
+                acc = combine(acc, map(list_[i]));
+            return acc;
+        }
+        return parallel_reduce(*pool_, view(), identity, map, combine);
+    }
+
+    /// Append `n` generated elements, computed in parallel.
+    template <typename Make>
+    void append_generated(std::size_t n, Make make) {
+        if (n < threshold_) {
+            for (std::size_t i = 0; i < n; ++i) list_.add(make(i));
+        } else {
+            parallel_append(*pool_, list_, n, make);
+        }
+    }
+
+    /// The wrapped sequential list.
+    [[nodiscard]] const ds::List<T>& raw() const noexcept { return list_; }
+    [[nodiscard]] ds::List<T>& raw_mut() noexcept { return list_; }
+
+    [[nodiscard]] std::size_t parallel_threshold() const noexcept {
+        return threshold_;
+    }
+
+private:
+    [[nodiscard]] std::span<const T> view() const noexcept {
+        return {list_.data(), list_.count()};
+    }
+
+    ds::List<T> list_;
+    ThreadPool* pool_;
+    std::size_t threshold_;
+};
+
+}  // namespace dsspy::par

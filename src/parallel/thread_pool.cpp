@@ -1,0 +1,65 @@
+#include "parallel/thread_pool.hpp"
+
+namespace dsspy::par {
+
+ThreadPool::ThreadPool(unsigned threads) {
+    unsigned n = threads != 0 ? threads : std::thread::hardware_concurrency();
+    if (n == 0) n = 4;
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        workers_.emplace_back(
+            [this](const std::stop_token& st) { worker_loop(st); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::scoped_lock lock(mutex_);
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    // jthread joins in destructor; workers drain remaining tasks first.
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    {
+        std::scoped_lock lock(mutex_);
+        tasks_.push_back(std::move(task));
+    }
+    work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock lock(mutex_);
+    idle_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop(const std::stop_token& st) {
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            work_cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+            if (tasks_.empty()) {
+                if (stopping_ || st.stop_requested()) return;
+                continue;
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+            ++active_;
+        }
+        task();
+        {
+            std::scoped_lock lock(mutex_);
+            --active_;
+            if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
+        }
+    }
+}
+
+ThreadPool& ThreadPool::default_pool() {
+    static ThreadPool pool;
+    return pool;
+}
+
+}  // namespace dsspy::par

@@ -1,0 +1,59 @@
+// Fixed-size thread pool used to execute the recommended actions.
+//
+// The paper's evaluation parallelizes the flagged locations by hand on an
+// 8-core machine; this pool plus the algorithms in `algorithms.hpp` are the
+// reusable form of those hand parallelizations (parallelize the insert
+// operation, parallelize the search operation, ...).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dsspy::par {
+
+/// Simple FIFO thread pool.  Tasks are type-erased thunks; `wait_idle()`
+/// blocks until every submitted task has finished.
+class ThreadPool {
+public:
+    /// Spawn `threads` workers (0 = hardware concurrency).
+    explicit ThreadPool(unsigned threads = 0);
+
+    /// Joins all workers after draining the queue.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueue a task for asynchronous execution.
+    void submit(std::function<void()> task);
+
+    /// Block until the queue is empty and all workers are idle.
+    void wait_idle();
+
+    /// Number of worker threads.
+    [[nodiscard]] unsigned thread_count() const noexcept {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /// Process-wide default pool (hardware concurrency), created on first
+    /// use.  Shared by the parallel algorithms unless given another pool.
+    static ThreadPool& default_pool();
+
+private:
+    void worker_loop(const std::stop_token& st);
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;   // signals workers: task available/stop
+    std::condition_variable idle_cv_;   // signals waiters: everything drained
+    std::deque<std::function<void()>> tasks_;
+    std::size_t active_ = 0;
+    bool stopping_ = false;
+    std::vector<std::jthread> workers_;
+};
+
+}  // namespace dsspy::par

@@ -1,0 +1,35 @@
+#include "runtime/instance_registry.hpp"
+
+namespace dsspy::runtime {
+
+InstanceId InstanceRegistry::register_instance(DsKind kind,
+                                               std::string type_name,
+                                               support::SourceLoc location) {
+    std::scoped_lock lock(mutex_);
+    const auto id = static_cast<InstanceId>(instances_.size());
+    instances_.push_back(InstanceInfo{id, kind, std::move(type_name),
+                                      std::move(location), false});
+    return id;
+}
+
+void InstanceRegistry::mark_deallocated(InstanceId id) {
+    std::scoped_lock lock(mutex_);
+    if (id < instances_.size()) instances_[id].deallocated = true;
+}
+
+InstanceInfo InstanceRegistry::info(InstanceId id) const {
+    std::scoped_lock lock(mutex_);
+    return instances_.at(id);
+}
+
+std::vector<InstanceInfo> InstanceRegistry::snapshot() const {
+    std::scoped_lock lock(mutex_);
+    return instances_;
+}
+
+std::size_t InstanceRegistry::size() const {
+    std::scoped_lock lock(mutex_);
+    return instances_.size();
+}
+
+}  // namespace dsspy::runtime

@@ -1,0 +1,54 @@
+// Registry of live data-structure instances and their instantiation sites.
+//
+// DSspy assigns every access event to the instance's instantiation location
+// ("All access events are assigned to their instantiation location",
+// Section IV).  The registry hands out dense InstanceIds and stores, per
+// instance, the data-structure kind, element type name, and SourceLoc.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/access_event.hpp"
+#include "runtime/op.hpp"
+#include "support/source_location.hpp"
+
+namespace dsspy::runtime {
+
+/// Static metadata of one registered instance.
+struct InstanceInfo {
+    InstanceId id = kInvalidInstance;
+    DsKind kind = DsKind::List;
+    std::string type_name;            ///< e.g. "List<Int32>".
+    support::SourceLoc location;      ///< Instantiation site.
+    bool deallocated = false;         ///< Instance lifetime ended.
+};
+
+/// Thread-safe, append-only registry of instances.
+class InstanceRegistry {
+public:
+    /// Register a new instance; returns its dense id.
+    InstanceId register_instance(DsKind kind, std::string type_name,
+                                 support::SourceLoc location);
+
+    /// Mark the end of an instance's life cycle (profile boundary for the
+    /// Write-Without-Read use case).
+    void mark_deallocated(InstanceId id);
+
+    /// Copy of the info for `id`.  `id` must be valid.
+    [[nodiscard]] InstanceInfo info(InstanceId id) const;
+
+    /// Snapshot of all registered instances.
+    [[nodiscard]] std::vector<InstanceInfo> snapshot() const;
+
+    /// Number of registered instances.
+    [[nodiscard]] std::size_t size() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::vector<InstanceInfo> instances_;
+};
+
+}  // namespace dsspy::runtime

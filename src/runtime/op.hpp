@@ -1,0 +1,100 @@
+// Raw interface-operation vocabulary of the instrumented data structures.
+//
+// Object-oriented data structures canalize every interaction through a
+// defined interface (Section II of the paper).  Each interface method of
+// the containers in `src/ds/` maps to exactly one OpKind; the analysis in
+// `src/core/` later folds these raw operations into the paper's trivial
+// (Read, Write) and compound (Insert, Search, Delete, Clear, Copy, Reverse,
+// Sort, ForAll) access types.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dsspy::runtime {
+
+/// Raw operation performed through a container interface method.
+enum class OpKind : std::uint8_t {
+    Get,        ///< operator[] read / element lookup by position.
+    Set,        ///< operator[] write / element replacement by position.
+    Add,        ///< Append at the end (List.Add, Stack.Push, Queue.Enqueue).
+    InsertAt,   ///< Positional insert (List.Insert(i, v)).
+    RemoveAt,   ///< Positional removal (List.RemoveAt, Stack.Pop, Dequeue).
+    Clear,      ///< Remove all elements.
+    IndexOf,    ///< Search returning a position (IndexOf / Contains / Find).
+    Sort,       ///< Full-container sort.
+    Reverse,    ///< Full-container reversal.
+    CopyTo,     ///< Bulk copy out of the container.
+    ForEach,    ///< Whole-container traversal through the interface.
+    Resize,     ///< Array re-allocation (fixed-size array growth/shrink).
+    Count,      ///< OpKind arity marker; not a real operation.
+};
+
+/// Number of distinct raw operations.
+inline constexpr std::size_t kOpKindCount =
+    static_cast<std::size_t>(OpKind::Count);
+
+/// Stable display name, e.g. for CSV dumps and debugging.
+[[nodiscard]] constexpr std::string_view op_name(OpKind op) noexcept {
+    switch (op) {
+        case OpKind::Get: return "Get";
+        case OpKind::Set: return "Set";
+        case OpKind::Add: return "Add";
+        case OpKind::InsertAt: return "InsertAt";
+        case OpKind::RemoveAt: return "RemoveAt";
+        case OpKind::Clear: return "Clear";
+        case OpKind::IndexOf: return "IndexOf";
+        case OpKind::Sort: return "Sort";
+        case OpKind::Reverse: return "Reverse";
+        case OpKind::CopyTo: return "CopyTo";
+        case OpKind::ForEach: return "ForEach";
+        case OpKind::Resize: return "Resize";
+        case OpKind::Count: break;
+    }
+    return "?";
+}
+
+/// Kind of data structure an instance belongs to.  Mirrors the dynamic data
+/// structures of the .NET CTS that the paper's empirical study counted,
+/// plus fixed-size arrays.
+enum class DsKind : std::uint8_t {
+    List,
+    Array,
+    ArrayList,  ///< Non-generic CTS list (legacy), third most frequent.
+    Dictionary,
+    Stack,
+    Queue,
+    LinkedList,
+    SortedList,
+    HashSet,
+    SortedSet,
+    SortedDictionary,
+    Hashtable,
+    Count,
+};
+
+/// Number of distinct data-structure kinds.
+inline constexpr std::size_t kDsKindCount =
+    static_cast<std::size_t>(DsKind::Count);
+
+/// Stable display name matching the paper's figures ("List", "Dictionary"…).
+[[nodiscard]] constexpr std::string_view ds_kind_name(DsKind kind) noexcept {
+    switch (kind) {
+        case DsKind::List: return "List";
+        case DsKind::Array: return "Array";
+        case DsKind::ArrayList: return "ArrayList";
+        case DsKind::Dictionary: return "Dictionary";
+        case DsKind::Stack: return "Stack";
+        case DsKind::Queue: return "Queue";
+        case DsKind::LinkedList: return "LinkedList";
+        case DsKind::SortedList: return "SortedList";
+        case DsKind::HashSet: return "HashSet";
+        case DsKind::SortedSet: return "SortedSet";
+        case DsKind::SortedDictionary: return "SortedDictionary";
+        case DsKind::Hashtable: return "Hashtable";
+        case DsKind::Count: break;
+    }
+    return "?";
+}
+
+}  // namespace dsspy::runtime

@@ -1,0 +1,75 @@
+#include "runtime/profile_store.hpp"
+
+#include <algorithm>
+
+namespace dsspy::runtime {
+
+ProfileStore::ProfileStore(ProfileStore&& other) noexcept {
+    std::scoped_lock lock(other.mutex_);
+    per_instance_ = std::move(other.per_instance_);
+    total_ = other.total_;
+    finalized_ = other.finalized_;
+    other.per_instance_.clear();
+    other.total_ = 0;
+}
+
+ProfileStore& ProfileStore::operator=(ProfileStore&& other) noexcept {
+    if (this != &other) {
+        std::scoped_lock lock(mutex_, other.mutex_);
+        per_instance_ = std::move(other.per_instance_);
+        total_ = other.total_;
+        finalized_ = other.finalized_;
+        other.per_instance_.clear();
+        other.total_ = 0;
+    }
+    return *this;
+}
+
+void ProfileStore::append(std::span<const AccessEvent> events) {
+    std::scoped_lock lock(mutex_);
+    for (const AccessEvent& ev : events) {
+        if (ev.instance == kInvalidInstance) continue;
+        if (ev.instance >= per_instance_.size())
+            per_instance_.resize(ev.instance + 1);
+        per_instance_[ev.instance].push_back(ev);
+        ++total_;
+    }
+    finalized_ = false;
+}
+
+void ProfileStore::finalize() {
+    std::scoped_lock lock(mutex_);
+    for (auto& seq : per_instance_) {
+        std::sort(seq.begin(), seq.end(),
+                  [](const AccessEvent& a, const AccessEvent& b) {
+                      return a.seq < b.seq;
+                  });
+    }
+    finalized_ = true;
+}
+
+std::span<const AccessEvent> ProfileStore::events(InstanceId id) const {
+    std::scoped_lock lock(mutex_);
+    if (id >= per_instance_.size()) return {};
+    return per_instance_[id];
+}
+
+std::size_t ProfileStore::total_events() const {
+    std::scoped_lock lock(mutex_);
+    return total_;
+}
+
+std::size_t ProfileStore::populated_instances() const {
+    std::scoped_lock lock(mutex_);
+    std::size_t count = 0;
+    for (const auto& seq : per_instance_)
+        if (!seq.empty()) ++count;
+    return count;
+}
+
+std::size_t ProfileStore::instance_slots() const {
+    std::scoped_lock lock(mutex_);
+    return per_instance_.size();
+}
+
+}  // namespace dsspy::runtime

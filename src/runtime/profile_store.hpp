@@ -1,0 +1,61 @@
+// Post-mortem store of access events, grouped by instance.
+//
+// The dynamic-analysis module keeps the execution slowdown low "by only
+// recording the access events at runtime and analyzing them post-mortem"
+// (Section IV).  The ProfileStore is where recorded events land; the
+// analysis in `core/` reads event sequences per instance from here.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "runtime/access_event.hpp"
+
+namespace dsspy::runtime {
+
+/// Accumulates events per instance; thread-safe for concurrent appends.
+///
+/// Events within one instance are kept sorted by `seq` (the collector may
+/// interleave drains from several producer rings out of order; `finalize`
+/// restores the global total order).
+class ProfileStore {
+public:
+    ProfileStore() = default;
+
+    /// Movable (single-threaded contexts only — the source must not be
+    /// receiving concurrent appends).
+    ProfileStore(ProfileStore&& other) noexcept;
+    ProfileStore& operator=(ProfileStore&& other) noexcept;
+    ProfileStore(const ProfileStore&) = delete;
+    ProfileStore& operator=(const ProfileStore&) = delete;
+
+    /// Append a batch of events (collector thread or merge path).
+    void append(std::span<const AccessEvent> events);
+
+    /// Sort all per-instance sequences by `seq`.  Call once after capture.
+    void finalize();
+
+    /// Event sequence of one instance (empty if none were recorded).
+    /// Only valid to call after `finalize()`; the returned span is
+    /// invalidated by further appends.
+    [[nodiscard]] std::span<const AccessEvent> events(InstanceId id) const;
+
+    /// Total number of stored events.
+    [[nodiscard]] std::size_t total_events() const;
+
+    /// Number of instances that have at least one event.
+    [[nodiscard]] std::size_t populated_instances() const;
+
+    /// Highest instance id seen plus one (ids are dense).
+    [[nodiscard]] std::size_t instance_slots() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::vector<std::vector<AccessEvent>> per_instance_;
+    std::size_t total_ = 0;
+    bool finalized_ = false;
+};
+
+}  // namespace dsspy::runtime

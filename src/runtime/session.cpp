@@ -1,0 +1,173 @@
+#include "runtime/session.hpp"
+
+#include <array>
+#include <chrono>
+
+namespace dsspy::runtime {
+
+namespace {
+
+std::uint64_t steady_now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::uint64_t next_session_token() noexcept {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Thread-local cache: resolves (session token) -> channel without locking
+/// on the hot path.  A thread that records into several live sessions keeps
+/// one slot per session.
+struct ThreadSlot {
+    std::uint64_t token = 0;
+    void* channel = nullptr;
+};
+
+thread_local std::array<ThreadSlot, 4> t_slots{};
+
+}  // namespace
+
+ProfilingSession::Channel::Channel(ThreadId id, CaptureMode mode,
+                                   std::size_t ring_capacity)
+    : tid(id) {
+    if (mode == CaptureMode::Streaming) {
+        ring = std::make_unique<SpscRing<AccessEvent>>(ring_capacity);
+    } else {
+        buffer.reserve(4096);
+    }
+}
+
+ProfilingSession::ProfilingSession(CaptureMode mode, std::size_t ring_capacity)
+    : mode_(mode),
+      ring_capacity_(ring_capacity),
+      token_(next_session_token()),
+      start_ns_(steady_now_ns()) {
+    if (mode_ == CaptureMode::Streaming) {
+        collector_ = std::jthread(
+            [this](const std::stop_token& st) { collector_loop(st); });
+    }
+}
+
+ProfilingSession::~ProfilingSession() { stop(); }
+
+InstanceId ProfilingSession::register_instance(DsKind kind,
+                                               std::string type_name,
+                                               support::SourceLoc location) {
+    return registry_.register_instance(kind, std::move(type_name),
+                                       std::move(location));
+}
+
+void ProfilingSession::mark_deallocated(InstanceId id) {
+    registry_.mark_deallocated(id);
+}
+
+ProfilingSession::Channel& ProfilingSession::channel_for_current_thread() {
+    for (ThreadSlot& slot : t_slots) {
+        if (slot.token == token_)
+            return *static_cast<Channel*>(slot.channel);
+    }
+    // Slow path: register this thread with the session.
+    std::scoped_lock lock(channels_mutex_);
+    const auto tid = static_cast<ThreadId>(channels_.size());
+    channels_.push_back(std::make_unique<Channel>(tid, mode_, ring_capacity_));
+    Channel* chan = channels_.back().get();
+    // Install into the least-recently-used slot (slot 0 shifts down).
+    for (std::size_t i = t_slots.size() - 1; i > 0; --i)
+        t_slots[i] = t_slots[i - 1];
+    t_slots[0] = ThreadSlot{token_, chan};
+    return *chan;
+}
+
+void ProfilingSession::record(InstanceId instance, OpKind op,
+                              std::int64_t position,
+                              std::uint32_t size) noexcept {
+    if (!capturing_.load(std::memory_order_relaxed)) return;
+    Channel& chan = channel_for_current_thread();
+    AccessEvent ev;
+    ev.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    ev.time_ns = now_ns();
+    ev.position = position;
+    ev.instance = instance;
+    ev.size = size;
+    ev.op = op;
+    ev.thread = chan.tid;
+
+    if (mode_ == CaptureMode::Buffered) {
+        chan.buffer.push_back(ev);
+    } else {
+        // Blocking backpressure: the mutator waits for the collector rather
+        // than dropping events — profiles must be complete for the pattern
+        // analysis to be meaningful.
+        while (!chan.ring->try_push(ev)) std::this_thread::yield();
+    }
+}
+
+std::uint64_t ProfilingSession::now_ns() const noexcept {
+    return steady_now_ns();
+}
+
+void ProfilingSession::collector_loop(const std::stop_token& st) {
+    std::array<AccessEvent, 1024> batch;
+    while (!st.stop_requested()) {
+        bool any = false;
+        {
+            std::scoped_lock lock(channels_mutex_);
+            for (const auto& chan : channels_) {
+                const std::size_t n = chan->ring->pop_into(batch);
+                if (n > 0) {
+                    store_.append(std::span(batch.data(), n));
+                    any = true;
+                }
+            }
+        }
+        if (!any) std::this_thread::yield();
+    }
+    drain_all_rings();
+}
+
+void ProfilingSession::drain_all_rings() {
+    std::array<AccessEvent, 1024> batch;
+    std::scoped_lock lock(channels_mutex_);
+    for (const auto& chan : channels_) {
+        if (!chan->ring) continue;
+        std::size_t n;
+        while ((n = chan->ring->pop_into(batch)) > 0)
+            store_.append(std::span(batch.data(), n));
+    }
+}
+
+void ProfilingSession::stop() {
+    bool expected = true;
+    if (!capturing_.compare_exchange_strong(expected, false,
+                                            std::memory_order_acq_rel))
+        return;  // already stopped
+    stop_ns_ = steady_now_ns();
+
+    if (mode_ == CaptureMode::Streaming) {
+        if (collector_.joinable()) {
+            collector_.request_stop();
+            collector_.join();  // collector drains remaining events on exit
+        }
+    } else {
+        std::scoped_lock lock(channels_mutex_);
+        for (const auto& chan : channels_) store_.append(chan->buffer);
+    }
+    store_.finalize();
+}
+
+std::size_t ProfilingSession::thread_count() const {
+    std::scoped_lock lock(channels_mutex_);
+    return channels_.size();
+}
+
+std::uint64_t ProfilingSession::capture_duration_ns() const noexcept {
+    const std::uint64_t end =
+        capturing_.load(std::memory_order_acquire) ? steady_now_ns() : stop_ns_;
+    return end - start_ns_;
+}
+
+}  // namespace dsspy::runtime

@@ -1,0 +1,123 @@
+// Profiling session: owns the instance registry, the per-thread event
+// channels, the asynchronous collector, and the post-mortem profile store.
+//
+// This is the C++ equivalent of DSspy's dynamic-analysis module.  The paper
+// runs analysis "in a separate process which receives the runtime
+// information via asynchronous intra-process communication"; here each
+// recording thread owns a lock-free SPSC ring drained by a dedicated
+// collector thread (`CaptureMode::Streaming`), or an unsynchronized
+// per-thread buffer merged at `stop()` (`CaptureMode::Buffered`).  Both
+// modes produce an identical ProfileStore; the micro benches compare their
+// overhead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/access_event.hpp"
+#include "runtime/instance_registry.hpp"
+#include "runtime/profile_store.hpp"
+#include "runtime/spsc_ring.hpp"
+
+namespace dsspy::runtime {
+
+/// How events travel from the mutator threads to the ProfileStore.
+enum class CaptureMode {
+    Buffered,   ///< Per-thread append-only buffers, merged at stop().
+    Streaming,  ///< Per-thread SPSC rings drained live by a collector thread.
+};
+
+/// One recording session: create, run the instrumented workload, stop(),
+/// then hand the session to `core::Dsspy` for analysis.
+///
+/// Threading contract: `record()` may be called from any number of threads
+/// concurrently.  `stop()` must be called after all recording threads have
+/// quiesced (joined); it drains/merges outstanding events and finalizes the
+/// store.  After `stop()` the session is read-only.
+class ProfilingSession {
+public:
+    explicit ProfilingSession(CaptureMode mode = CaptureMode::Buffered,
+                              std::size_t ring_capacity = 64 * 1024);
+    ~ProfilingSession();
+
+    ProfilingSession(const ProfilingSession&) = delete;
+    ProfilingSession& operator=(const ProfilingSession&) = delete;
+
+    /// Register a new data-structure instance (called by the proxies).
+    InstanceId register_instance(DsKind kind, std::string type_name,
+                                 support::SourceLoc location);
+
+    /// Mark the end of an instance's life cycle.
+    void mark_deallocated(InstanceId id);
+
+    /// Record one access event.  Hot path; safe from any thread.
+    void record(InstanceId instance, OpKind op, std::int64_t position,
+                std::uint32_t size) noexcept;
+
+    /// Stop capture: drain rings / merge buffers, finalize the store.
+    /// Idempotent.
+    void stop();
+
+    /// True until `stop()` has been called.
+    [[nodiscard]] bool capturing() const noexcept {
+        return capturing_.load(std::memory_order_acquire);
+    }
+
+    [[nodiscard]] CaptureMode mode() const noexcept { return mode_; }
+
+    /// The recorded profiles.  Call after `stop()`.
+    [[nodiscard]] const ProfileStore& store() const noexcept { return store_; }
+
+    [[nodiscard]] const InstanceRegistry& registry() const noexcept {
+        return registry_;
+    }
+
+    /// Number of distinct threads that recorded events.
+    [[nodiscard]] std::size_t thread_count() const;
+
+    /// Total events recorded so far (exact after stop()).
+    [[nodiscard]] std::uint64_t events_recorded() const noexcept {
+        return seq_.load(std::memory_order_relaxed);
+    }
+
+    /// Wall-clock duration of the capture window in nanoseconds
+    /// (start of session to stop()).
+    [[nodiscard]] std::uint64_t capture_duration_ns() const noexcept;
+
+private:
+    struct Channel {
+        explicit Channel(ThreadId id, CaptureMode mode,
+                         std::size_t ring_capacity);
+        ThreadId tid;
+        std::vector<AccessEvent> buffer;          // Buffered mode
+        std::unique_ptr<SpscRing<AccessEvent>> ring;  // Streaming mode
+    };
+
+    Channel& channel_for_current_thread();
+    void collector_loop(const std::stop_token& st);
+    void drain_all_rings();
+    [[nodiscard]] std::uint64_t now_ns() const noexcept;
+
+    const CaptureMode mode_;
+    const std::size_t ring_capacity_;
+    const std::uint64_t token_;  ///< Unique id for thread-local caching.
+
+    InstanceRegistry registry_;
+    ProfileStore store_;
+
+    std::atomic<std::uint64_t> seq_{0};
+    std::atomic<bool> capturing_{true};
+    std::uint64_t start_ns_ = 0;
+    std::uint64_t stop_ns_ = 0;
+
+    mutable std::mutex channels_mutex_;
+    std::vector<std::unique_ptr<Channel>> channels_;
+
+    std::jthread collector_;  // Streaming mode only.
+};
+
+}  // namespace dsspy::runtime

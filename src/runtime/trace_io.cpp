@@ -1,0 +1,171 @@
+#include "runtime/trace_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/strings.hpp"
+
+namespace dsspy::runtime {
+
+namespace {
+
+/// CSV-escape a text field (quotes only when needed).
+std::string escape(const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) return field;
+    std::string out = "\"";
+    for (char ch : field) {
+        if (ch == '"') out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+/// Split one CSV line honoring quoted fields.
+std::vector<std::string> split_csv(const std::string& line) {
+    std::vector<std::string> fields;
+    std::string current;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char ch = line[i];
+        if (quoted) {
+            if (ch == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    current += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                current += ch;
+            }
+        } else if (ch == '"') {
+            quoted = true;
+        } else if (ch == ',') {
+            fields.push_back(std::move(current));
+            current.clear();
+        } else {
+            current += ch;
+        }
+    }
+    fields.push_back(std::move(current));
+    return fields;
+}
+
+template <typename T>
+T parse_number(const std::string& field, const char* what) {
+    T value{};
+    const auto* begin = field.data();
+    const auto* end = field.data() + field.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end)
+        throw std::runtime_error(std::string("trace_io: bad ") + what +
+                                 " field: '" + field + "'");
+    return value;
+}
+
+}  // namespace
+
+std::size_t write_trace(std::ostream& os,
+                        const std::vector<InstanceInfo>& instances,
+                        const ProfileStore& store) {
+    for (const InstanceInfo& info : instances) {
+        os << "I," << info.id << ','
+           << static_cast<unsigned>(info.kind) << ','
+           << escape(info.type_name) << ','
+           << escape(info.location.class_name) << ','
+           << escape(info.location.method) << ','
+           << info.location.position << ','
+           << (info.deallocated ? 1 : 0) << '\n';
+    }
+    std::size_t events = 0;
+    for (const InstanceInfo& info : instances) {
+        for (const AccessEvent& ev : store.events(info.id)) {
+            os << "E," << ev.seq << ',' << ev.time_ns << ',' << ev.instance
+               << ',' << static_cast<unsigned>(ev.op) << ',' << ev.position
+               << ',' << ev.size << ',' << ev.thread << '\n';
+            ++events;
+        }
+    }
+    return events;
+}
+
+std::size_t write_trace(std::ostream& os, const ProfilingSession& session) {
+    return write_trace(os, session.registry().snapshot(), session.store());
+}
+
+Trace read_trace(std::istream& is) {
+    Trace trace;
+    std::string line;
+    std::vector<AccessEvent> batch;
+    batch.reserve(1024);
+    while (std::getline(is, line)) {
+        if (line.empty()) continue;
+        const std::vector<std::string> fields = split_csv(line);
+        if (fields[0] == "I") {
+            if (fields.size() != 8)
+                throw std::runtime_error(
+                    "trace_io: instance record needs 8 fields, got " +
+                    std::to_string(fields.size()));
+            InstanceInfo info;
+            info.id = parse_number<InstanceId>(fields[1], "id");
+            const auto kind = parse_number<unsigned>(fields[2], "kind");
+            if (kind >= kDsKindCount)
+                throw std::runtime_error("trace_io: bad kind value");
+            info.kind = static_cast<DsKind>(kind);
+            info.type_name = fields[3];
+            info.location.class_name = fields[4];
+            info.location.method = fields[5];
+            info.location.position =
+                parse_number<std::uint32_t>(fields[6], "position");
+            info.deallocated = fields[7] == "1";
+            trace.instances.push_back(std::move(info));
+        } else if (fields[0] == "E") {
+            if (fields.size() != 8)
+                throw std::runtime_error(
+                    "trace_io: event record needs 8 fields, got " +
+                    std::to_string(fields.size()));
+            AccessEvent ev;
+            ev.seq = parse_number<std::uint64_t>(fields[1], "seq");
+            ev.time_ns = parse_number<std::uint64_t>(fields[2], "time_ns");
+            ev.instance = parse_number<InstanceId>(fields[3], "instance");
+            const auto op = parse_number<unsigned>(fields[4], "op");
+            if (op >= kOpKindCount)
+                throw std::runtime_error("trace_io: bad op value");
+            ev.op = static_cast<OpKind>(op);
+            ev.position = parse_number<std::int64_t>(fields[5], "position");
+            ev.size = parse_number<std::uint32_t>(fields[6], "size");
+            ev.thread = parse_number<ThreadId>(fields[7], "thread");
+            batch.push_back(ev);
+            if (batch.size() == batch.capacity()) {
+                trace.store.append(batch);
+                batch.clear();
+            }
+        } else {
+            throw std::runtime_error("trace_io: unknown record tag '" +
+                                     fields[0] + "'");
+        }
+    }
+    trace.store.append(batch);
+    trace.store.finalize();
+    return trace;
+}
+
+bool write_trace_file(const std::string& path,
+                      const ProfilingSession& session) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return false;
+    write_trace(out, session);
+    return static_cast<bool>(out);
+}
+
+Trace read_trace_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return {};
+    return read_trace(in);
+}
+
+}  // namespace dsspy::runtime

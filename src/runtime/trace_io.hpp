@@ -1,0 +1,52 @@
+// Trace serialization: export a recorded session to CSV and re-import it
+// for offline analysis.
+//
+// DSspy analyzes profiles post-mortem; persisting the raw event stream
+// decouples capture from analysis entirely — a trace taken on one machine
+// (or by an external instrumentation layer such as a Pin tool) can be
+// analyzed anywhere.  The format is line-oriented CSV with two record
+// types:
+//
+//   I,<id>,<kind>,<type_name>,<class>,<method>,<position>,<deallocated>
+//   E,<seq>,<time_ns>,<instance>,<op>,<position>,<size>,<thread>
+//
+// Instance records come first; event records follow in arbitrary order
+// (the store is re-sorted on finalize).  Text fields are CSV-escaped.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/instance_registry.hpp"
+#include "runtime/profile_store.hpp"
+#include "runtime/session.hpp"
+
+namespace dsspy::runtime {
+
+/// A deserialized trace: instance metadata plus the finalized store.
+struct Trace {
+    std::vector<InstanceInfo> instances;
+    ProfileStore store;
+};
+
+/// Write a stopped session's registry and events to `os`.
+/// Returns the number of events written.
+std::size_t write_trace(std::ostream& os, const ProfilingSession& session);
+
+/// Write explicit instances/events (for tools that build traces directly).
+std::size_t write_trace(std::ostream& os,
+                        const std::vector<InstanceInfo>& instances,
+                        const ProfileStore& store);
+
+/// Parse a trace written by `write_trace`.  Throws std::runtime_error on
+/// malformed input (wrong field counts, non-numeric fields, unknown record
+/// tags).  The returned store is finalized.
+[[nodiscard]] Trace read_trace(std::istream& is);
+
+/// Convenience: file-path overloads.  Return false / empty on I/O failure.
+bool write_trace_file(const std::string& path,
+                      const ProfilingSession& session);
+[[nodiscard]] Trace read_trace_file(const std::string& path);
+
+}  // namespace dsspy::runtime

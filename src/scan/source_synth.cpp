@@ -1,0 +1,192 @@
+#include "scan/source_synth.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace dsspy::scan {
+
+namespace {
+
+using runtime::DsKind;
+
+std::string_view cs_type_name(DsKind kind) {
+    return runtime::ds_kind_name(kind);  // CTS names match our enum names
+}
+
+std::string_view element_type(support::Rng& rng) {
+    static constexpr std::string_view kTypes[] = {
+        "int", "double", "string", "long", "float", "bool", "object",
+        "DateTime", "Guid",
+    };
+    return kTypes[rng.next_below(std::size(kTypes))];
+}
+
+std::string instantiation_line(DsKind kind, std::size_t index,
+                               support::Rng& rng) {
+    std::string line = "            var ds";
+    line += std::to_string(index);
+    line += " = new ";
+    line += cs_type_name(kind);
+    switch (kind) {
+        case DsKind::Dictionary:
+        case DsKind::SortedList:
+        case DsKind::SortedDictionary:
+            line += "<";
+            line += element_type(rng);
+            line += ", ";
+            line += element_type(rng);
+            line += ">";
+            break;
+        case DsKind::Hashtable:
+        case DsKind::ArrayList:
+            break;  // non-generic in the CTS
+        default:
+            line += "<";
+            line += element_type(rng);
+            line += ">";
+            break;
+    }
+    line += "();";
+    return line;
+}
+
+std::string array_line(std::size_t index, support::Rng& rng) {
+    std::string line = "            var arr";
+    line += std::to_string(index);
+    line += " = new ";
+    line += element_type(rng);
+    line += "[";
+    line += std::to_string(8 + rng.next_below(1024));
+    line += "];";
+    return line;
+}
+
+const char* filler_line(support::Rng& rng) {
+    static constexpr const char* kFiller[] = {
+        "            total += Compute(i, j);",
+        "            if (value > threshold) { Flush(); }",
+        "            // process the next work item",
+        "            result = Transform(result, factor);",
+        "            Log.Write(state);",
+        "            index = (index + step) % window;",
+        "            bufferidx++;",
+        "            checksum ^= value;",
+    };
+    return kFiller[rng.next_below(std::size(kFiller))];
+}
+
+}  // namespace
+
+SourceProgram synthesize_program(const ProgramSpec& spec) {
+    support::Rng rng(spec.seed);
+    SourceProgram program;
+    program.name = spec.name;
+    program.domain = spec.domain;
+
+    // Build the flat list of "payload" statements first, then distribute
+    // them over classes/methods with filler to hit the LOC target.
+    std::vector<std::string> payload;
+    std::size_t ds_index = 0;
+    for (std::size_t k = 0; k < runtime::kDsKindCount; ++k) {
+        for (std::size_t i = 0; i < spec.instances[k]; ++i)
+            payload.push_back(instantiation_line(static_cast<DsKind>(k),
+                                                 ds_index++, rng));
+    }
+    for (std::size_t i = 0; i < spec.arrays; ++i)
+        payload.push_back(array_line(i, rng));
+
+    // Deterministic shuffle so kinds are interleaved like real code.
+    for (std::size_t i = payload.size(); i > 1; --i)
+        std::swap(payload[i - 1], payload[rng.next_below(i)]);
+
+    // Structural overhead per class ~ 8 lines, per method ~ 4 lines.
+    const std::size_t target_loc = std::max<std::size_t>(
+        spec.loc, payload.size() + 16);
+    const std::size_t num_classes =
+        std::max<std::size_t>(1, target_loc / 120);
+    const std::size_t classes_with_member = static_cast<std::size_t>(
+        static_cast<double>(num_classes) * spec.list_member_class_share);
+
+    std::size_t payload_cursor = 0;
+    std::size_t emitted_loc = 0;
+    const std::size_t files =
+        std::max<std::size_t>(1, num_classes / 4);
+
+    for (std::size_t f = 0; f < files; ++f) {
+        SourceFile file;
+        file.name = spec.name + "/Module" + std::to_string(f) + ".cs";
+        std::string& src = file.content;
+        src += "using System;\n";
+        src += "using System.Collections.Generic;\n\n";
+        src += "namespace " + spec.name + ".Gen {\n";
+        emitted_loc += 4;
+
+        const std::size_t class_lo = f * num_classes / files;
+        const std::size_t class_hi = (f + 1) * num_classes / files;
+        const std::size_t class_target = target_loc / num_classes;
+        for (std::size_t c = class_lo; c < class_hi; ++c) {
+            std::size_t class_lines = 0;
+            src += "    public class Worker" + std::to_string(c) + " {\n";
+            ++class_lines;
+            if (c < classes_with_member) {
+                src += "        private List<int> items;\n";
+                ++class_lines;
+            }
+            src += "        public void Run(int threshold) {\n";
+            src += "            int total = 0;\n";
+            class_lines += 2;
+
+            // Payload share of this class.
+            const std::size_t payload_share =
+                (c + 1) * payload.size() / num_classes -
+                c * payload.size() / num_classes;
+            for (std::size_t p = 0; p < payload_share; ++p) {
+                src += payload[payload_cursor++];
+                src += '\n';
+                ++class_lines;
+            }
+
+            // Filler to approach the per-class LOC target.
+            while (class_lines + 2 < class_target) {
+                src += filler_line(rng);
+                src += '\n';
+                ++class_lines;
+            }
+
+            src += "        }\n    }\n";
+            class_lines += 2;
+            emitted_loc += class_lines;
+        }
+        src += "}\n";
+        ++emitted_loc;
+        program.files.push_back(std::move(file));
+    }
+
+    // Any payload not yet distributed (rounding) goes into the last file.
+    if (payload_cursor < payload.size()) {
+        std::string& src = program.files.back().content;
+        src += "namespace " + spec.name + ".Tail {\n";
+        src += "    public class Tail {\n        public void Run() {\n";
+        while (payload_cursor < payload.size()) {
+            src += payload[payload_cursor++];
+            src += '\n';
+        }
+        src += "        }\n    }\n}\n";
+    }
+
+    // Top up LOC with filler in a trailing utility class if we fell short.
+    if (emitted_loc + 8 < spec.loc) {
+        std::string& src = program.files.back().content;
+        src += "namespace " + spec.name + ".Fill {\n";
+        src += "    public class Filler {\n        public void Run() {\n";
+        for (std::size_t i = emitted_loc + 8; i < spec.loc; ++i) {
+            src += filler_line(rng);
+            src += '\n';
+        }
+        src += "        }\n    }\n}\n";
+    }
+
+    return program;
+}
+
+}  // namespace dsspy::scan

@@ -1,0 +1,145 @@
+#include "scan/static_scanner.hpp"
+
+#include <regex>
+
+#include "support/strings.hpp"
+
+namespace dsspy::scan {
+
+namespace {
+
+using runtime::DsKind;
+
+/// Map a CTS type name matched by the regex to its DsKind.
+DsKind kind_from_name(std::string_view name) {
+    if (name == "List") return DsKind::List;
+    if (name == "Dictionary") return DsKind::Dictionary;
+    if (name == "Stack") return DsKind::Stack;
+    if (name == "Queue") return DsKind::Queue;
+    if (name == "LinkedList") return DsKind::LinkedList;
+    if (name == "SortedList") return DsKind::SortedList;
+    if (name == "HashSet") return DsKind::HashSet;
+    if (name == "SortedSet") return DsKind::SortedSet;
+    if (name == "SortedDictionary") return DsKind::SortedDictionary;
+    if (name == "Hashtable") return DsKind::Hashtable;
+    return DsKind::List;
+}
+
+const std::regex& new_dynamic_re() {
+    // new List<int>(... / new Dictionary<string, int>(...
+    static const std::regex re(
+        R"(new\s+(List|Dictionary|Stack|Queue|LinkedList|SortedList|HashSet|SortedSet|SortedDictionary|Hashtable)\s*<([^<>]*(?:<[^<>]*>)?[^<>]*)>\s*\()");
+    return re;
+}
+
+const std::regex& new_nongeneric_re() {
+    // ArrayList and Hashtable are non-generic in the CTS.
+    static const std::regex re(R"(new\s+(ArrayList|Hashtable)\s*\()");
+    return re;
+}
+
+const std::regex& new_array_re() {
+    // new double[256], new int[n], new Foo.Bar[x,y]
+    static const std::regex re(R"(new\s+[A-Za-z_][A-Za-z0-9_.]*\s*\[)");
+    return re;
+}
+
+const std::regex& class_decl_re() {
+    static const std::regex re(
+        R"((?:public|private|internal|protected|static|sealed|abstract|partial|\s)*class\s+[A-Za-z_][A-Za-z0-9_]*)");
+    return re;
+}
+
+const std::regex& list_member_re() {
+    // List<T>-typed field declaration: "private List<int> items;"
+    static const std::regex re(
+        R"((?:public|private|protected|internal|readonly|static|\s)+List\s*<[^<>]*(?:<[^<>]*>)?[^<>]*>\s+[A-Za-z_][A-Za-z0-9_]*\s*[;=])");
+    return re;
+}
+
+}  // namespace
+
+void StaticScanner::scan_file(const SourceFile& file,
+                              ScanResult& result) const {
+    const std::vector<std::string> lines =
+        support::split(file.content, '\n');
+
+    bool file_has_class = false;
+    bool current_class_has_list_member = false;
+
+    std::uint32_t line_no = 0;
+    for (const std::string& line : lines) {
+        ++line_no;
+        if (!support::trim(line).empty()) ++result.loc;
+
+        // Class declarations: finish the previous class's member tally.
+        if (std::regex_search(line, class_decl_re())) {
+            if (file_has_class && current_class_has_list_member)
+                ++result.classes_with_list_member;
+            ++result.classes;
+            file_has_class = true;
+            current_class_has_list_member = false;
+        }
+
+        // Dynamic data-structure instantiations.
+        auto begin = std::sregex_iterator(line.begin(), line.end(),
+                                          new_dynamic_re());
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            ScanHit hit;
+            hit.kind = kind_from_name((*it)[1].str());
+            hit.type_args = (*it)[2].str();
+            hit.file = file.name;
+            hit.line = line_no;
+            ++result.by_kind[static_cast<std::size_t>(hit.kind)];
+            ++result.dynamic_total;
+            result.hits.push_back(std::move(hit));
+        }
+
+        // Non-generic ArrayList / Hashtable.
+        auto ng_begin = std::sregex_iterator(line.begin(), line.end(),
+                                             new_nongeneric_re());
+        for (auto it = ng_begin; it != std::sregex_iterator(); ++it) {
+            ScanHit hit;
+            hit.kind = (*it)[1].str() == "ArrayList" ? DsKind::ArrayList
+                                                     : DsKind::Hashtable;
+            hit.file = file.name;
+            hit.line = line_no;
+            ++result.by_kind[static_cast<std::size_t>(hit.kind)];
+            ++result.dynamic_total;
+            result.hits.push_back(std::move(hit));
+        }
+
+        // Arrays.
+        auto arr_begin = std::sregex_iterator(line.begin(), line.end(),
+                                              new_array_re());
+        result.arrays += static_cast<std::size_t>(
+            std::distance(arr_begin, std::sregex_iterator()));
+
+        // List-typed member declarations.
+        if (std::regex_search(line, list_member_re())) {
+            ++result.list_member_decls;
+            current_class_has_list_member = true;
+        }
+    }
+    if (file_has_class && current_class_has_list_member)
+        ++result.classes_with_list_member;
+}
+
+ScanResult StaticScanner::scan_program(const SourceProgram& program) const {
+    ScanResult result;
+    result.program = program.name;
+    for (const SourceFile& file : program.files) scan_file(file, result);
+    return result;
+}
+
+std::array<std::size_t, runtime::kDsKindCount> total_by_kind(
+    const std::vector<ScanResult>& results) {
+    std::array<std::size_t, runtime::kDsKindCount> totals{};
+    for (const ScanResult& r : results) {
+        for (std::size_t k = 0; k < runtime::kDsKindCount; ++k)
+            totals[k] += r.by_kind[k];
+    }
+    return totals;
+}
+
+}  // namespace dsspy::scan

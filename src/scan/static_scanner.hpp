@@ -1,0 +1,68 @@
+// Regex-based static analysis of C#-like sources (Section II-A).
+//
+// "We used regular expressions to gather the number of data structure
+// instances, their locations, and their types from the Common Type System."
+// The scanner counts instantiations of every dynamic CTS data structure,
+// array creations, and list-typed member declarations ("every third class
+// contained at least one list instance as member").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/op.hpp"
+
+namespace dsspy::scan {
+
+/// One source file of a (synthetic or real) C# program.
+struct SourceFile {
+    std::string name;
+    std::string content;
+};
+
+/// A program to scan: a named set of source files.
+struct SourceProgram {
+    std::string name;
+    std::string domain;
+    std::vector<SourceFile> files;
+};
+
+/// One instantiation found by the scanner.
+struct ScanHit {
+    runtime::DsKind kind = runtime::DsKind::List;
+    std::string type_args;   ///< e.g. "Int32" or "String, Int32".
+    std::string file;
+    std::uint32_t line = 0;
+};
+
+/// Aggregated scan result for one program.
+struct ScanResult {
+    std::string program;
+    std::vector<ScanHit> hits;                      ///< Dynamic DS news.
+    std::array<std::size_t, runtime::kDsKindCount> by_kind{};
+    std::size_t dynamic_total = 0;   ///< All dynamic DS instantiations.
+    std::size_t arrays = 0;          ///< `new T[...]` creations.
+    std::size_t list_member_decls = 0;  ///< List<>-typed field declarations.
+    std::size_t classes = 0;         ///< Class declarations seen.
+    std::size_t classes_with_list_member = 0;
+    std::size_t loc = 0;             ///< Non-empty source lines.
+};
+
+/// The scanner.  Stateless; reusable across programs.
+class StaticScanner {
+public:
+    /// Scan a single file's source text into `result`.
+    void scan_file(const SourceFile& file, ScanResult& result) const;
+
+    /// Scan all files of a program.
+    [[nodiscard]] ScanResult scan_program(const SourceProgram& program) const;
+};
+
+/// Sum of `results[i].by_kind` across programs, per data-structure kind.
+[[nodiscard]] std::array<std::size_t, runtime::kDsKindCount>
+total_by_kind(const std::vector<ScanResult>& results);
+
+}  // namespace dsspy::scan

@@ -1,0 +1,95 @@
+// Deterministic pseudo-random number generation.
+//
+// Every workload driver and synthetic corpus generator in this repository is
+// seeded explicitly so that experiments and tests are reproducible run to
+// run.  We use SplitMix64 for seeding and xoshiro256** as the workhorse
+// generator; both are tiny, fast, and have well-understood statistical
+// quality — more than adequate for workload synthesis.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace dsspy::support {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+public:
+    explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+    constexpr std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// xoshiro256**: the repository-wide deterministic RNG.
+///
+/// Satisfies `std::uniform_random_bit_generator`, so it can be handed to
+/// `std::shuffle` and the `<random>` distributions as well.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit constexpr Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+        SplitMix64 sm(seed);
+        for (auto& word : state_) word = sm.next();
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    constexpr result_type operator()() noexcept { return next(); }
+
+    constexpr std::uint64_t next() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound). `bound` must be > 0.
+    constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+        // Lemire's multiply-shift: map the full 64-bit draw onto [0, bound)
+        // branch-free via a widening multiply (negligible bias).
+        __extension__ using uint128 = unsigned __int128;
+        return static_cast<std::uint64_t>(
+            (static_cast<uint128>(next()) * bound) >> 64);
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    constexpr std::int64_t next_range(std::int64_t lo, std::int64_t hi) noexcept {
+        const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(next_below(span));
+    }
+
+    /// Uniform double in [0, 1).
+    constexpr double next_double() noexcept {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /// Bernoulli draw with probability `p`.
+    constexpr bool next_bool(double p = 0.5) noexcept { return next_double() < p; }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace dsspy::support

@@ -1,0 +1,40 @@
+// Value type describing the instantiation site of a data-structure instance.
+//
+// DSspy binds every runtime profile to the location where the instance was
+// created (class, method, position).  Table V of the paper reports exactly
+// these three fields plus the data-structure type, so they are first-class
+// here rather than derived from debug info.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace dsspy::support {
+
+/// Instantiation site of a data-structure instance.
+///
+/// `position` is the paper's "Position" column: the line (or statement
+/// offset) of the `new List<T>()` / array-creation expression inside
+/// `method`.
+struct SourceLoc {
+    std::string class_name;   ///< Fully qualified declaring class.
+    std::string method;       ///< Method containing the instantiation.
+    std::uint32_t position = 0;  ///< Line/statement offset inside the method.
+
+    auto operator<=>(const SourceLoc&) const = default;
+
+    /// "Class.Method:Position" — the format used in reports.
+    [[nodiscard]] std::string to_string() const {
+        std::string out;
+        out.reserve(class_name.size() + method.size() + 12);
+        out += class_name;
+        out += '.';
+        out += method;
+        out += ':';
+        out += std::to_string(position);
+        return out;
+    }
+};
+
+}  // namespace dsspy::support

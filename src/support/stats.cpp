@@ -1,0 +1,75 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsspy::support {
+
+Summary summarize(std::span<const double> sample) {
+    Summary s;
+    s.count = sample.size();
+    if (sample.empty()) return s;
+
+    double sum = 0.0;
+    s.min = sample.front();
+    s.max = sample.front();
+    for (double v : sample) {
+        sum += v;
+        s.min = std::min(s.min, v);
+        s.max = std::max(s.max, v);
+    }
+    s.mean = sum / static_cast<double>(sample.size());
+
+    if (sample.size() > 1) {
+        double ss = 0.0;
+        for (double v : sample) {
+            const double d = v - s.mean;
+            ss += d * d;
+        }
+        s.stddev = std::sqrt(ss / static_cast<double>(sample.size() - 1));
+    }
+    s.median = percentile(sample, 50.0);
+    return s;
+}
+
+double percentile(std::span<const double> sample, double p) {
+    if (sample.empty()) return 0.0;
+    std::vector<double> sorted(sample.begin(), sample.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    const double rank =
+        clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double speedup(double sequential_time, double parallel_time) {
+    if (sequential_time <= 0.0 || parallel_time <= 0.0) return 0.0;
+    return sequential_time / parallel_time;
+}
+
+double amdahl_speedup(double sequential_fraction, unsigned threads) {
+    if (threads == 0) return 0.0;
+    const double f = std::clamp(sequential_fraction, 0.0, 1.0);
+    return 1.0 / (f + (1.0 - f) / static_cast<double>(threads));
+}
+
+double fraction(double a, double b) {
+    const double total = a + b;
+    if (total <= 0.0) return 0.0;
+    return a / total;
+}
+
+double geomean(std::span<const double> sample) {
+    if (sample.empty()) return 0.0;
+    double log_sum = 0.0;
+    for (double v : sample) {
+        if (v <= 0.0) return 0.0;
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(sample.size()));
+}
+
+}  // namespace dsspy::support

@@ -1,0 +1,43 @@
+// Small descriptive-statistics helpers for the evaluation harness.
+//
+// Table IV of the paper reports averages over ten repeated runs; Table VI
+// reports runtime fractions.  These helpers centralize that arithmetic so
+// every bench binary computes it the same way.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dsspy::support {
+
+/// Summary statistics over a sample.
+struct Summary {
+    double mean = 0.0;
+    double stddev = 0.0;   ///< Sample standard deviation (n-1 denominator).
+    double min = 0.0;
+    double max = 0.0;
+    double median = 0.0;
+    std::size_t count = 0;
+};
+
+/// Compute summary statistics.  Empty input yields a zeroed Summary.
+[[nodiscard]] Summary summarize(std::span<const double> sample);
+
+/// p-th percentile (0..100) by linear interpolation.  Empty input -> 0.
+[[nodiscard]] double percentile(std::span<const double> sample, double p);
+
+/// Speedup of `parallel_time` relative to `sequential_time`; 0 if invalid.
+[[nodiscard]] double speedup(double sequential_time, double parallel_time);
+
+/// Amdahl's-law predicted speedup for `threads` given a sequential fraction
+/// in [0,1].  Used by the Table VI bench to sanity-check measured numbers.
+[[nodiscard]] double amdahl_speedup(double sequential_fraction, unsigned threads);
+
+/// Fraction a/(a+b), 0 when both are 0.  Used for "sequential fraction".
+[[nodiscard]] double fraction(double a, double b);
+
+/// Geometric mean; 0 for empty input or any non-positive element.
+[[nodiscard]] double geomean(std::span<const double> sample);
+
+}  // namespace dsspy::support

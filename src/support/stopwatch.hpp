@@ -1,0 +1,36 @@
+// Monotonic wall-clock stopwatch used by the evaluation harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dsspy::support {
+
+/// Simple monotonic stopwatch.  Started on construction.
+class Stopwatch {
+public:
+    Stopwatch() noexcept : start_(clock::now()) {}
+
+    void restart() noexcept { start_ = clock::now(); }
+
+    [[nodiscard]] std::uint64_t elapsed_ns() const noexcept {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                 start_)
+                .count());
+    }
+
+    [[nodiscard]] double elapsed_ms() const noexcept {
+        return static_cast<double>(elapsed_ns()) / 1e6;
+    }
+
+    [[nodiscard]] double elapsed_s() const noexcept {
+        return static_cast<double>(elapsed_ns()) / 1e9;
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace dsspy::support

@@ -1,0 +1,41 @@
+// String helpers shared by the scanner, corpus generator, and reports.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsspy::support {
+
+/// Split `text` on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Split `text` into non-empty whitespace-delimited tokens.
+[[nodiscard]] std::vector<std::string> tokenize(std::string_view text);
+
+/// Trim ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// True if `text` ends with `suffix`.
+[[nodiscard]] bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Lower-case ASCII copy.
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+/// Join `parts` with `sep`.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Replace every occurrence of `from` with `to`.
+[[nodiscard]] std::string replace_all(std::string_view text,
+                                      std::string_view from,
+                                      std::string_view to);
+
+/// Count non-overlapping occurrences of `needle` in `haystack`.
+[[nodiscard]] std::size_t count_occurrences(std::string_view haystack,
+                                            std::string_view needle);
+
+}  // namespace dsspy::support

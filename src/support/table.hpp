@@ -1,0 +1,66 @@
+// Plain-text table rendering for the bench binaries.
+//
+// Every bench binary regenerates one of the paper's tables; this class
+// renders aligned ASCII tables (and CSV) so all of them look uniform.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dsspy::support {
+
+/// Column alignment inside a rendered table.
+enum class Align { Left, Right };
+
+/// Builder for aligned plain-text tables.
+///
+/// Usage:
+///   Table t({"Name", "LOC"});
+///   t.add_row({"astrogrep", "4,800"});
+///   t.print(std::cout);
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Set alignment per column; defaults to Left for column 0, Right after.
+    void set_alignment(std::vector<Align> alignment);
+
+    /// Append a data row. Rows shorter than the header are padded with "".
+    void add_row(std::vector<std::string> cells);
+
+    /// Append a horizontal separator row.
+    void add_separator();
+
+    /// Render as aligned ASCII.
+    void print(std::ostream& os) const;
+
+    /// Render as CSV (no separator rows).
+    void print_csv(std::ostream& os) const;
+
+    [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+    // --- numeric formatting helpers used by the bench binaries ----------
+
+    /// Fixed-point with `digits` decimals, e.g. fmt(2.126, 2) == "2.13".
+    static std::string fmt(double value, int digits = 2);
+
+    /// Thousands-separated integer, e.g. with_commas(936356) == "936,356".
+    static std::string with_commas(long long value);
+
+    /// Percentage with two decimals, e.g. pct(0.7692) == "76.92%".
+    static std::string pct(double ratio);
+
+private:
+    struct Row {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+
+    std::vector<std::string> headers_;
+    std::vector<Align> alignment_;
+    std::vector<Row> rows_;
+};
+
+}  // namespace dsspy::support

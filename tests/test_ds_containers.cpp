@@ -1,0 +1,460 @@
+// Unit tests for the from-scratch containers in dsspy::ds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "ds/array.hpp"
+#include "ds/dictionary.hpp"
+#include "ds/hash_set.hpp"
+#include "ds/linked_list.hpp"
+#include "ds/list.hpp"
+#include "ds/queue.hpp"
+#include "ds/sorted_list.hpp"
+#include "ds/stack.hpp"
+#include "support/rng.hpp"
+
+namespace dsspy::ds {
+namespace {
+
+// --------------------------- List -----------------------------------------
+
+TEST(List, StartsEmpty) {
+    List<int> list;
+    EXPECT_EQ(list.count(), 0u);
+    EXPECT_TRUE(list.empty());
+    EXPECT_EQ(list.capacity(), 0u);
+}
+
+TEST(List, CapacityConstructorReserves) {
+    List<int> list(32);
+    EXPECT_EQ(list.count(), 0u);
+    EXPECT_EQ(list.capacity(), 32u);
+}
+
+TEST(List, AddAndIndex) {
+    List<int> list;
+    for (int i = 0; i < 100; ++i) list.add(i * 2);
+    ASSERT_EQ(list.count(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(list[static_cast<size_t>(i)], i * 2);
+}
+
+TEST(List, GrowthPreservesElements) {
+    List<std::string> list;
+    for (int i = 0; i < 1000; ++i) list.add("v" + std::to_string(i));
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(list[static_cast<size_t>(i)], "v" + std::to_string(i));
+}
+
+TEST(List, InsertShiftsTail) {
+    List<int> list{1, 2, 4};
+    list.insert(2, 3);
+    EXPECT_EQ(list, (List<int>{1, 2, 3, 4}));
+    list.insert(0, 0);
+    EXPECT_EQ(list, (List<int>{0, 1, 2, 3, 4}));
+    list.insert(5, 5);  // insert at end == append
+    EXPECT_EQ(list, (List<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(List, RemoveAtShiftsTail) {
+    List<int> list{0, 1, 2, 3, 4};
+    list.remove_at(2);
+    EXPECT_EQ(list, (List<int>{0, 1, 3, 4}));
+    list.remove_at(0);
+    EXPECT_EQ(list, (List<int>{1, 3, 4}));
+    list.remove_at(2);
+    EXPECT_EQ(list, (List<int>{1, 3}));
+}
+
+TEST(List, RemoveByValue) {
+    List<int> list{5, 7, 5, 9};
+    EXPECT_TRUE(list.remove(5));   // removes the first 5
+    EXPECT_EQ(list, (List<int>{7, 5, 9}));
+    EXPECT_FALSE(list.remove(42));
+}
+
+TEST(List, ClearKeepsCapacity) {
+    List<int> list{1, 2, 3};
+    const std::size_t cap = list.capacity();
+    list.clear();
+    EXPECT_TRUE(list.empty());
+    EXPECT_EQ(list.capacity(), cap);
+}
+
+TEST(List, IndexOfAndContains) {
+    List<int> list{4, 8, 15, 16, 23, 42};
+    EXPECT_EQ(list.index_of(15), 2);
+    EXPECT_EQ(list.index_of(99), -1);
+    EXPECT_TRUE(list.contains(42));
+    EXPECT_FALSE(list.contains(0));
+    EXPECT_EQ(list.find_index([](int v) { return v > 20; }), 4);
+}
+
+TEST(List, SortHandlesLargeRandomInput) {
+    support::Rng rng(99);
+    List<std::int64_t> list;
+    for (int i = 0; i < 10'000; ++i)
+        list.add(static_cast<std::int64_t>(rng.next_below(1'000'000)));
+    list.sort();
+    for (std::size_t i = 1; i < list.count(); ++i)
+        EXPECT_LE(list[i - 1], list[i]);
+}
+
+TEST(List, SortWorstCases) {
+    // Already sorted, reverse sorted, all equal.
+    List<int> sorted;
+    List<int> reversed;
+    List<int> equal;
+    for (int i = 0; i < 2000; ++i) {
+        sorted.add(i);
+        reversed.add(2000 - i);
+        equal.add(7);
+    }
+    sorted.sort();
+    reversed.sort();
+    equal.sort();
+    for (std::size_t i = 1; i < 2000; ++i) {
+        EXPECT_LE(sorted[i - 1], sorted[i]);
+        EXPECT_LE(reversed[i - 1], reversed[i]);
+    }
+    EXPECT_EQ(equal[0], 7);
+    EXPECT_EQ(equal[1999], 7);
+}
+
+TEST(List, SortWithCustomComparator) {
+    List<int> list{3, 1, 2};
+    list.sort(std::greater<int>{});
+    EXPECT_EQ(list, (List<int>{3, 2, 1}));
+}
+
+TEST(List, Reverse) {
+    List<int> odd{1, 2, 3};
+    odd.reverse();
+    EXPECT_EQ(odd, (List<int>{3, 2, 1}));
+    List<int> even{1, 2, 3, 4};
+    even.reverse();
+    EXPECT_EQ(even, (List<int>{4, 3, 2, 1}));
+    List<int> empty;
+    empty.reverse();
+    EXPECT_TRUE(empty.empty());
+}
+
+TEST(List, CopyToAndForEach) {
+    List<int> list{1, 2, 3};
+    std::vector<int> out(3);
+    list.copy_to(out);
+    EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+    int sum = 0;
+    list.for_each([&sum](int v) { sum += v; });
+    EXPECT_EQ(sum, 6);
+}
+
+TEST(List, CopyAndMoveSemantics) {
+    List<std::string> a{"x", "y"};
+    List<std::string> b(a);  // copy
+    b.add("z");
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(b.count(), 3u);
+    List<std::string> c(std::move(b));
+    EXPECT_EQ(c.count(), 3u);
+    EXPECT_EQ(b.count(), 0u);  // NOLINT(bugprone-use-after-move)
+    a = c;
+    EXPECT_EQ(a.count(), 3u);
+    a = std::move(c);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(List, SetCountAfterParallelBuildCommitsElements) {
+    List<int> list(10);
+    for (int i = 0; i < 10; ++i) std::construct_at(list.data() + i, i * 3);
+    list.set_count_after_parallel_build(10);
+    EXPECT_EQ(list.count(), 10u);
+    EXPECT_EQ(list[9], 27);
+}
+
+// --------------------------- Array ----------------------------------------
+
+TEST(Array, ValueInitialized) {
+    Array<int> arr(16);
+    for (std::size_t i = 0; i < arr.length(); ++i) EXPECT_EQ(arr[i], 0);
+}
+
+TEST(Array, SetGet) {
+    Array<double> arr(8);
+    arr.set(3, 2.5);
+    EXPECT_DOUBLE_EQ(arr.get(3), 2.5);
+    EXPECT_DOUBLE_EQ(arr[0], 0.0);
+}
+
+TEST(Array, ResizeGrowAndShrink) {
+    Array<int> arr(4);
+    for (std::size_t i = 0; i < 4; ++i) arr.set(i, static_cast<int>(i) + 1);
+    arr.resize(6);
+    EXPECT_EQ(arr.length(), 6u);
+    EXPECT_EQ(arr[3], 4);
+    EXPECT_EQ(arr[5], 0);  // tail value-initialized
+    arr.resize(2);
+    EXPECT_EQ(arr.length(), 2u);
+    EXPECT_EQ(arr[1], 2);
+}
+
+TEST(Array, FillIndexOfSortReverse) {
+    Array<int> arr(5);
+    arr.fill(9);
+    EXPECT_EQ(arr.index_of(9), 0);
+    arr.set(2, 1);
+    arr.set(4, 5);
+    EXPECT_EQ(arr.index_of(1), 2);
+    EXPECT_EQ(arr.index_of(123), -1);
+    arr.sort();
+    EXPECT_EQ(arr[0], 1);
+    arr.reverse();
+    EXPECT_EQ(arr[arr.length() - 1], 1);
+    EXPECT_TRUE(arr.contains(5));
+}
+
+TEST(Array, CopyAndMove) {
+    Array<int> a(3);
+    a.set(0, 1);
+    Array<int> b(a);
+    b.set(0, 2);
+    EXPECT_EQ(a[0], 1);
+    EXPECT_EQ(b[0], 2);
+    Array<int> c(std::move(b));
+    EXPECT_EQ(c[0], 2);
+    EXPECT_EQ(b.length(), 0u);  // NOLINT(bugprone-use-after-move)
+}
+
+// --------------------------- Dictionary -----------------------------------
+
+TEST(Dictionary, AddGetRemove) {
+    Dictionary<std::string, int> dict;
+    dict.add("a", 1);
+    dict.add("b", 2);
+    EXPECT_EQ(dict.count(), 2u);
+    EXPECT_EQ(dict.get("a"), 1);
+    EXPECT_TRUE(dict.contains_key("b"));
+    EXPECT_FALSE(dict.contains_key("c"));
+    EXPECT_TRUE(dict.remove("a"));
+    EXPECT_FALSE(dict.remove("a"));
+    EXPECT_EQ(dict.count(), 1u);
+}
+
+TEST(Dictionary, AddDuplicateThrows) {
+    Dictionary<int, int> dict;
+    dict.add(1, 1);
+    EXPECT_THROW(dict.add(1, 2), std::invalid_argument);
+}
+
+TEST(Dictionary, GetMissingThrows) {
+    Dictionary<int, int> dict;
+    EXPECT_THROW((void)dict.get(5), std::out_of_range);
+}
+
+TEST(Dictionary, SetOverwritesAndTryGet) {
+    Dictionary<int, std::string> dict;
+    dict.set(1, "x");
+    dict.set(1, "y");
+    EXPECT_EQ(dict.count(), 1u);
+    std::string out;
+    EXPECT_TRUE(dict.try_get(1, out));
+    EXPECT_EQ(out, "y");
+    EXPECT_FALSE(dict.try_get(2, out));
+}
+
+TEST(Dictionary, SurvivesManyInsertsAndRehashes) {
+    Dictionary<std::int64_t, std::int64_t> dict;
+    for (std::int64_t i = 0; i < 20'000; ++i) dict.set(i * 7, i);
+    EXPECT_EQ(dict.count(), 20'000u);
+    for (std::int64_t i = 0; i < 20'000; ++i) EXPECT_EQ(dict.get(i * 7), i);
+}
+
+TEST(Dictionary, TombstonesDoNotBreakLookup) {
+    Dictionary<int, int> dict;
+    for (int i = 0; i < 1000; ++i) dict.set(i, i);
+    for (int i = 0; i < 1000; i += 2) EXPECT_TRUE(dict.remove(i));
+    for (int i = 1; i < 1000; i += 2) EXPECT_EQ(dict.get(i), i);
+    EXPECT_EQ(dict.count(), 500u);
+    // Reinsert over tombstones.
+    for (int i = 0; i < 1000; i += 2) dict.set(i, -i);
+    for (int i = 0; i < 1000; i += 2) EXPECT_EQ(dict.get(i), -i);
+}
+
+TEST(Dictionary, ForEachVisitsAll) {
+    Dictionary<int, int> dict;
+    for (int i = 0; i < 50; ++i) dict.set(i, 1);
+    int sum = 0;
+    dict.for_each([&sum](int, int v) { sum += v; });
+    EXPECT_EQ(sum, 50);
+    dict.clear();
+    EXPECT_TRUE(dict.empty());
+}
+
+// --------------------------- HashSet --------------------------------------
+
+TEST(HashSet, AddContainsRemove) {
+    HashSet<std::string> set;
+    EXPECT_TRUE(set.add("x"));
+    EXPECT_FALSE(set.add("x"));
+    EXPECT_TRUE(set.contains("x"));
+    EXPECT_TRUE(set.remove("x"));
+    EXPECT_FALSE(set.contains("x"));
+    EXPECT_EQ(set.count(), 0u);
+}
+
+TEST(HashSet, ManyElements) {
+    HashSet<std::int64_t> set;
+    for (std::int64_t i = 0; i < 10'000; ++i) EXPECT_TRUE(set.add(i));
+    for (std::int64_t i = 0; i < 10'000; ++i) EXPECT_TRUE(set.contains(i));
+    EXPECT_FALSE(set.contains(10'001));
+    std::size_t visited = 0;
+    set.for_each([&visited](std::int64_t) { ++visited; });
+    EXPECT_EQ(visited, 10'000u);
+}
+
+// --------------------------- Stack / Queue --------------------------------
+
+TEST(Stack, LifoOrder) {
+    Stack<int> stack;
+    stack.push(1);
+    stack.push(2);
+    stack.push(3);
+    EXPECT_EQ(stack.peek(), 3);
+    EXPECT_EQ(stack.pop(), 3);
+    EXPECT_EQ(stack.pop(), 2);
+    EXPECT_EQ(stack.count(), 1u);
+    EXPECT_TRUE(stack.contains(1));
+    stack.clear();
+    EXPECT_TRUE(stack.empty());
+}
+
+TEST(Queue, FifoOrder) {
+    Queue<int> queue;
+    for (int i = 0; i < 100; ++i) queue.enqueue(i);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(queue.dequeue(), i);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(Queue, WrapsAroundCircularBuffer) {
+    Queue<int> queue(4);
+    for (int round = 0; round < 10; ++round) {
+        queue.enqueue(round);
+        queue.enqueue(round + 100);
+        EXPECT_EQ(queue.dequeue(), round);
+        EXPECT_EQ(queue.dequeue(), round + 100);
+    }
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(Queue, GrowthPreservesOrder) {
+    Queue<int> queue(2);
+    // Force wrap + growth.
+    queue.enqueue(0);
+    queue.enqueue(1);
+    EXPECT_EQ(queue.dequeue(), 0);
+    for (int i = 2; i < 50; ++i) queue.enqueue(i);
+    for (int i = 1; i < 50; ++i) EXPECT_EQ(queue.dequeue(), i);
+}
+
+TEST(Queue, PeekAtAndContains) {
+    Queue<std::string> queue;
+    queue.enqueue("a");
+    queue.enqueue("b");
+    EXPECT_EQ(queue.peek(), "a");
+    EXPECT_EQ(queue.at(1), "b");
+    EXPECT_TRUE(queue.contains("b"));
+    EXPECT_FALSE(queue.contains("c"));
+}
+
+TEST(Queue, CopySemantics) {
+    Queue<int> a;
+    a.enqueue(1);
+    a.enqueue(2);
+    Queue<int> b(a);
+    EXPECT_EQ(b.dequeue(), 1);
+    EXPECT_EQ(a.count(), 2u);
+}
+
+// --------------------------- LinkedList -----------------------------------
+
+TEST(LinkedList, AddFirstLastRemoveFirstLast) {
+    LinkedList<int> list;
+    list.add_last(2);
+    list.add_first(1);
+    list.add_last(3);
+    EXPECT_EQ(list.count(), 3u);
+    EXPECT_EQ(list.first(), 1);
+    EXPECT_EQ(list.last(), 3);
+    EXPECT_EQ(list.remove_first(), 1);
+    EXPECT_EQ(list.remove_last(), 3);
+    EXPECT_EQ(list.remove_first(), 2);
+    EXPECT_TRUE(list.empty());
+}
+
+TEST(LinkedList, FindAndContains) {
+    LinkedList<int> list;
+    for (int i = 0; i < 10; ++i) list.add_last(i);
+    EXPECT_TRUE(list.contains(7));
+    EXPECT_FALSE(list.contains(42));
+    EXPECT_NE(list.find(3), nullptr);
+    EXPECT_EQ(list.find(3)->value, 3);
+}
+
+TEST(LinkedList, LargeClearDoesNotOverflowStack) {
+    LinkedList<int> list;
+    for (int i = 0; i < 200'000; ++i) list.add_last(i);
+    list.clear();  // iterative unlink must not recurse
+    EXPECT_TRUE(list.empty());
+}
+
+TEST(LinkedList, CopyPreservesOrder) {
+    LinkedList<int> a;
+    a.add_last(1);
+    a.add_last(2);
+    LinkedList<int> b(a);
+    EXPECT_EQ(b.remove_first(), 1);
+    EXPECT_EQ(a.count(), 2u);
+}
+
+// --------------------------- SortedList -----------------------------------
+
+TEST(SortedList, KeepsKeysSorted) {
+    SortedList<int, std::string> sl;
+    sl.add(5, "five");
+    sl.add(1, "one");
+    sl.add(3, "three");
+    EXPECT_EQ(sl.count(), 3u);
+    EXPECT_EQ(sl.key_at(0), 1);
+    EXPECT_EQ(sl.key_at(1), 3);
+    EXPECT_EQ(sl.key_at(2), 5);
+    EXPECT_EQ(sl.value_at(1), "three");
+}
+
+TEST(SortedList, LookupAndRemove) {
+    SortedList<int, int> sl;
+    for (int i = 0; i < 100; ++i) sl.add(i * 2, i);
+    EXPECT_EQ(sl.index_of_key(40), 20);
+    EXPECT_EQ(sl.index_of_key(41), -1);
+    EXPECT_EQ(sl.get(40), 20);
+    EXPECT_TRUE(sl.contains_key(0));
+    EXPECT_TRUE(sl.remove(0));
+    EXPECT_FALSE(sl.contains_key(0));
+    int out = 0;
+    EXPECT_TRUE(sl.try_get(98 * 2, out));
+    EXPECT_EQ(out, 98);
+    EXPECT_FALSE(sl.try_get(1, out));
+}
+
+TEST(SortedList, DuplicateAddThrowsSetOverwrites) {
+    SortedList<int, int> sl;
+    sl.add(1, 10);
+    EXPECT_THROW(sl.add(1, 20), std::invalid_argument);
+    sl.set(1, 20);
+    EXPECT_EQ(sl.get(1), 20);
+    EXPECT_THROW((void)sl.get(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dsspy::ds

@@ -1,0 +1,188 @@
+// Tests for the container internals: introsort, the open-addressing hash
+// core, the AVL core, and RawBuffer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "ds/detail/avl_tree.hpp"
+#include "ds/detail/hash_table.hpp"
+#include "ds/detail/raw_buffer.hpp"
+#include "ds/detail/sort.hpp"
+#include "support/rng.hpp"
+
+namespace dsspy::ds::detail {
+namespace {
+
+// ------------------------------ introsort ----------------------------------
+
+class IntrosortTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IntrosortTest, MatchesStdSortOnRandomData) {
+    support::Rng rng(GetParam());
+    std::vector<std::int64_t> data(1 + GetParam() * 977 % 20'000);
+    for (auto& v : data)
+        v = static_cast<std::int64_t>(rng.next_below(1000));
+    std::vector<std::int64_t> expected = data;
+    std::sort(expected.begin(), expected.end());
+    introsort(data.data(), data.data() + data.size());
+    EXPECT_EQ(data, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IntrosortTest,
+                         ::testing::Values(1, 2, 3, 7, 23, 24, 25, 100, 999),
+                         [](const auto& info) {
+                             return "seed" + std::to_string(info.param);
+                         });
+
+TEST(Introsort, AdversarialShapes) {
+    for (int shape = 0; shape < 5; ++shape) {
+        std::vector<int> data(5000);
+        for (int i = 0; i < 5000; ++i) {
+            switch (shape) {
+                case 0: data[static_cast<size_t>(i)] = i; break;          // sorted
+                case 1: data[static_cast<size_t>(i)] = 5000 - i; break;   // reversed
+                case 2: data[static_cast<size_t>(i)] = 7; break;          // constant
+                case 3: data[static_cast<size_t>(i)] = i % 4; break;      // few values
+                default: data[static_cast<size_t>(i)] = i % 2 ? i : -i;   // sawtooth
+            }
+        }
+        std::vector<int> expected = data;
+        std::sort(expected.begin(), expected.end());
+        introsort(data.data(), data.data() + data.size());
+        EXPECT_EQ(data, expected) << "shape " << shape;
+    }
+}
+
+TEST(Introsort, EmptyAndSingle) {
+    std::vector<int> empty;
+    introsort(empty.data(), empty.data());
+    std::vector<int> one{42};
+    introsort(one.data(), one.data() + 1);
+    EXPECT_EQ(one[0], 42);
+}
+
+TEST(Introsort, MoveOnlyFriendlyComparator) {
+    std::vector<std::string> data{"pear", "apple", "fig", "banana"};
+    introsort(data.data(), data.data() + data.size(),
+              [](const std::string& a, const std::string& b) {
+                  return a.size() < b.size();
+              });
+    EXPECT_EQ(data.front().size(), 3u);
+    EXPECT_EQ(data.back().size(), 6u);
+}
+
+TEST(HeapSortFallback, SortsDirectly) {
+    support::Rng rng(5);
+    std::vector<int> data(3000);
+    for (auto& v : data) v = static_cast<int>(rng.next_below(100));
+    std::vector<int> expected = data;
+    std::sort(expected.begin(), expected.end());
+    heap_sort(data.data(), data.data() + data.size(), std::less<int>{});
+    EXPECT_EQ(data, expected);
+}
+
+TEST(InsertionSortUnit, SmallInputs) {
+    std::vector<int> data{3, 1, 2};
+    insertion_sort(data.data(), data.data() + data.size(),
+                   std::less<int>{});
+    EXPECT_EQ(data, (std::vector<int>{1, 2, 3}));
+}
+
+// ------------------------------ hash table ---------------------------------
+
+TEST(HashTableCore, GrowsAndFindsEverything) {
+    HashTable<int, int> table;
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_TRUE(table.insert_if_absent(i, i * 2));
+    EXPECT_EQ(table.size(), 5000u);
+    EXPECT_GE(table.bucket_count(), 5000u);
+    for (int i = 0; i < 5000; ++i) {
+        const int* v = table.find(i);
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(*v, i * 2);
+    }
+}
+
+TEST(HashTableCore, PathologicalHashStillWorks) {
+    struct BadHash {
+        std::size_t operator()(int) const { return 42; }  // all collide
+    };
+    HashTable<int, int, BadHash> table;
+    for (int i = 0; i < 300; ++i) table.insert_or_assign(i, i);
+    for (int i = 0; i < 300; ++i) {
+        ASSERT_NE(table.find(i), nullptr);
+        EXPECT_EQ(*table.find(i), i);
+    }
+    for (int i = 0; i < 300; i += 2) EXPECT_TRUE(table.erase(i));
+    for (int i = 1; i < 300; i += 2) EXPECT_NE(table.find(i), nullptr);
+    EXPECT_EQ(table.size(), 150u);
+}
+
+TEST(HashTableCore, TombstoneReuseKeepsTableCompact) {
+    HashTable<int, int> table;
+    // Insert/erase churn at a bounded live size must not grow unboundedly.
+    for (int round = 0; round < 200; ++round) {
+        for (int i = 0; i < 64; ++i)
+            table.insert_or_assign(round * 64 + i, i);
+        for (int i = 0; i < 64; ++i) EXPECT_TRUE(table.erase(round * 64 + i));
+    }
+    EXPECT_EQ(table.size(), 0u);
+    EXPECT_LT(table.bucket_count(), 4096u);
+}
+
+// ------------------------------ AVL core ------------------------------------
+
+TEST(AvlCore, LowerBoundSemantics) {
+    AvlTree<int, int> tree;
+    for (int v : {10, 20, 30}) tree.insert_if_absent(v, v);
+    ASSERT_NE(tree.lower_bound(15), nullptr);
+    EXPECT_EQ(tree.lower_bound(15)->key, 20);
+    EXPECT_EQ(tree.lower_bound(10)->key, 10);
+    EXPECT_EQ(tree.lower_bound(31), nullptr);
+    EXPECT_TRUE(tree.validate());
+}
+
+TEST(AvlCore, HeightIsLogarithmic) {
+    AvlTree<int, std::byte> tree;
+    for (int i = 0; i < 100'000; ++i)
+        tree.insert_if_absent(i, std::byte{});
+    // 1.44 * log2(100002) ~= 24.
+    EXPECT_LE(tree.height(), 25);
+    EXPECT_TRUE(tree.validate());
+}
+
+TEST(AvlCore, EraseTwoChildrenNodes) {
+    AvlTree<int, int> tree;
+    for (int v : {50, 30, 70, 20, 40, 60, 80}) tree.insert_if_absent(v, v);
+    EXPECT_TRUE(tree.erase(50));  // root with two children
+    EXPECT_FALSE(tree.contains(50));
+    EXPECT_TRUE(tree.validate());
+    EXPECT_EQ(tree.size(), 6u);
+    for (int v : {30, 70, 20, 40, 60, 80}) EXPECT_TRUE(tree.contains(v));
+}
+
+// ------------------------------ raw buffer ----------------------------------
+
+TEST(RawBuffer, MoveTransfersOwnership) {
+    RawBuffer<int> a(16);
+    int* data = a.data();
+    RawBuffer<int> b(std::move(a));
+    EXPECT_EQ(b.data(), data);
+    EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+    EXPECT_EQ(a.capacity(), 0u);
+    EXPECT_EQ(b.capacity(), 16u);
+    RawBuffer<int> c;
+    c = std::move(b);
+    EXPECT_EQ(c.data(), data);
+}
+
+TEST(RawBuffer, ZeroCapacity) {
+    RawBuffer<int> buffer(0);
+    EXPECT_EQ(buffer.data(), nullptr);
+    EXPECT_EQ(buffer.capacity(), 0u);
+}
+
+}  // namespace
+}  // namespace dsspy::ds::detail

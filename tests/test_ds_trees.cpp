@@ -1,0 +1,146 @@
+// Tests for the AVL-backed SortedSet and SortedDictionary.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ds/sorted_dictionary.hpp"
+#include "ds/sorted_set.hpp"
+#include "support/rng.hpp"
+
+namespace dsspy::ds {
+namespace {
+
+TEST(SortedSet, AddContainsRemove) {
+    SortedSet<int> set;
+    EXPECT_TRUE(set.add(5));
+    EXPECT_FALSE(set.add(5));
+    EXPECT_TRUE(set.add(1));
+    EXPECT_TRUE(set.add(9));
+    EXPECT_EQ(set.count(), 3u);
+    EXPECT_TRUE(set.contains(5));
+    EXPECT_FALSE(set.contains(2));
+    EXPECT_TRUE(set.remove(5));
+    EXPECT_FALSE(set.remove(5));
+    EXPECT_EQ(set.count(), 2u);
+    EXPECT_TRUE(set.validate());
+}
+
+TEST(SortedSet, MinMaxCeiling) {
+    SortedSet<int> set;
+    EXPECT_EQ(set.min(), nullptr);
+    EXPECT_EQ(set.max(), nullptr);
+    for (int v : {40, 10, 30, 20}) set.add(v);
+    EXPECT_EQ(*set.min(), 10);
+    EXPECT_EQ(*set.max(), 40);
+    EXPECT_EQ(*set.ceiling(15), 20);
+    EXPECT_EQ(*set.ceiling(20), 20);
+    EXPECT_EQ(set.ceiling(41), nullptr);
+}
+
+TEST(SortedSet, ForEachIsAscending) {
+    SortedSet<int> set;
+    support::Rng rng(3);
+    for (int i = 0; i < 500; ++i)
+        set.add(static_cast<int>(rng.next_below(10'000)));
+    std::vector<int> seen;
+    set.for_each([&seen](int v) { seen.push_back(v); });
+    EXPECT_EQ(seen.size(), set.count());
+    for (std::size_t i = 1; i < seen.size(); ++i)
+        EXPECT_LT(seen[i - 1], seen[i]);
+}
+
+TEST(SortedSet, StaysBalancedUnderSequentialInsertion) {
+    SortedSet<int> set;
+    // Ascending insertion is the classic unbalanced-BST killer.
+    for (int i = 0; i < 4096; ++i) set.add(i);
+    EXPECT_TRUE(set.validate());
+    // AVL height bound: < 1.44 * log2(n+2) ~= 17.3 for n=4096.
+    EXPECT_LE(set.tree_height(), 18);
+}
+
+TEST(SortedSet, RandomChurnAgainstStdSet) {
+    SortedSet<std::int64_t> set;
+    std::set<std::int64_t> reference;
+    support::Rng rng(77);
+    for (int step = 0; step < 20'000; ++step) {
+        const auto v = static_cast<std::int64_t>(rng.next_below(400));
+        if (rng.next_bool(0.6)) {
+            EXPECT_EQ(set.add(v), reference.insert(v).second);
+        } else {
+            EXPECT_EQ(set.remove(v), reference.erase(v) > 0);
+        }
+    }
+    EXPECT_EQ(set.count(), reference.size());
+    EXPECT_TRUE(set.validate());
+    std::vector<std::int64_t> seen;
+    set.for_each([&seen](std::int64_t v) { seen.push_back(v); });
+    std::vector<std::int64_t> expected(reference.begin(), reference.end());
+    EXPECT_EQ(seen, expected);
+}
+
+TEST(SortedSet, ClearAndCustomComparator) {
+    SortedSet<int, std::greater<int>> set;
+    for (int v : {1, 2, 3}) set.add(v);
+    std::vector<int> seen;
+    set.for_each([&seen](int v) { seen.push_back(v); });
+    EXPECT_EQ(seen, (std::vector<int>{3, 2, 1}));  // descending order
+    set.clear();
+    EXPECT_TRUE(set.empty());
+    EXPECT_TRUE(set.validate());
+}
+
+TEST(SortedDictionary, AddGetSetRemove) {
+    SortedDictionary<std::string, int> dict;
+    dict.add("b", 2);
+    dict.add("a", 1);
+    EXPECT_THROW(dict.add("a", 9), std::invalid_argument);
+    EXPECT_EQ(dict.get("a"), 1);
+    EXPECT_THROW((void)dict.get("z"), std::out_of_range);
+    dict.set("a", 10);
+    EXPECT_EQ(dict.get("a"), 10);
+    int out = 0;
+    EXPECT_TRUE(dict.try_get("b", out));
+    EXPECT_EQ(out, 2);
+    EXPECT_FALSE(dict.try_get("c", out));
+    EXPECT_TRUE(dict.remove("a"));
+    EXPECT_FALSE(dict.contains_key("a"));
+    EXPECT_EQ(dict.count(), 1u);
+    EXPECT_TRUE(dict.validate());
+}
+
+TEST(SortedDictionary, OrderedTraversalAndMinMax) {
+    SortedDictionary<int, std::string> dict;
+    for (int v : {3, 1, 4, 1 + 10, 5, 9, 2, 6}) dict.set(v, "v");
+    EXPECT_EQ(*dict.min_key(), 1);
+    EXPECT_EQ(*dict.max_key(), 11);
+    std::vector<int> keys;
+    dict.for_each([&keys](int k, const std::string&) { keys.push_back(k); });
+    for (std::size_t i = 1; i < keys.size(); ++i)
+        EXPECT_LT(keys[i - 1], keys[i]);
+}
+
+TEST(SortedDictionary, ManyKeysStayConsistent) {
+    SortedDictionary<std::int64_t, std::int64_t> dict;
+    for (std::int64_t i = 0; i < 10'000; ++i) dict.set(i * 7 % 9973, i);
+    EXPECT_TRUE(dict.validate());
+    // Later writes win for colliding keys (i*7 mod 9973 cycles).
+    std::int64_t out = 0;
+    EXPECT_TRUE(dict.try_get(0, out));
+    EXPECT_EQ(dict.count(), 9973u);
+}
+
+TEST(SortedDictionary, CopySemanticsViaTree) {
+    SortedDictionary<int, int> a;
+    a.set(1, 10);
+    a.set(2, 20);
+    SortedDictionary<int, int> b(a);
+    b.set(1, 99);
+    EXPECT_EQ(a.get(1), 10);
+    EXPECT_EQ(b.get(1), 99);
+    EXPECT_TRUE(b.validate());
+}
+
+}  // namespace
+}  // namespace dsspy::ds

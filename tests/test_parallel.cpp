@@ -1,0 +1,274 @@
+// Tests for the parallel runtime: pool, loops, algorithms, queue.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "parallel/algorithms.hpp"
+#include "parallel/concurrent_queue.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/rng.hpp"
+
+namespace dsspy::par {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ThreadCountDefaultsToHardware) {
+    ThreadPool pool;
+    EXPECT_GE(pool.thread_count(), 1u);
+    ThreadPool pool3(3);
+    EXPECT_EQ(pool3.thread_count(), 3u);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDone) {
+    ThreadPool pool(2);
+    std::atomic<bool> done{false};
+    pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        done.store(true);
+    });
+    pool.wait_idle();
+    EXPECT_TRUE(done.load());
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(10'000);
+    parallel_for(pool, 0, hits.size(),
+                 [&hits](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndSingletonRanges) {
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    parallel_for(pool, 5, 5, [&count](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 0);
+    parallel_for(pool, 5, 6, [&count](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForChunks, ChunksAreDisjointAndCoverRange) {
+    ThreadPool pool(4);
+    std::mutex mutex;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    parallel_for_chunks(pool, 10, 1010,
+                        [&](std::size_t lo, std::size_t hi) {
+                            std::scoped_lock lock(mutex);
+                            chunks.emplace_back(lo, hi);
+                        });
+    std::sort(chunks.begin(), chunks.end());
+    EXPECT_EQ(chunks.front().first, 10u);
+    EXPECT_EQ(chunks.back().second, 1010u);
+    for (std::size_t i = 1; i < chunks.size(); ++i)
+        EXPECT_EQ(chunks[i - 1].second, chunks[i].first);
+}
+
+TEST(ParallelBuild, MatchesSequentialConstruction) {
+    ThreadPool pool(4);
+    const auto list = parallel_build<std::int64_t>(
+        pool, 10'000, [](std::size_t i) {
+            return static_cast<std::int64_t>(i * i % 9973);
+        });
+    ASSERT_EQ(list.count(), 10'000u);
+    for (std::size_t i = 0; i < list.count(); ++i)
+        EXPECT_EQ(list[i], static_cast<std::int64_t>(i * i % 9973));
+}
+
+TEST(ParallelBuild, ZeroElements) {
+    ThreadPool pool(2);
+    const auto list =
+        parallel_build<int>(pool, 0, [](std::size_t) { return 1; });
+    EXPECT_EQ(list.count(), 0u);
+}
+
+TEST(ParallelAppend, AppendsAfterExistingElements) {
+    ThreadPool pool(4);
+    ds::List<int> list;
+    list.add(-1);
+    list.add(-2);
+    parallel_append(pool, list, 1000,
+                    [](std::size_t i) { return static_cast<int>(i); });
+    ASSERT_EQ(list.count(), 1002u);
+    EXPECT_EQ(list[0], -1);
+    EXPECT_EQ(list[1], -2);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(list[static_cast<std::size_t>(i) + 2], i);
+}
+
+TEST(ParallelFindIndex, FindsFirstMatch) {
+    ThreadPool pool(4);
+    std::vector<int> data(100'000, 0);
+    data[70'000] = 1;
+    data[90'000] = 1;
+    const auto idx = parallel_find_index<int>(
+        pool, data, [](int v) { return v == 1; });
+    EXPECT_EQ(idx, 70'000);
+}
+
+TEST(ParallelFindIndex, ReturnsMinusOneWhenAbsent) {
+    ThreadPool pool(4);
+    std::vector<int> data(10'000, 0);
+    EXPECT_EQ(parallel_index_of<int>(pool, data, 42), -1);
+}
+
+TEST(ParallelFindIndex, AgreesWithSequentialOnRandomData) {
+    ThreadPool pool(4);
+    support::Rng rng(5);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<std::int64_t> data(5000);
+        for (auto& v : data)
+            v = static_cast<std::int64_t>(rng.next_below(300));
+        const std::int64_t needle =
+            static_cast<std::int64_t>(rng.next_below(300));
+        const auto seq =
+            std::find(data.begin(), data.end(), needle) - data.begin();
+        const auto expected =
+            seq == static_cast<std::ptrdiff_t>(data.size()) ? -1 : seq;
+        EXPECT_EQ(parallel_index_of<std::int64_t>(pool, data, needle),
+                  expected);
+    }
+}
+
+TEST(ParallelReduce, SumsCorrectly) {
+    ThreadPool pool(4);
+    std::vector<std::int64_t> data(100'000);
+    std::iota(data.begin(), data.end(), 0);
+    const auto sum = parallel_reduce<std::int64_t, std::int64_t>(
+        pool, data, 0, [](std::int64_t v) { return v; },
+        [](std::int64_t a, std::int64_t b) { return a + b; });
+    EXPECT_EQ(sum, 100'000LL * 99'999 / 2);
+}
+
+TEST(ParallelMaxIndex, MatchesSequentialArgmaxIncludingTies) {
+    ThreadPool pool(4);
+    support::Rng rng(17);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<int> data(3000);
+        for (auto& v : data) v = static_cast<int>(rng.next_below(50));
+        std::size_t expected = 0;
+        for (std::size_t i = 1; i < data.size(); ++i)
+            if (data[expected] < data[i]) expected = i;
+        EXPECT_EQ(parallel_max_index<int>(pool, data),
+                  static_cast<std::ptrdiff_t>(expected));
+    }
+}
+
+TEST(ParallelMaxIndex, EmptyReturnsMinusOne) {
+    ThreadPool pool(2);
+    EXPECT_EQ(parallel_max_index<int>(pool, {}), -1);
+}
+
+TEST(ParallelSort, SortsLargeRandomInput) {
+    ThreadPool pool(4);
+    support::Rng rng(31);
+    std::vector<std::int64_t> data(200'000);
+    for (auto& v : data) v = static_cast<std::int64_t>(rng.next());
+    std::vector<std::int64_t> expected = data;
+    std::sort(expected.begin(), expected.end());
+    parallel_sort<std::int64_t>(pool, data);
+    EXPECT_EQ(data, expected);
+}
+
+TEST(ParallelSort, HandlesSmallAndEdgeInputs) {
+    ThreadPool pool(4);
+    std::vector<int> empty;
+    parallel_sort<int>(pool, empty);
+    std::vector<int> one{5};
+    parallel_sort<int>(pool, one);
+    EXPECT_EQ(one[0], 5);
+    std::vector<int> sorted{1, 2, 3, 4};
+    parallel_sort<int>(pool, sorted);
+    EXPECT_EQ(sorted, (std::vector<int>{1, 2, 3, 4}));
+    std::vector<int> reversed{4, 3, 2, 1};
+    parallel_sort<int>(pool, reversed);
+    EXPECT_EQ(reversed, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(ParallelSort, CustomComparator) {
+    ThreadPool pool(2);
+    std::vector<int> data{1, 5, 3};
+    parallel_sort<int>(pool, data, std::greater<int>{});
+    EXPECT_EQ(data, (std::vector<int>{5, 3, 1}));
+}
+
+TEST(ConcurrentQueue, FifoSingleThread) {
+    ConcurrentQueue<int> queue;
+    queue.push(1);
+    queue.push(2);
+    EXPECT_EQ(queue.size(), 2u);
+    EXPECT_EQ(queue.try_pop().value(), 1);
+    EXPECT_EQ(queue.pop().value(), 2);
+    EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(ConcurrentQueue, CloseWakesConsumers) {
+    ConcurrentQueue<int> queue;
+    std::thread consumer([&queue] {
+        const auto v = queue.pop();
+        EXPECT_FALSE(v.has_value());  // closed and drained
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.close();
+    consumer.join();
+    EXPECT_TRUE(queue.closed());
+}
+
+TEST(ConcurrentQueue, MpmcDeliversEveryElementExactlyOnce) {
+    ConcurrentQueue<std::uint64_t> queue;
+    constexpr int kProducers = 3;
+    constexpr int kConsumers = 3;
+    constexpr std::uint64_t kPerProducer = 20'000;
+
+    std::atomic<std::uint64_t> consumed_sum{0};
+    std::atomic<std::uint64_t> consumed_count{0};
+
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&] {
+            while (const auto v = queue.pop()) {
+                consumed_sum.fetch_add(*v);
+                consumed_count.fetch_add(1);
+            }
+        });
+    }
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&queue, p] {
+            for (std::uint64_t i = 0; i < kPerProducer; ++i)
+                queue.push(static_cast<std::uint64_t>(p) * kPerProducer + i);
+        });
+    }
+    for (auto& t : producers) t.join();
+    queue.close();
+    for (auto& t : consumers) t.join();
+
+    constexpr std::uint64_t kTotal = kProducers * kPerProducer;
+    EXPECT_EQ(consumed_count.load(), kTotal);
+    EXPECT_EQ(consumed_sum.load(), kTotal * (kTotal - 1) / 2);
+}
+
+}  // namespace
+}  // namespace dsspy::par

@@ -1,0 +1,140 @@
+// Tests for ParallelList: semantic equivalence with the sequential list on
+// both sides of the parallel threshold.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "parallel/parallel_list.hpp"
+#include "support/rng.hpp"
+
+namespace dsspy::par {
+namespace {
+
+class ParallelListTest : public ::testing::TestWithParam<std::size_t> {
+protected:
+    ThreadPool pool_{4};
+
+    /// GetParam() is the element count; the threshold is fixed at 1000, so
+    /// small parameters exercise the sequential path and large ones the
+    /// parallel path.
+    [[nodiscard]] ParallelList<std::int64_t> make_list() {
+        ParallelList<std::int64_t> list(pool_, /*parallel_threshold=*/1000);
+        support::Rng rng(7);
+        for (std::size_t i = 0; i < GetParam(); ++i)
+            list.add(static_cast<std::int64_t>(rng.next_below(500)));
+        return list;
+    }
+};
+
+TEST_P(ParallelListTest, IndexOfMatchesSequentialScan) {
+    const auto list = make_list();
+    for (std::int64_t needle : {0, 123, 499, 777}) {
+        std::ptrdiff_t expected = -1;
+        for (std::size_t i = 0; i < list.count(); ++i) {
+            if (list[i] == needle) {
+                expected = static_cast<std::ptrdiff_t>(i);
+                break;
+            }
+        }
+        EXPECT_EQ(list.index_of(needle), expected) << needle;
+        EXPECT_EQ(list.contains(needle), expected >= 0);
+    }
+}
+
+TEST_P(ParallelListTest, FindIndexMatchesSequential) {
+    const auto list = make_list();
+    auto pred = [](std::int64_t v) { return v > 490; };
+    std::ptrdiff_t expected = -1;
+    for (std::size_t i = 0; i < list.count(); ++i) {
+        if (pred(list[i])) {
+            expected = static_cast<std::ptrdiff_t>(i);
+            break;
+        }
+    }
+    EXPECT_EQ(list.find_index(pred), expected);
+}
+
+TEST_P(ParallelListTest, MaxIndexMatchesSequentialArgmax) {
+    const auto list = make_list();
+    if (list.empty()) {
+        EXPECT_EQ(list.max_index(), -1);
+        return;
+    }
+    std::size_t expected = 0;
+    for (std::size_t i = 1; i < list.count(); ++i)
+        if (list[expected] < list[i]) expected = i;
+    EXPECT_EQ(list.max_index(), static_cast<std::ptrdiff_t>(expected));
+}
+
+TEST_P(ParallelListTest, SortProducesSortedPermutation) {
+    auto list = make_list();
+    std::vector<std::int64_t> expected;
+    for (std::size_t i = 0; i < list.count(); ++i)
+        expected.push_back(list[i]);
+    std::sort(expected.begin(), expected.end());
+
+    list.sort();
+    ASSERT_EQ(list.count(), expected.size());
+    for (std::size_t i = 0; i < list.count(); ++i)
+        EXPECT_EQ(list[i], expected[i]);
+}
+
+TEST_P(ParallelListTest, ReduceMatchesSequentialSum) {
+    const auto list = make_list();
+    std::int64_t expected = 0;
+    for (std::size_t i = 0; i < list.count(); ++i) expected += list[i];
+    const std::int64_t sum = list.reduce(
+        std::int64_t{0}, [](std::int64_t v) { return v; },
+        [](std::int64_t a, std::int64_t b) { return a + b; });
+    EXPECT_EQ(sum, expected);
+}
+
+TEST_P(ParallelListTest, AppendGeneratedFillsInOrder) {
+    ParallelList<std::int64_t> list(pool_, 1000);
+    list.add(-5);
+    list.append_generated(GetParam(), [](std::size_t i) {
+        return static_cast<std::int64_t>(i * 3);
+    });
+    ASSERT_EQ(list.count(), GetParam() + 1);
+    EXPECT_EQ(list[0], -5);
+    for (std::size_t i = 0; i < GetParam(); ++i)
+        EXPECT_EQ(list[i + 1], static_cast<std::int64_t>(i * 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(BelowAndAboveThreshold, ParallelListTest,
+                         ::testing::Values(0, 7, 999, 1001, 20'000),
+                         [](const auto& info) {
+                             return "n" + std::to_string(info.param);
+                         });
+
+TEST(ParallelList, MutationInterface) {
+    ThreadPool pool(2);
+    ParallelList<std::string> list(pool, 8);
+    list.add("b");
+    list.insert(0, "a");
+    list.add("c");
+    EXPECT_EQ(list.count(), 3u);
+    EXPECT_EQ(list[0], "a");
+    list.set(2, "z");
+    EXPECT_EQ(list.get(2), "z");
+    list.remove_at(1);
+    EXPECT_EQ(list.count(), 2u);
+    list.clear();
+    EXPECT_TRUE(list.empty());
+    EXPECT_EQ(list.parallel_threshold(), 8u);
+}
+
+TEST(ParallelList, CustomComparatorSortAndMax) {
+    ThreadPool pool(4);
+    ParallelList<int> list(pool, 4);
+    for (int v : {3, 1, 4, 1, 5, 9, 2, 6}) list.add(v);
+    list.sort(std::greater<int>{});
+    EXPECT_EQ(list[0], 9);
+    EXPECT_EQ(list[7], 1);
+    // max under greater<> is the minimum element.
+    const auto idx = list.max_index(std::greater<int>{});
+    EXPECT_EQ(list[static_cast<std::size_t>(idx)], 1);
+}
+
+}  // namespace
+}  // namespace dsspy::par

@@ -1,0 +1,246 @@
+// Unit tests for dsspy::runtime: SPSC ring, registry, store, session.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "runtime/instance_registry.hpp"
+#include "runtime/profile_store.hpp"
+#include "runtime/session.hpp"
+#include "runtime/spsc_ring.hpp"
+
+namespace dsspy::runtime {
+namespace {
+
+TEST(SpscRing, PushPopSingleThread) {
+    SpscRing<int> ring(8);
+    EXPECT_TRUE(ring.empty_approx());
+    for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(i));
+    EXPECT_FALSE(ring.try_push(99));  // full
+    for (int i = 0; i < 8; ++i) {
+        const auto v = ring.try_pop();
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, i);
+    }
+    EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+    SpscRing<int> ring(100);
+    EXPECT_EQ(ring.capacity(), 128u);
+}
+
+TEST(SpscRing, BatchedPopPreservesOrder) {
+    SpscRing<int> ring(64);
+    for (int i = 0; i < 50; ++i) ASSERT_TRUE(ring.try_push(i));
+    std::vector<int> out(32);
+    const std::size_t n1 = ring.pop_into(out);
+    EXPECT_EQ(n1, 32u);
+    for (int i = 0; i < 32; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i);
+    const std::size_t n2 = ring.pop_into(out);
+    EXPECT_EQ(n2, 18u);
+    EXPECT_EQ(out[0], 32);
+}
+
+TEST(SpscRing, ConcurrentProducerConsumer) {
+    SpscRing<std::uint64_t> ring(1024);
+    constexpr std::uint64_t kCount = 200'000;
+    std::thread producer([&ring] {
+        for (std::uint64_t i = 0; i < kCount; ++i) {
+            while (!ring.try_push(i)) std::this_thread::yield();
+        }
+    });
+    std::uint64_t expected = 0;
+    std::uint64_t sum = 0;
+    while (expected < kCount) {
+        const auto v = ring.try_pop();
+        if (!v) {
+            std::this_thread::yield();
+            continue;
+        }
+        EXPECT_EQ(*v, expected);  // FIFO order, no loss, no duplication
+        sum += *v;
+        ++expected;
+    }
+    producer.join();
+    EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+TEST(InstanceRegistry, RegisterAndLookup) {
+    InstanceRegistry registry;
+    const InstanceId a = registry.register_instance(
+        DsKind::List, "List<Int32>", {"Cls", "M", 1});
+    const InstanceId b = registry.register_instance(
+        DsKind::Array, "Array<Double>", {"Cls", "N", 2});
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 1u);
+    EXPECT_EQ(registry.size(), 2u);
+    EXPECT_EQ(registry.info(a).type_name, "List<Int32>");
+    EXPECT_EQ(registry.info(b).kind, DsKind::Array);
+    EXPECT_FALSE(registry.info(a).deallocated);
+    registry.mark_deallocated(a);
+    EXPECT_TRUE(registry.info(a).deallocated);
+}
+
+TEST(ProfileStore, GroupsByInstanceAndSortsBySeq) {
+    ProfileStore store;
+    AccessEvent e1{.seq = 2, .time_ns = 20, .position = 1, .instance = 0,
+                   .size = 2, .op = OpKind::Get, .thread = 0};
+    AccessEvent e2{.seq = 1, .time_ns = 10, .position = 0, .instance = 0,
+                   .size = 1, .op = OpKind::Add, .thread = 0};
+    AccessEvent e3{.seq = 3, .time_ns = 30, .position = 0, .instance = 2,
+                   .size = 1, .op = OpKind::Add, .thread = 1};
+    const AccessEvent batch[] = {e1, e2, e3};
+    store.append(batch);
+    store.finalize();
+    EXPECT_EQ(store.total_events(), 3u);
+    EXPECT_EQ(store.populated_instances(), 2u);
+    const auto ev0 = store.events(0);
+    ASSERT_EQ(ev0.size(), 2u);
+    EXPECT_EQ(ev0[0].seq, 1u);  // sorted by seq
+    EXPECT_EQ(ev0[1].seq, 2u);
+    EXPECT_EQ(store.events(1).size(), 0u);
+    EXPECT_EQ(store.events(2).size(), 1u);
+    EXPECT_EQ(store.events(77).size(), 0u);  // out of range -> empty
+}
+
+TEST(ProfileStore, IgnoresInvalidInstance) {
+    ProfileStore store;
+    AccessEvent ev;
+    ev.instance = kInvalidInstance;
+    store.append({&ev, 1});
+    EXPECT_EQ(store.total_events(), 0u);
+}
+
+class SessionModeTest : public ::testing::TestWithParam<CaptureMode> {};
+
+TEST_P(SessionModeTest, RecordsEventsWithMetadata) {
+    ProfilingSession session(GetParam());
+    const InstanceId id = session.register_instance(
+        DsKind::List, "List<Int32>", {"Cls", "M", 1});
+    for (int i = 0; i < 100; ++i)
+        session.record(id, OpKind::Add, i, static_cast<std::uint32_t>(i + 1));
+    session.stop();
+
+    const auto events = session.store().events(id);
+    ASSERT_EQ(events.size(), 100u);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(events[static_cast<size_t>(i)].position, i);
+        EXPECT_EQ(events[static_cast<size_t>(i)].op, OpKind::Add);
+        EXPECT_EQ(events[static_cast<size_t>(i)].size,
+                  static_cast<std::uint32_t>(i + 1));
+    }
+    // Sequence numbers are strictly increasing.
+    for (size_t i = 1; i < events.size(); ++i)
+        EXPECT_LT(events[i - 1].seq, events[i].seq);
+    EXPECT_EQ(session.thread_count(), 1u);
+    EXPECT_EQ(session.events_recorded(), 100u);
+}
+
+TEST_P(SessionModeTest, MultiThreadedRecordingLosesNothing) {
+    ProfilingSession session(GetParam());
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 25'000;
+    std::vector<InstanceId> ids;
+    for (int t = 0; t < kThreads; ++t)
+        ids.push_back(session.register_instance(
+            DsKind::List, "List<Int64>",
+            {"Cls", "M", static_cast<std::uint32_t>(t)}));
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&session, &ids, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                session.record(ids[static_cast<size_t>(t)], OpKind::Get, i,
+                               100);
+        });
+    }
+    for (auto& th : threads) th.join();
+    session.stop();
+
+    std::size_t total = 0;
+    for (const InstanceId id : ids) {
+        const auto events = session.store().events(id);
+        EXPECT_EQ(events.size(), static_cast<std::size_t>(kPerThread));
+        total += events.size();
+        // Per-instance events come from one thread: positions in order.
+        for (size_t i = 1; i < events.size(); ++i)
+            EXPECT_EQ(events[i].position, events[i - 1].position + 1);
+    }
+    EXPECT_EQ(total, static_cast<std::size_t>(kThreads * kPerThread));
+    EXPECT_EQ(session.thread_count(), static_cast<std::size_t>(kThreads));
+}
+
+TEST_P(SessionModeTest, StopIsIdempotentAndStopsCapture) {
+    ProfilingSession session(GetParam());
+    const InstanceId id = session.register_instance(
+        DsKind::List, "List<Int32>", {"Cls", "M", 1});
+    session.record(id, OpKind::Add, 0, 1);
+    EXPECT_TRUE(session.capturing());
+    session.stop();
+    EXPECT_FALSE(session.capturing());
+    session.record(id, OpKind::Add, 1, 2);  // ignored after stop
+    session.stop();                         // idempotent
+    EXPECT_EQ(session.store().events(id).size(), 1u);
+    EXPECT_GT(session.capture_duration_ns(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, SessionModeTest,
+                         ::testing::Values(CaptureMode::Buffered,
+                                           CaptureMode::Streaming),
+                         [](const auto& info) {
+                             return info.param == CaptureMode::Buffered
+                                        ? "Buffered"
+                                        : "Streaming";
+                         });
+
+TEST(Session, StreamingBackpressureLosesNothingWithTinyRings) {
+    // A deliberately undersized ring forces the producers to block on the
+    // collector; every event must still arrive exactly once.
+    ProfilingSession session(CaptureMode::Streaming, /*ring_capacity=*/4);
+    constexpr int kThreads = 3;
+    constexpr int kPerThread = 20'000;
+    std::vector<InstanceId> ids;
+    for (int t = 0; t < kThreads; ++t)
+        ids.push_back(session.register_instance(
+            DsKind::List, "List<Int64>",
+            {"BP", "M", static_cast<std::uint32_t>(t)}));
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&session, &ids, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                session.record(ids[static_cast<size_t>(t)], OpKind::Add, i,
+                               static_cast<std::uint32_t>(i + 1));
+        });
+    }
+    for (auto& th : threads) th.join();
+    session.stop();
+    for (const InstanceId id : ids) {
+        const auto events = session.store().events(id);
+        ASSERT_EQ(events.size(), static_cast<std::size_t>(kPerThread));
+        for (size_t i = 0; i < events.size(); ++i)
+            EXPECT_EQ(events[i].position, static_cast<std::int64_t>(i));
+    }
+}
+
+TEST(Session, TwoLiveSessionsDoNotInterfere) {
+    ProfilingSession s1(CaptureMode::Buffered);
+    ProfilingSession s2(CaptureMode::Buffered);
+    const InstanceId a = s1.register_instance(DsKind::List, "List<Int32>",
+                                              {"C", "M", 1});
+    const InstanceId b = s2.register_instance(DsKind::List, "List<Int32>",
+                                              {"C", "M", 2});
+    for (int i = 0; i < 10; ++i) {
+        s1.record(a, OpKind::Add, i, static_cast<std::uint32_t>(i + 1));
+        s2.record(b, OpKind::Get, i, 10);
+    }
+    s1.stop();
+    s2.stop();
+    EXPECT_EQ(s1.store().events(a).size(), 10u);
+    EXPECT_EQ(s2.store().events(b).size(), 10u);
+    EXPECT_EQ(s1.store().events(a)[0].op, OpKind::Add);
+    EXPECT_EQ(s2.store().events(b)[0].op, OpKind::Get);
+}
+
+}  // namespace
+}  // namespace dsspy::runtime

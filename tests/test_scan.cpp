@@ -1,0 +1,167 @@
+// Tests for the static scanner and the synthetic source generator.
+#include <gtest/gtest.h>
+
+#include "scan/source_synth.hpp"
+#include "scan/static_scanner.hpp"
+
+namespace dsspy::scan {
+namespace {
+
+using runtime::DsKind;
+
+ScanResult scan_one(const std::string& source) {
+    StaticScanner scanner;
+    SourceProgram program;
+    program.name = "test";
+    program.files.push_back(SourceFile{"test.cs", source});
+    return scanner.scan_program(program);
+}
+
+TEST(StaticScanner, FindsGenericInstantiations) {
+    const auto r = scan_one(R"(
+        var a = new List<int>();
+        var b = new Dictionary<string, int>(16);
+        var c = new Stack<double>();
+        var d = new Queue<Foo>();
+        var e = new HashSet<long>();
+    )");
+    EXPECT_EQ(r.dynamic_total, 5u);
+    EXPECT_EQ(r.by_kind[static_cast<size_t>(DsKind::List)], 1u);
+    EXPECT_EQ(r.by_kind[static_cast<size_t>(DsKind::Dictionary)], 1u);
+    EXPECT_EQ(r.by_kind[static_cast<size_t>(DsKind::Stack)], 1u);
+    EXPECT_EQ(r.by_kind[static_cast<size_t>(DsKind::Queue)], 1u);
+    EXPECT_EQ(r.by_kind[static_cast<size_t>(DsKind::HashSet)], 1u);
+}
+
+TEST(StaticScanner, DistinguishesSortedVariantsAndLinkedList) {
+    const auto r = scan_one(R"(
+        var a = new SortedList<int, int>();
+        var b = new SortedSet<int>();
+        var c = new SortedDictionary<int, int>();
+        var d = new LinkedList<int>();
+        var e = new List<int>();
+    )");
+    EXPECT_EQ(r.by_kind[static_cast<size_t>(DsKind::SortedList)], 1u);
+    EXPECT_EQ(r.by_kind[static_cast<size_t>(DsKind::SortedSet)], 1u);
+    EXPECT_EQ(r.by_kind[static_cast<size_t>(DsKind::SortedDictionary)], 1u);
+    EXPECT_EQ(r.by_kind[static_cast<size_t>(DsKind::LinkedList)], 1u);
+    EXPECT_EQ(r.by_kind[static_cast<size_t>(DsKind::List)], 1u);
+}
+
+TEST(StaticScanner, FindsNonGenericArrayListAndHashtable) {
+    const auto r = scan_one(R"(
+        var a = new ArrayList();
+        var b = new Hashtable(64);
+    )");
+    EXPECT_EQ(r.by_kind[static_cast<size_t>(DsKind::ArrayList)], 1u);
+    EXPECT_EQ(r.by_kind[static_cast<size_t>(DsKind::Hashtable)], 1u);
+    EXPECT_EQ(r.dynamic_total, 2u);
+}
+
+TEST(StaticScanner, FindsArrays) {
+    const auto r = scan_one(R"(
+        var a = new double[256];
+        var b = new int[n];
+        var c = new Foo.Bar[x];
+        int noarray = compute(x);
+    )");
+    EXPECT_EQ(r.arrays, 3u);
+    EXPECT_EQ(r.dynamic_total, 0u);
+}
+
+TEST(StaticScanner, NestedGenericsAndMultipleOnOneLine) {
+    const auto r = scan_one(
+        "var a = new List<List<int>>(); var b = new List<int>();\n");
+    EXPECT_EQ(r.by_kind[static_cast<size_t>(DsKind::List)], 2u);
+}
+
+TEST(StaticScanner, RecordsHitLocations) {
+    const auto r = scan_one("\n\nvar a = new List<int>();\n");
+    ASSERT_EQ(r.hits.size(), 1u);
+    EXPECT_EQ(r.hits[0].line, 3u);
+    EXPECT_EQ(r.hits[0].file, "test.cs");
+    EXPECT_EQ(r.hits[0].type_args, "int");
+}
+
+TEST(StaticScanner, CountsClassesAndListMembers) {
+    const auto r = scan_one(R"(
+        public class A {
+            private List<int> items;
+            public void M() {}
+        }
+        public class B {
+            private int x;
+        }
+    )");
+    EXPECT_EQ(r.classes, 2u);
+    EXPECT_EQ(r.list_member_decls, 1u);
+    EXPECT_EQ(r.classes_with_list_member, 1u);
+}
+
+TEST(StaticScanner, CountsNonEmptyLoc) {
+    const auto r = scan_one("a\n\n  \nb\nc\n");
+    EXPECT_EQ(r.loc, 3u);
+}
+
+TEST(SourceSynth, RoundTripsInstanceCountsExactly) {
+    ProgramSpec spec;
+    spec.name = "roundtrip";
+    spec.loc = 2000;
+    spec.instances[static_cast<size_t>(DsKind::List)] = 40;
+    spec.instances[static_cast<size_t>(DsKind::Dictionary)] = 12;
+    spec.instances[static_cast<size_t>(DsKind::Stack)] = 3;
+    spec.instances[static_cast<size_t>(DsKind::Queue)] = 2;
+    spec.instances[static_cast<size_t>(DsKind::ArrayList)] = 5;
+    spec.instances[static_cast<size_t>(DsKind::Hashtable)] = 1;
+    spec.arrays = 17;
+    spec.seed = 99;
+
+    const SourceProgram program = synthesize_program(spec);
+    const ScanResult r = StaticScanner{}.scan_program(program);
+
+    for (std::size_t k = 0; k < runtime::kDsKindCount; ++k)
+        EXPECT_EQ(r.by_kind[k], spec.instances[k]) << "kind " << k;
+    EXPECT_EQ(r.arrays, spec.arrays);
+    EXPECT_EQ(r.dynamic_total, 63u);
+}
+
+TEST(SourceSynth, LocIsApproximatelyTarget) {
+    ProgramSpec spec;
+    spec.name = "loccheck";
+    spec.loc = 5000;
+    spec.instances[static_cast<size_t>(DsKind::List)] = 10;
+    const SourceProgram program = synthesize_program(spec);
+    const ScanResult r = StaticScanner{}.scan_program(program);
+    EXPECT_GT(r.loc, 4000u);
+    EXPECT_LT(r.loc, 6500u);
+}
+
+TEST(SourceSynth, DeterministicForSameSeed) {
+    ProgramSpec spec;
+    spec.name = "det";
+    spec.loc = 500;
+    spec.instances[static_cast<size_t>(DsKind::List)] = 5;
+    spec.seed = 7;
+    const SourceProgram a = synthesize_program(spec);
+    const SourceProgram b = synthesize_program(spec);
+    ASSERT_EQ(a.files.size(), b.files.size());
+    for (std::size_t i = 0; i < a.files.size(); ++i)
+        EXPECT_EQ(a.files[i].content, b.files[i].content);
+}
+
+TEST(SourceSynth, MemberDensityRoughlyMatches) {
+    ProgramSpec spec;
+    spec.name = "members";
+    spec.loc = 12'000;
+    spec.instances[static_cast<size_t>(DsKind::List)] = 30;
+    spec.list_member_class_share = 1.0 / 3.0;
+    const SourceProgram program = synthesize_program(spec);
+    const ScanResult r = StaticScanner{}.scan_program(program);
+    ASSERT_GT(r.classes, 10u);
+    const double share = static_cast<double>(r.classes_with_list_member) /
+                         static_cast<double>(r.classes);
+    EXPECT_NEAR(share, 1.0 / 3.0, 0.12);
+}
+
+}  // namespace
+}  // namespace dsspy::scan

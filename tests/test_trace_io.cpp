@@ -1,0 +1,147 @@
+// Tests for trace serialization: round trips, offline analysis, and
+// malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/dsspy.hpp"
+#include "ds/ds.hpp"
+#include "runtime/trace_io.hpp"
+
+namespace dsspy::runtime {
+namespace {
+
+/// Record a small but classification-rich session.
+void drive_session(ProfilingSession& session) {
+    ds::ProfiledList<std::string> list(
+        &session, {"Trace.Test, with comma", "Run \"quoted\"", 3});
+    for (int i = 0; i < 150; ++i)
+        list.add("value," + std::to_string(i));
+    for (std::size_t i = 0; i < list.count(); ++i) (void)list.get(i);
+
+    ds::ProfiledDictionary<int, int> dict(&session, {"Trace.Test", "Aux", 9});
+    dict.set(1, 2);
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+    ProfilingSession session;
+    drive_session(session);
+    session.stop();
+
+    std::stringstream buffer;
+    const std::size_t written = write_trace(buffer, session);
+    EXPECT_EQ(written, session.store().total_events());
+
+    const Trace trace = read_trace(buffer);
+    ASSERT_EQ(trace.instances.size(), session.registry().size());
+    EXPECT_EQ(trace.store.total_events(), session.store().total_events());
+
+    for (const InstanceInfo& original : session.registry().snapshot()) {
+        const InstanceInfo& restored = trace.instances[original.id];
+        EXPECT_EQ(restored.id, original.id);
+        EXPECT_EQ(restored.kind, original.kind);
+        EXPECT_EQ(restored.type_name, original.type_name);
+        EXPECT_EQ(restored.location, original.location);
+        EXPECT_EQ(restored.deallocated, original.deallocated);
+
+        const auto orig_events = session.store().events(original.id);
+        const auto rest_events = trace.store.events(original.id);
+        ASSERT_EQ(orig_events.size(), rest_events.size());
+        for (std::size_t i = 0; i < orig_events.size(); ++i)
+            EXPECT_EQ(orig_events[i], rest_events[i]);
+    }
+}
+
+TEST(TraceIo, OfflineAnalysisMatchesLiveAnalysis) {
+    ProfilingSession session;
+    drive_session(session);
+    session.stop();
+
+    const core::Dsspy analyzer;
+    const auto live = analyzer.analyze(session);
+
+    std::stringstream buffer;
+    write_trace(buffer, session);
+    const Trace trace = read_trace(buffer);
+    const auto offline = analyzer.analyze(trace.instances, trace.store);
+
+    EXPECT_EQ(live.total_instances(), offline.total_instances());
+    EXPECT_EQ(live.list_array_instances(), offline.list_array_instances());
+    EXPECT_EQ(live.flagged_instances(), offline.flagged_instances());
+    EXPECT_EQ(live.use_case_counts(), offline.use_case_counts());
+    ASSERT_EQ(live.instances().size(), offline.instances().size());
+    for (std::size_t i = 0; i < live.instances().size(); ++i)
+        EXPECT_EQ(live.instances()[i].patterns.size(),
+                  offline.instances()[i].patterns.size());
+}
+
+TEST(TraceIo, EmptySessionRoundTrips) {
+    ProfilingSession session;
+    session.stop();
+    std::stringstream buffer;
+    EXPECT_EQ(write_trace(buffer, session), 0u);
+    const Trace trace = read_trace(buffer);
+    EXPECT_TRUE(trace.instances.empty());
+    EXPECT_EQ(trace.store.total_events(), 0u);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+    ProfilingSession session;
+    drive_session(session);
+    session.stop();
+
+    const std::string path = ::testing::TempDir() + "/dsspy_trace.csv";
+    ASSERT_TRUE(write_trace_file(path, session));
+    const Trace trace = read_trace_file(path);
+    EXPECT_EQ(trace.store.total_events(), session.store().total_events());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReadMissingFileYieldsEmptyTrace) {
+    const Trace trace = read_trace_file("/nonexistent/dsspy.csv");
+    EXPECT_TRUE(trace.instances.empty());
+    EXPECT_EQ(trace.store.total_events(), 0u);
+}
+
+TEST(TraceIo, RejectsUnknownRecordTag) {
+    std::stringstream buffer("X,1,2,3\n");
+    EXPECT_THROW(read_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsWrongFieldCount) {
+    std::stringstream buffer("E,1,2,3\n");
+    EXPECT_THROW(read_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsNonNumericField) {
+    std::stringstream buffer("E,abc,2,0,1,0,1,0\n");
+    EXPECT_THROW(read_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsOutOfRangeEnums) {
+    std::stringstream bad_op("E,1,2,0,250,0,1,0\n");
+    EXPECT_THROW(read_trace(bad_op), std::runtime_error);
+    std::stringstream bad_kind("I,0,99,List<Int32>,C,M,1,0\n");
+    EXPECT_THROW(read_trace(bad_kind), std::runtime_error);
+}
+
+TEST(TraceIo, SkipsBlankLines) {
+    std::stringstream buffer(
+        "I,0,0,List<Int32>,C,M,1,0\n\nE,1,10,0,2,0,1,0\n\n");
+    const Trace trace = read_trace(buffer);
+    EXPECT_EQ(trace.instances.size(), 1u);
+    EXPECT_EQ(trace.store.total_events(), 1u);
+}
+
+TEST(TraceIo, HandlesQuotedFieldsWithCommasAndQuotes) {
+    std::stringstream buffer(
+        "I,0,0,\"List<Pair<A, B>>\",\"Cls \"\"X\"\"\",M,1,1\n");
+    const Trace trace = read_trace(buffer);
+    ASSERT_EQ(trace.instances.size(), 1u);
+    EXPECT_EQ(trace.instances[0].type_name, "List<Pair<A, B>>");
+    EXPECT_EQ(trace.instances[0].location.class_name, "Cls \"X\"");
+    EXPECT_TRUE(trace.instances[0].deallocated);
+}
+
+}  // namespace
+}  // namespace dsspy::runtime

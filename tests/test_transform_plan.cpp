@@ -1,0 +1,124 @@
+// Tests for the transformation planner and use-case confidence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/transform_plan.hpp"
+#include "ds/ds.hpp"
+
+namespace dsspy::core {
+namespace {
+
+AnalysisResult make_analysis(runtime::ProfilingSession& session) {
+    {
+        // Big Long-Insert instance (high impact).
+        ds::ProfiledList<int> big(&session, {"Plan.Test", "Big", 1});
+        for (int i = 0; i < 5000; ++i) big.add(i);
+
+        // Small Long-Insert instance (low impact).
+        ds::ProfiledList<int> small(&session, {"Plan.Test", "Small", 2});
+        for (int i = 0; i < 150; ++i) small.add(i);
+
+        // Stack-Implementation (sequential step).
+        ds::ProfiledList<int> stack(&session, {"Plan.Test", "Stack", 3});
+        for (int round = 0; round < 30; ++round) {
+            stack.add(round);
+            stack.add(round);
+            stack.remove_at(stack.count() - 1);
+        }
+        while (stack.count() > 0) stack.remove_at(stack.count() - 1);
+    }
+    session.stop();
+    return Dsspy{}.analyze(session);
+}
+
+TEST(TransformPlan, MapsEveryUseCaseKindToAnAction) {
+    for (std::size_t k = 0; k < kUseCaseKindCount; ++k) {
+        const auto action = action_for(static_cast<UseCaseKind>(k));
+        EXPECT_NE(transform_action_name(action), "?");
+        EXPECT_NE(transform_code_hint(action), "?");
+    }
+}
+
+TEST(TransformPlan, RanksByImpact) {
+    runtime::ProfilingSession session;
+    const AnalysisResult analysis = make_analysis(session);
+    const TransformPlan plan = plan_transformations(analysis);
+    ASSERT_GE(plan.steps.size(), 3u);
+    for (std::size_t i = 1; i < plan.steps.size(); ++i)
+        EXPECT_GE(plan.steps[i - 1].impact, plan.steps[i].impact);
+    // The 5000-event Long-Insert dominates.
+    EXPECT_EQ(plan.steps[0].instance.location.method, "Big");
+    EXPECT_EQ(plan.steps[0].action, TransformAction::ParallelizeInsert);
+    EXPECT_TRUE(plan.steps[0].parallel);
+}
+
+TEST(TransformPlan, ParallelOnlyDropsSequentialSteps) {
+    runtime::ProfilingSession session;
+    const AnalysisResult analysis = make_analysis(session);
+    const TransformPlan full = plan_transformations(analysis, false);
+    const TransformPlan parallel = plan_transformations(analysis, true);
+    EXPECT_GT(full.steps.size(), parallel.steps.size());
+    for (const TransformStep& step : parallel.steps)
+        EXPECT_TRUE(step.parallel);
+    EXPECT_EQ(full.parallel_steps(), parallel.steps.size());
+}
+
+TEST(TransformPlan, PrintsActionableSteps) {
+    runtime::ProfilingSession session;
+    const AnalysisResult analysis = make_analysis(session);
+    const TransformPlan plan = plan_transformations(analysis);
+    std::ostringstream os;
+    print_transform_plan(os, plan);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("parallelize-insert"), std::string::npos);
+    EXPECT_NE(text.find("par::parallel_build"), std::string::npos);
+    EXPECT_NE(text.find("Plan.Test.Big:1"), std::string::npos);
+    EXPECT_NE(text.find("use-stack-container"), std::string::npos);
+}
+
+TEST(TransformPlan, EmptyAnalysis) {
+    runtime::ProfilingSession session;
+    session.stop();
+    const AnalysisResult analysis = Dsspy{}.analyze(session);
+    const TransformPlan plan = plan_transformations(analysis);
+    EXPECT_TRUE(plan.steps.empty());
+    std::ostringstream os;
+    print_transform_plan(os, plan);
+    EXPECT_NE(os.str().find("Nothing to transform."), std::string::npos);
+}
+
+TEST(Confidence, GrowsWithEvidenceMargin) {
+    // A profile exactly at the Long-Insert thresholds has ~0.5 confidence;
+    // overwhelming evidence saturates at 1.0.
+    auto confidence_for = [](int inserts, int jump_reads) {
+        runtime::ProfilingSession session;
+        {
+            ds::ProfiledList<int> list(&session, {"Conf", "M", 1});
+            for (int i = 0; i < inserts; ++i) list.add(i);
+            std::size_t pos = 0;
+            for (int i = 0; i < jump_reads && list.count() > 10; ++i) {
+                (void)list.get(pos);
+                pos = (pos + 7) % list.count();
+            }
+        }
+        session.stop();
+        const AnalysisResult analysis = Dsspy{}.analyze(session);
+        for (const auto& ia : analysis.instances())
+            for (const auto& uc : ia.use_cases)
+                if (uc.kind == UseCaseKind::LongInsert) return uc.confidence;
+        return -1.0;
+    };
+
+    // ~37% insert share (just above the 30% threshold) vs pure inserts.
+    const double marginal = confidence_for(120, 200);
+    const double strong = confidence_for(5000, 0);
+    ASSERT_GT(marginal, 0.0);
+    ASSERT_GT(strong, 0.0);
+    EXPECT_LT(marginal, 0.75);
+    EXPECT_DOUBLE_EQ(strong, 1.0);
+    EXPECT_GT(strong, marginal);
+}
+
+}  // namespace
+}  // namespace dsspy::core

@@ -1,0 +1,247 @@
+// dsspy — command-line front end for the DSspy analysis pipeline.
+//
+// Subcommands:
+//   dsspy analyze <trace.csv> [output options] [--set key=value ...]
+//       Offline analysis of a recorded trace (see runtime/trace_io.hpp).
+//   dsspy demo <app> [--trace FILE] [output options]
+//       Run one of the seven evaluation apps instrumented and analyze it.
+//   dsspy corpus <program> [output options]
+//       Replay one empirical-study program's workload and analyze it.
+//   dsspy list
+//       List available demo apps and corpus programs.
+//   dsspy config
+//       Print all detector thresholds and their defaults.
+//
+// Output options (default: the Table V style text report):
+//   --report          human-readable use-case report (default)
+//   --summary         one-line-per-instance table
+//   --json            full analysis as JSON on stdout
+//   --csv-usecases    use cases as CSV on stdout
+//   --csv-instances   per-instance aggregates as CSV on stdout
+//   --csv-patterns    detected patterns as CSV on stdout
+//   --html FILE       self-contained HTML report with embedded charts
+//   --set key=value   override a detector threshold (repeatable)
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/app_registry.hpp"
+#include "core/config_parse.hpp"
+#include "core/dsspy.hpp"
+#include "core/export.hpp"
+#include "core/report.hpp"
+#include "core/transform_plan.hpp"
+#include "corpus/program_model.hpp"
+#include "corpus/workload.hpp"
+#include "runtime/trace_io.hpp"
+#include "support/table.hpp"
+#include "viz/html_report.hpp"
+
+namespace {
+
+using namespace dsspy;
+
+struct Options {
+    std::string command;
+    std::string target;
+    bool report = false;
+    bool summary = false;
+    bool plan = false;
+    bool json = false;
+    bool csv_usecases = false;
+    bool csv_instances = false;
+    bool csv_patterns = false;
+    std::string html_path;
+    std::string trace_path;
+    std::vector<std::string> overrides;
+};
+
+int usage(const char* argv0) {
+    std::cerr
+        << "Usage: " << argv0 << " <command> [args]\n\n"
+        << "Commands:\n"
+        << "  analyze <trace.csv>   analyze a recorded trace offline\n"
+        << "  demo <app>            run an evaluation app instrumented\n"
+        << "  corpus <program>      replay an empirical-study workload\n"
+        << "  list                  list demo apps and corpus programs\n"
+        << "  config                print detector thresholds\n\n"
+        << "Output: --report (default) --summary --plan --json --csv-usecases\n"
+        << "        --csv-instances --csv-patterns --html FILE\n"
+        << "Extras: --trace FILE (demo: also write the raw trace)\n"
+        << "        --set key=value (threshold override, repeatable)\n";
+    return 2;
+}
+
+std::optional<Options> parse_args(int argc, char** argv) {
+    if (argc < 2) return std::nullopt;
+    Options opt;
+    opt.command = argv[1];
+    int i = 2;
+    if (opt.command == "analyze" || opt.command == "demo" ||
+        opt.command == "corpus") {
+        if (i >= argc || argv[i][0] == '-') return std::nullopt;
+        opt.target = argv[i++];
+    }
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--report") {
+            opt.report = true;
+        } else if (arg == "--summary") {
+            opt.summary = true;
+        } else if (arg == "--plan") {
+            opt.plan = true;
+        } else if (arg == "--json") {
+            opt.json = true;
+        } else if (arg == "--csv-usecases") {
+            opt.csv_usecases = true;
+        } else if (arg == "--csv-instances") {
+            opt.csv_instances = true;
+        } else if (arg == "--csv-patterns") {
+            opt.csv_patterns = true;
+        } else if (arg == "--html" && i + 1 < argc) {
+            opt.html_path = argv[++i];
+        } else if (arg == "--trace" && i + 1 < argc) {
+            opt.trace_path = argv[++i];
+        } else if (arg == "--set" && i + 1 < argc) {
+            opt.overrides.emplace_back(argv[++i]);
+        } else {
+            std::cerr << "Unknown argument: " << arg << '\n';
+            return std::nullopt;
+        }
+    }
+    if (!opt.summary && !opt.plan && !opt.json && !opt.csv_usecases &&
+        !opt.csv_instances && !opt.csv_patterns && opt.html_path.empty())
+        opt.report = true;
+    return opt;
+}
+
+void emit_outputs(const Options& opt, const core::AnalysisResult& analysis) {
+    if (opt.summary) {
+        core::print_instance_summary(std::cout, analysis);
+        std::cout << '\n';
+    }
+    if (opt.report) {
+        core::print_use_case_report(std::cout, analysis);
+        std::cout << "Search space reduction: "
+                  << support::Table::pct(analysis.search_space_reduction())
+                  << " (" << analysis.flagged_instances() << " of "
+                  << analysis.list_array_instances()
+                  << " list/array instances flagged)\n";
+    }
+    if (opt.plan) {
+        const core::TransformPlan plan =
+            core::plan_transformations(analysis);
+        core::print_transform_plan(std::cout, plan);
+    }
+    if (opt.json) core::write_analysis_json(std::cout, analysis);
+    if (opt.csv_usecases) core::write_use_cases_csv(std::cout, analysis);
+    if (opt.csv_instances) core::write_instances_csv(std::cout, analysis);
+    if (opt.csv_patterns) core::write_patterns_csv(std::cout, analysis);
+    if (!opt.html_path.empty()) {
+        if (viz::write_html_report_file(opt.html_path, analysis)) {
+            std::cerr << "Wrote " << opt.html_path << '\n';
+        } else {
+            std::cerr << "Failed to write " << opt.html_path << '\n';
+        }
+    }
+}
+
+int cmd_analyze(const Options& opt, const core::Dsspy& analyzer) {
+    const runtime::Trace trace = runtime::read_trace_file(opt.target);
+    if (trace.instances.empty() && trace.store.total_events() == 0) {
+        std::cerr << "No trace data in " << opt.target << '\n';
+        return 1;
+    }
+    const core::AnalysisResult analysis =
+        analyzer.analyze(trace.instances, trace.store);
+    emit_outputs(opt, analysis);
+    return 0;
+}
+
+int cmd_demo(const Options& opt, const core::Dsspy& analyzer) {
+    const apps::AppInfo* app = apps::find_app(opt.target);
+    if (app == nullptr) {
+        std::cerr << "Unknown app: " << opt.target
+                  << " (try `dsspy list`)\n";
+        return 1;
+    }
+    runtime::ProfilingSession session;
+    const apps::RunResult run = app->run_sequential(&session);
+    session.stop();
+    std::cerr << app->name << ": checksum " << run.checksum << ", "
+              << session.store().total_events() << " events\n";
+    if (!opt.trace_path.empty()) {
+        if (runtime::write_trace_file(opt.trace_path, session))
+            std::cerr << "Wrote trace to " << opt.trace_path << '\n';
+    }
+    emit_outputs(opt, analyzer.analyze(session));
+    return 0;
+}
+
+int cmd_corpus(const Options& opt, const core::Dsspy& analyzer) {
+    const corpus::ProgramModel* program = nullptr;
+    for (const corpus::ProgramModel& m : corpus::all_programs())
+        if (m.name == opt.target) program = &m;
+    if (program == nullptr) {
+        std::cerr << "Unknown corpus program: " << opt.target
+                  << " (try `dsspy list`)\n";
+        return 1;
+    }
+    runtime::ProfilingSession session;
+    if (program->in_eval23) {
+        corpus::run_eval_workload(*program, &session);
+    } else {
+        corpus::run_study15_workload(*program, &session);
+    }
+    session.stop();
+    if (!opt.trace_path.empty()) {
+        if (runtime::write_trace_file(opt.trace_path, session))
+            std::cerr << "Wrote trace to " << opt.trace_path << '\n';
+    }
+    emit_outputs(opt, analyzer.analyze(session));
+    return 0;
+}
+
+int cmd_list() {
+    std::cout << "Demo apps (dsspy demo <name>):\n";
+    for (const apps::AppInfo& app : apps::evaluation_apps())
+        std::cout << "  \"" << app.name << "\" (" << app.domain << ", "
+                  << app.paper_instances << " data structures)\n";
+    std::cout << "\nCorpus programs (dsspy corpus <name>):\n";
+    for (const corpus::ProgramModel& m : corpus::all_programs())
+        std::cout << "  " << m.name << " ("
+                  << corpus::domain_short_name(m.domain)
+                  << (m.in_eval23 ? ", Table III" : "")
+                  << (m.in_study15 ? ", Table II" : "") << ")\n";
+    return 0;
+}
+
+int cmd_config(const core::DetectorConfig& config) {
+    std::cout << "Detector thresholds (override with --set key=value):\n";
+    for (const std::string& line : core::config_to_strings(config))
+        std::cout << "  " << line << '\n';
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::optional<Options> opt = parse_args(argc, argv);
+    if (!opt) return usage(argv[0]);
+
+    core::DetectorConfig config;
+    const std::vector<std::string> rejected =
+        core::apply_config_overrides(config, opt->overrides);
+    for (const std::string& entry : rejected)
+        std::cerr << "Ignoring unknown/invalid override: " << entry << '\n';
+    const core::Dsspy analyzer(config);
+
+    if (opt->command == "analyze") return cmd_analyze(*opt, analyzer);
+    if (opt->command == "demo") return cmd_demo(*opt, analyzer);
+    if (opt->command == "corpus") return cmd_corpus(*opt, analyzer);
+    if (opt->command == "list") return cmd_list();
+    if (opt->command == "config") return cmd_config(config);
+    return usage(argv[0]);
+}
