@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_capture.dir/ablation_capture.cpp.o"
+  "CMakeFiles/ablation_capture.dir/ablation_capture.cpp.o.d"
+  "ablation_capture"
+  "ablation_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_patterns.dir/ablation_patterns.cpp.o"
+  "CMakeFiles/ablation_patterns.dir/ablation_patterns.cpp.o.d"
+  "ablation_patterns"
+  "ablation_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

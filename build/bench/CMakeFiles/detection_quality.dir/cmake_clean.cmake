@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_quality.dir/detection_quality.cpp.o"
+  "CMakeFiles/detection_quality.dir/detection_quality.cpp.o.d"
+  "detection_quality"
+  "detection_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_occurrence.dir/figure1_occurrence.cpp.o"
+  "CMakeFiles/figure1_occurrence.dir/figure1_occurrence.cpp.o.d"
+  "figure1_occurrence"
+  "figure1_occurrence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_occurrence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

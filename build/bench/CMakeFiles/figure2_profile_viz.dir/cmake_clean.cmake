@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_profile_viz.dir/figure2_profile_viz.cpp.o"
+  "CMakeFiles/figure2_profile_viz.dir/figure2_profile_viz.cpp.o.d"
+  "figure2_profile_viz"
+  "figure2_profile_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_profile_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

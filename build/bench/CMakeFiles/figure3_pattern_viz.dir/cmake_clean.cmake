@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_pattern_viz.dir/figure3_pattern_viz.cpp.o"
+  "CMakeFiles/figure3_pattern_viz.dir/figure3_pattern_viz.cpp.o.d"
+  "figure3_pattern_viz"
+  "figure3_pattern_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_pattern_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulated_scaling.dir/simulated_scaling.cpp.o"
+  "CMakeFiles/simulated_scaling.dir/simulated_scaling.cpp.o.d"
+  "simulated_scaling"
+  "simulated_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulated_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_empirical_study.dir/table1_empirical_study.cpp.o"
+  "CMakeFiles/table1_empirical_study.dir/table1_empirical_study.cpp.o.d"
+  "table1_empirical_study"
+  "table1_empirical_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_empirical_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

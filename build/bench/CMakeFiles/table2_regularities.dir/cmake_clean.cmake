@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_regularities.dir/table2_regularities.cpp.o"
+  "CMakeFiles/table2_regularities.dir/table2_regularities.cpp.o.d"
+  "table2_regularities"
+  "table2_regularities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_regularities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_use_cases.dir/table3_use_cases.cpp.o"
+  "CMakeFiles/table3_use_cases.dir/table3_use_cases.cpp.o.d"
+  "table3_use_cases"
+  "table3_use_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_use_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_evaluation.dir/table4_evaluation.cpp.o"
+  "CMakeFiles/table4_evaluation.dir/table4_evaluation.cpp.o.d"
+  "table4_evaluation"
+  "table4_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_gpdotnet_report.dir/table5_gpdotnet_report.cpp.o"
+  "CMakeFiles/table5_gpdotnet_report.dir/table5_gpdotnet_report.cpp.o.d"
+  "table5_gpdotnet_report"
+  "table5_gpdotnet_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_gpdotnet_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

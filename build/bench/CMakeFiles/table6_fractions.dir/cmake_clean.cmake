@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_fractions.dir/table6_fractions.cpp.o"
+  "CMakeFiles/table6_fractions.dir/table6_fractions.cpp.o.d"
+  "table6_fractions"
+  "table6_fractions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_fractions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_related_work.dir/table7_related_work.cpp.o"
+  "CMakeFiles/table7_related_work.dir/table7_related_work.cpp.o.d"
+  "table7_related_work"
+  "table7_related_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_related_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genetic_optimizer.dir/genetic_optimizer.cpp.o"
+  "CMakeFiles/genetic_optimizer.dir/genetic_optimizer.cpp.o.d"
+  "genetic_optimizer"
+  "genetic_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genetic_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

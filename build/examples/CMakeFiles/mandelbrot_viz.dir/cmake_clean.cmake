@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mandelbrot_viz.dir/mandelbrot_viz.cpp.o"
+  "CMakeFiles/mandelbrot_viz.dir/mandelbrot_viz.cpp.o.d"
+  "mandelbrot_viz"
+  "mandelbrot_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mandelbrot_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multithreaded_profiling.dir/multithreaded_profiling.cpp.o"
+  "CMakeFiles/multithreaded_profiling.dir/multithreaded_profiling.cpp.o.d"
+  "multithreaded_profiling"
+  "multithreaded_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multithreaded_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

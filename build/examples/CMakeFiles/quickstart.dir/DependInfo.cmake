@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dsspy_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dsspy_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dsspy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/dsspy_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/dsspy_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/dsspy_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/dsspy_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/dsspy_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

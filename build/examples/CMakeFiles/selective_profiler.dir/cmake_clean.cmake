@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selective_profiler.dir/selective_profiler.cpp.o"
+  "CMakeFiles/selective_profiler.dir/selective_profiler.cpp.o.d"
+  "selective_profiler"
+  "selective_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selective_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

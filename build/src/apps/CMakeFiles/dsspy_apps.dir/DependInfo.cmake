@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/algorithmia.cpp" "src/apps/CMakeFiles/dsspy_apps.dir/algorithmia.cpp.o" "gcc" "src/apps/CMakeFiles/dsspy_apps.dir/algorithmia.cpp.o.d"
+  "/root/repo/src/apps/app_registry.cpp" "src/apps/CMakeFiles/dsspy_apps.dir/app_registry.cpp.o" "gcc" "src/apps/CMakeFiles/dsspy_apps.dir/app_registry.cpp.o.d"
+  "/root/repo/src/apps/astrogrep.cpp" "src/apps/CMakeFiles/dsspy_apps.dir/astrogrep.cpp.o" "gcc" "src/apps/CMakeFiles/dsspy_apps.dir/astrogrep.cpp.o.d"
+  "/root/repo/src/apps/contentfinder.cpp" "src/apps/CMakeFiles/dsspy_apps.dir/contentfinder.cpp.o" "gcc" "src/apps/CMakeFiles/dsspy_apps.dir/contentfinder.cpp.o.d"
+  "/root/repo/src/apps/cpubench.cpp" "src/apps/CMakeFiles/dsspy_apps.dir/cpubench.cpp.o" "gcc" "src/apps/CMakeFiles/dsspy_apps.dir/cpubench.cpp.o.d"
+  "/root/repo/src/apps/gpdotnet.cpp" "src/apps/CMakeFiles/dsspy_apps.dir/gpdotnet.cpp.o" "gcc" "src/apps/CMakeFiles/dsspy_apps.dir/gpdotnet.cpp.o.d"
+  "/root/repo/src/apps/mandelbrot.cpp" "src/apps/CMakeFiles/dsspy_apps.dir/mandelbrot.cpp.o" "gcc" "src/apps/CMakeFiles/dsspy_apps.dir/mandelbrot.cpp.o.d"
+  "/root/repo/src/apps/text_corpus.cpp" "src/apps/CMakeFiles/dsspy_apps.dir/text_corpus.cpp.o" "gcc" "src/apps/CMakeFiles/dsspy_apps.dir/text_corpus.cpp.o.d"
+  "/root/repo/src/apps/wordwheel.cpp" "src/apps/CMakeFiles/dsspy_apps.dir/wordwheel.cpp.o" "gcc" "src/apps/CMakeFiles/dsspy_apps.dir/wordwheel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dsspy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/dsspy_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dsspy_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dsspy_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

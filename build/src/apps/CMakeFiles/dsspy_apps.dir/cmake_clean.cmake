@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsspy_apps.dir/algorithmia.cpp.o"
+  "CMakeFiles/dsspy_apps.dir/algorithmia.cpp.o.d"
+  "CMakeFiles/dsspy_apps.dir/app_registry.cpp.o"
+  "CMakeFiles/dsspy_apps.dir/app_registry.cpp.o.d"
+  "CMakeFiles/dsspy_apps.dir/astrogrep.cpp.o"
+  "CMakeFiles/dsspy_apps.dir/astrogrep.cpp.o.d"
+  "CMakeFiles/dsspy_apps.dir/contentfinder.cpp.o"
+  "CMakeFiles/dsspy_apps.dir/contentfinder.cpp.o.d"
+  "CMakeFiles/dsspy_apps.dir/cpubench.cpp.o"
+  "CMakeFiles/dsspy_apps.dir/cpubench.cpp.o.d"
+  "CMakeFiles/dsspy_apps.dir/gpdotnet.cpp.o"
+  "CMakeFiles/dsspy_apps.dir/gpdotnet.cpp.o.d"
+  "CMakeFiles/dsspy_apps.dir/mandelbrot.cpp.o"
+  "CMakeFiles/dsspy_apps.dir/mandelbrot.cpp.o.d"
+  "CMakeFiles/dsspy_apps.dir/text_corpus.cpp.o"
+  "CMakeFiles/dsspy_apps.dir/text_corpus.cpp.o.d"
+  "CMakeFiles/dsspy_apps.dir/wordwheel.cpp.o"
+  "CMakeFiles/dsspy_apps.dir/wordwheel.cpp.o.d"
+  "libdsspy_apps.a"
+  "libdsspy_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsspy_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

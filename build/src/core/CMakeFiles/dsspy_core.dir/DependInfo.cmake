@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config_parse.cpp" "src/core/CMakeFiles/dsspy_core.dir/config_parse.cpp.o" "gcc" "src/core/CMakeFiles/dsspy_core.dir/config_parse.cpp.o.d"
+  "/root/repo/src/core/dsspy.cpp" "src/core/CMakeFiles/dsspy_core.dir/dsspy.cpp.o" "gcc" "src/core/CMakeFiles/dsspy_core.dir/dsspy.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/core/CMakeFiles/dsspy_core.dir/export.cpp.o" "gcc" "src/core/CMakeFiles/dsspy_core.dir/export.cpp.o.d"
+  "/root/repo/src/core/patterns.cpp" "src/core/CMakeFiles/dsspy_core.dir/patterns.cpp.o" "gcc" "src/core/CMakeFiles/dsspy_core.dir/patterns.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/core/CMakeFiles/dsspy_core.dir/profile.cpp.o" "gcc" "src/core/CMakeFiles/dsspy_core.dir/profile.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/dsspy_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/dsspy_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/transform_plan.cpp" "src/core/CMakeFiles/dsspy_core.dir/transform_plan.cpp.o" "gcc" "src/core/CMakeFiles/dsspy_core.dir/transform_plan.cpp.o.d"
+  "/root/repo/src/core/use_cases.cpp" "src/core/CMakeFiles/dsspy_core.dir/use_cases.cpp.o" "gcc" "src/core/CMakeFiles/dsspy_core.dir/use_cases.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/dsspy_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dsspy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsspy_core.dir/config_parse.cpp.o"
+  "CMakeFiles/dsspy_core.dir/config_parse.cpp.o.d"
+  "CMakeFiles/dsspy_core.dir/dsspy.cpp.o"
+  "CMakeFiles/dsspy_core.dir/dsspy.cpp.o.d"
+  "CMakeFiles/dsspy_core.dir/export.cpp.o"
+  "CMakeFiles/dsspy_core.dir/export.cpp.o.d"
+  "CMakeFiles/dsspy_core.dir/patterns.cpp.o"
+  "CMakeFiles/dsspy_core.dir/patterns.cpp.o.d"
+  "CMakeFiles/dsspy_core.dir/profile.cpp.o"
+  "CMakeFiles/dsspy_core.dir/profile.cpp.o.d"
+  "CMakeFiles/dsspy_core.dir/report.cpp.o"
+  "CMakeFiles/dsspy_core.dir/report.cpp.o.d"
+  "CMakeFiles/dsspy_core.dir/transform_plan.cpp.o"
+  "CMakeFiles/dsspy_core.dir/transform_plan.cpp.o.d"
+  "CMakeFiles/dsspy_core.dir/use_cases.cpp.o"
+  "CMakeFiles/dsspy_core.dir/use_cases.cpp.o.d"
+  "libdsspy_core.a"
+  "libdsspy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsspy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdsspy_core.a"
+)

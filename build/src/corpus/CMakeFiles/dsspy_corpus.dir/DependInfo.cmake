@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/program_model.cpp" "src/corpus/CMakeFiles/dsspy_corpus.dir/program_model.cpp.o" "gcc" "src/corpus/CMakeFiles/dsspy_corpus.dir/program_model.cpp.o.d"
+  "/root/repo/src/corpus/workload.cpp" "src/corpus/CMakeFiles/dsspy_corpus.dir/workload.cpp.o" "gcc" "src/corpus/CMakeFiles/dsspy_corpus.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dsspy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/dsspy_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dsspy_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dsspy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

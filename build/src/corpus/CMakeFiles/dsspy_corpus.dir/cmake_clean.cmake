@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsspy_corpus.dir/program_model.cpp.o"
+  "CMakeFiles/dsspy_corpus.dir/program_model.cpp.o.d"
+  "CMakeFiles/dsspy_corpus.dir/workload.cpp.o"
+  "CMakeFiles/dsspy_corpus.dir/workload.cpp.o.d"
+  "libdsspy_corpus.a"
+  "libdsspy_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsspy_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

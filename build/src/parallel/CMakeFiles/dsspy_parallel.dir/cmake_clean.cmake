@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsspy_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/dsspy_parallel.dir/thread_pool.cpp.o.d"
+  "libdsspy_parallel.a"
+  "libdsspy_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsspy_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

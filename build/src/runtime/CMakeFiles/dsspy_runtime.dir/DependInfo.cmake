@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/instance_registry.cpp" "src/runtime/CMakeFiles/dsspy_runtime.dir/instance_registry.cpp.o" "gcc" "src/runtime/CMakeFiles/dsspy_runtime.dir/instance_registry.cpp.o.d"
+  "/root/repo/src/runtime/profile_store.cpp" "src/runtime/CMakeFiles/dsspy_runtime.dir/profile_store.cpp.o" "gcc" "src/runtime/CMakeFiles/dsspy_runtime.dir/profile_store.cpp.o.d"
+  "/root/repo/src/runtime/session.cpp" "src/runtime/CMakeFiles/dsspy_runtime.dir/session.cpp.o" "gcc" "src/runtime/CMakeFiles/dsspy_runtime.dir/session.cpp.o.d"
+  "/root/repo/src/runtime/trace_io.cpp" "src/runtime/CMakeFiles/dsspy_runtime.dir/trace_io.cpp.o" "gcc" "src/runtime/CMakeFiles/dsspy_runtime.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dsspy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsspy_runtime.dir/instance_registry.cpp.o"
+  "CMakeFiles/dsspy_runtime.dir/instance_registry.cpp.o.d"
+  "CMakeFiles/dsspy_runtime.dir/profile_store.cpp.o"
+  "CMakeFiles/dsspy_runtime.dir/profile_store.cpp.o.d"
+  "CMakeFiles/dsspy_runtime.dir/session.cpp.o"
+  "CMakeFiles/dsspy_runtime.dir/session.cpp.o.d"
+  "CMakeFiles/dsspy_runtime.dir/trace_io.cpp.o"
+  "CMakeFiles/dsspy_runtime.dir/trace_io.cpp.o.d"
+  "libdsspy_runtime.a"
+  "libdsspy_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsspy_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

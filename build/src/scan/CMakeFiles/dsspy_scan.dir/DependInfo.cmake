@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scan/source_synth.cpp" "src/scan/CMakeFiles/dsspy_scan.dir/source_synth.cpp.o" "gcc" "src/scan/CMakeFiles/dsspy_scan.dir/source_synth.cpp.o.d"
+  "/root/repo/src/scan/static_scanner.cpp" "src/scan/CMakeFiles/dsspy_scan.dir/static_scanner.cpp.o" "gcc" "src/scan/CMakeFiles/dsspy_scan.dir/static_scanner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dsspy_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dsspy_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsspy_scan.dir/source_synth.cpp.o"
+  "CMakeFiles/dsspy_scan.dir/source_synth.cpp.o.d"
+  "CMakeFiles/dsspy_scan.dir/static_scanner.cpp.o"
+  "CMakeFiles/dsspy_scan.dir/static_scanner.cpp.o.d"
+  "libdsspy_scan.a"
+  "libdsspy_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsspy_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsspy_support.dir/stats.cpp.o"
+  "CMakeFiles/dsspy_support.dir/stats.cpp.o.d"
+  "CMakeFiles/dsspy_support.dir/strings.cpp.o"
+  "CMakeFiles/dsspy_support.dir/strings.cpp.o.d"
+  "CMakeFiles/dsspy_support.dir/table.cpp.o"
+  "CMakeFiles/dsspy_support.dir/table.cpp.o.d"
+  "libdsspy_support.a"
+  "libdsspy_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsspy_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsspy_viz.dir/ascii_chart.cpp.o"
+  "CMakeFiles/dsspy_viz.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/dsspy_viz.dir/html_report.cpp.o"
+  "CMakeFiles/dsspy_viz.dir/html_report.cpp.o.d"
+  "CMakeFiles/dsspy_viz.dir/svg.cpp.o"
+  "CMakeFiles/dsspy_viz.dir/svg.cpp.o.d"
+  "libdsspy_viz.a"
+  "libdsspy_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsspy_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

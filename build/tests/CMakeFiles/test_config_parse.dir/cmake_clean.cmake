@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_parse.dir/test_config_parse.cpp.o"
+  "CMakeFiles/test_config_parse.dir/test_config_parse.cpp.o.d"
+  "test_config_parse"
+  "test_config_parse.pdb"
+  "test_config_parse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

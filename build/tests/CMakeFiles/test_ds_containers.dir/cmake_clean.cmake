@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ds_containers.dir/test_ds_containers.cpp.o"
+  "CMakeFiles/test_ds_containers.dir/test_ds_containers.cpp.o.d"
+  "test_ds_containers"
+  "test_ds_containers.pdb"
+  "test_ds_containers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ds_containers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

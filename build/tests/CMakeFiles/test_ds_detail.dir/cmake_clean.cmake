@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ds_detail.dir/test_ds_detail.cpp.o"
+  "CMakeFiles/test_ds_detail.dir/test_ds_detail.cpp.o.d"
+  "test_ds_detail"
+  "test_ds_detail.pdb"
+  "test_ds_detail[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ds_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

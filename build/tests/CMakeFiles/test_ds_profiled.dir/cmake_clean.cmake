@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ds_profiled.dir/test_ds_profiled.cpp.o"
+  "CMakeFiles/test_ds_profiled.dir/test_ds_profiled.cpp.o.d"
+  "test_ds_profiled"
+  "test_ds_profiled.pdb"
+  "test_ds_profiled[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ds_profiled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ds_trees.dir/test_ds_trees.cpp.o"
+  "CMakeFiles/test_ds_trees.dir/test_ds_trees.cpp.o.d"
+  "test_ds_trees"
+  "test_ds_trees.pdb"
+  "test_ds_trees[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ds_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_html_report.dir/test_html_report.cpp.o"
+  "CMakeFiles/test_html_report.dir/test_html_report.cpp.o.d"
+  "test_html_report"
+  "test_html_report.pdb"
+  "test_html_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_html_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

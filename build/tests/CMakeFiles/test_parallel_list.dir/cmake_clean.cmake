@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_list.dir/test_parallel_list.cpp.o"
+  "CMakeFiles/test_parallel_list.dir/test_parallel_list.cpp.o.d"
+  "test_parallel_list"
+  "test_parallel_list.pdb"
+  "test_parallel_list[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transform_plan.dir/test_transform_plan.cpp.o"
+  "CMakeFiles/test_transform_plan.dir/test_transform_plan.cpp.o.d"
+  "test_transform_plan"
+  "test_transform_plan.pdb"
+  "test_transform_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transform_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

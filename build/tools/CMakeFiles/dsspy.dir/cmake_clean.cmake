@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsspy.dir/dsspy_cli.cpp.o"
+  "CMakeFiles/dsspy.dir/dsspy_cli.cpp.o.d"
+  "dsspy"
+  "dsspy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsspy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
