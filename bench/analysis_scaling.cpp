@@ -1,0 +1,224 @@
+// Post-mortem analysis throughput benchmark.
+//
+// Builds a synthetic workload (64 instances, >1M access events with mixed
+// access patterns), runs Dsspy::analyze sequentially and over thread pools
+// of increasing size, verifies the parallel results are bit-identical to
+// the sequential ones, and writes BENCH_analysis.json.  The same harness
+// also times the parallel ProfileStore::finalize.
+//
+// Usage: analysis_scaling [output.json] [rounds]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/dsspy.hpp"
+#include "parallel/thread_pool.hpp"
+#include "runtime/profile_store.hpp"
+
+namespace {
+
+using namespace dsspy;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kInstances = 64;
+constexpr std::size_t kEventsPerInstance = 1u << 14;  // 16384; total ~1.05M
+
+/// Synthesizes one instance's event sequence.  The op mix cycles through
+/// four archetypes so the classifier has real work to do: long inserts,
+/// insert-then-scan, frequent search, and queue-style FIFO churn.
+void synthesize_instance(std::size_t inst, std::uint64_t& seq,
+                         std::vector<runtime::AccessEvent>& out) {
+    const auto id = static_cast<runtime::InstanceId>(inst);
+    std::uint32_t size = 0;
+    std::uint64_t time_ns = seq * 50;
+    auto emit = [&](runtime::OpKind op, std::int64_t pos) {
+        runtime::AccessEvent ev;
+        ev.seq = seq++;
+        ev.time_ns = time_ns += 50;
+        ev.position = pos;
+        ev.instance = id;
+        ev.size = size;
+        ev.op = op;
+        ev.thread = static_cast<runtime::ThreadId>(inst % 8);
+        out.push_back(ev);
+    };
+    switch (inst % 4) {
+        case 0:  // long insert run
+            for (std::size_t i = 0; i < kEventsPerInstance; ++i) {
+                emit(runtime::OpKind::Add, static_cast<std::int64_t>(size));
+                ++size;
+            }
+            break;
+        case 1:  // insert a block, then forward read sweeps
+            for (std::size_t i = 0; i < kEventsPerInstance / 4; ++i) {
+                emit(runtime::OpKind::Add, static_cast<std::int64_t>(size));
+                ++size;
+            }
+            for (std::size_t sweep = 0; sweep < 3; ++sweep)
+                for (std::size_t i = 0; i < kEventsPerInstance / 4; ++i)
+                    emit(runtime::OpKind::Get, static_cast<std::int64_t>(i));
+            break;
+        case 2:  // frequent search over a small container
+            for (std::size_t i = 0; i < 64; ++i) {
+                emit(runtime::OpKind::Add, static_cast<std::int64_t>(size));
+                ++size;
+            }
+            for (std::size_t i = 64; i < kEventsPerInstance; ++i)
+                emit(runtime::OpKind::IndexOf,
+                     static_cast<std::int64_t>(i * 7 % 64));
+            break;
+        default:  // queue churn: enqueue back, dequeue front
+            for (std::size_t i = 0; i < kEventsPerInstance / 2; ++i) {
+                emit(runtime::OpKind::Add, static_cast<std::int64_t>(size));
+                ++size;
+                emit(runtime::OpKind::RemoveAt, 0);
+                --size;
+            }
+            break;
+    }
+}
+
+double ms_between(Clock::time_point t0, Clock::time_point t1) {
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                   .count()) /
+           1000.0;
+}
+
+bool identical(const core::AnalysisResult& a, const core::AnalysisResult& b) {
+    if (a.instances().size() != b.instances().size()) return false;
+    for (std::size_t i = 0; i < a.instances().size(); ++i) {
+        const core::InstanceAnalysis& x = a.instances()[i];
+        const core::InstanceAnalysis& y = b.instances()[i];
+        if (x.patterns != y.patterns) return false;
+        if (x.use_cases != y.use_cases) return false;
+        if (x.profile.info() != y.profile.info()) return false;
+        if (x.profile.total_events() != y.profile.total_events()) return false;
+    }
+    return a.total_events() == b.total_events() &&
+           a.flagged_instances() == b.flagged_instances();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string out_path = argc > 1 ? argv[1] : "BENCH_analysis.json";
+    const int rounds = argc > 2 ? std::atoi(argv[2]) : 5;
+
+    // --- build the synthetic corpus ----------------------------------------
+    std::vector<runtime::InstanceInfo> instances;
+    runtime::ProfileStore store;
+    std::uint64_t seq = 0;
+    std::vector<runtime::AccessEvent> scratch;
+    for (std::size_t inst = 0; inst < kInstances; ++inst) {
+        runtime::InstanceInfo info;
+        info.id = static_cast<runtime::InstanceId>(inst);
+        info.kind = inst % 2 == 0 ? runtime::DsKind::List
+                                  : runtime::DsKind::Array;
+        info.type_name = "List<Int64>";
+        info.location = {"Synthetic", "Workload",
+                         static_cast<std::uint32_t>(inst)};
+        instances.push_back(std::move(info));
+        scratch.clear();
+        synthesize_instance(inst, seq, scratch);
+        store.append(scratch);
+    }
+
+    // --- parallel finalize -------------------------------------------------
+    double finalize_seq_ms = 1e100;
+    double finalize_par_ms = 1e100;
+    for (int r = 0; r < rounds; ++r) {
+        auto t0 = Clock::now();
+        store.finalize(nullptr);
+        auto t1 = Clock::now();
+        finalize_seq_ms = std::min(finalize_seq_ms, ms_between(t0, t1));
+        par::ThreadPool pool(4);
+        t0 = Clock::now();
+        store.finalize(&pool);
+        t1 = Clock::now();
+        finalize_par_ms = std::min(finalize_par_ms, ms_between(t0, t1));
+    }
+
+    // --- analysis scaling --------------------------------------------------
+    const core::Dsspy analyzer;
+    const core::AnalysisResult reference = analyzer.analyze(instances, store);
+    double seq_ms = 1e100;
+    for (int r = 0; r < rounds; ++r) {
+        const auto t0 = Clock::now();
+        const core::AnalysisResult res = analyzer.analyze(instances, store);
+        const auto t1 = Clock::now();
+        seq_ms = std::min(seq_ms, ms_between(t0, t1));
+        if (!identical(reference, res)) {
+            std::fprintf(stderr, "FATAL: sequential analyze not stable\n");
+            return 1;
+        }
+    }
+
+    struct PoolResult {
+        unsigned threads;
+        double ms;
+    };
+    std::vector<PoolResult> pool_results;
+    bool all_identical = true;
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        par::ThreadPool pool(threads);
+        double best = 1e100;
+        for (int r = 0; r < rounds; ++r) {
+            const auto t0 = Clock::now();
+            const core::AnalysisResult res =
+                analyzer.analyze(instances, store, &pool);
+            const auto t1 = Clock::now();
+            best = std::min(best, ms_between(t0, t1));
+            if (!identical(reference, res)) {
+                all_identical = false;
+                std::fprintf(stderr,
+                             "FATAL: parallel analyze (%u threads) deviates "
+                             "from sequential result\n",
+                             threads);
+            }
+        }
+        pool_results.push_back({threads, best});
+    }
+
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::perror("analysis_scaling: fopen");
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"analysis_scaling\",\n");
+    std::fprintf(f, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"instances\": %zu,\n", kInstances);
+    std::fprintf(f, "  \"events\": %llu,\n",
+                 static_cast<unsigned long long>(store.total_events()));
+    std::fprintf(f, "  \"rounds\": %d,\n", rounds);
+    std::fprintf(f, "  \"finalize_sequential_ms\": %.3f,\n", finalize_seq_ms);
+    std::fprintf(f, "  \"finalize_pool4_ms\": %.3f,\n", finalize_par_ms);
+    std::fprintf(f, "  \"analyze_sequential_ms\": %.3f,\n", seq_ms);
+    std::fprintf(f, "  \"analyze_pool\": [\n");
+    for (std::size_t i = 0; i < pool_results.size(); ++i) {
+        const PoolResult& pr = pool_results[i];
+        std::fprintf(f,
+                     "    {\"threads\": %u, \"ms\": %.3f, "
+                     "\"speedup_vs_sequential\": %.2f}%s\n",
+                     pr.threads, pr.ms, pr.ms > 0 ? seq_ms / pr.ms : 0.0,
+                     i + 1 < pool_results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"parallel_identical_to_sequential\": %s\n",
+                 all_identical ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+
+    std::printf("events=%llu  analyze: seq %.3f ms",
+                static_cast<unsigned long long>(store.total_events()), seq_ms);
+    for (const PoolResult& pr : pool_results)
+        std::printf("  pool%u %.3f ms (%.2fx)", pr.threads, pr.ms,
+                    seq_ms / pr.ms);
+    std::printf("  identical=%s\n", all_identical ? "yes" : "NO");
+    std::printf("wrote %s\n", out_path.c_str());
+    return all_identical ? 0 : 1;
+}

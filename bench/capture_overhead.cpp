@@ -1,0 +1,201 @@
+// Capture-path overhead benchmark.
+//
+// Times the record() hot path in both capture modes, single- and
+// multi-threaded, against the uninstrumented baseline, and writes the
+// results as machine-readable JSON (default: BENCH_capture.json) so the
+// perf trajectory of the capture path is tracked across PRs.  The paper
+// reports an average 47x capture slowdown (Table IV); this file is the
+// regression guard for our low-overhead reimplementation.
+//
+// Usage: capture_overhead [output.json] [rounds]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ds/profiled_list.hpp"
+#include "runtime/session.hpp"
+
+namespace {
+
+using namespace dsspy;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kOpsPerRound = 1u << 16;
+
+double ns_per_op(Clock::time_point t0, Clock::time_point t1,
+                 std::size_t ops) {
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                   .count()) /
+           static_cast<double>(ops);
+}
+
+/// Run `body(ops)` `rounds` times; return the fastest ns/op observed (the
+/// minimum is the most noise-robust statistic on a shared machine).
+template <typename Body>
+double best_ns_per_op(int rounds, Body body) {
+    double best = 1e100;
+    for (int r = 0; r < rounds; ++r) {
+        const auto t0 = Clock::now();
+        body(kOpsPerRound);
+        const auto t1 = Clock::now();
+        best = std::min(best, ns_per_op(t0, t1, kOpsPerRound));
+    }
+    return best;
+}
+
+double bench_plain_list(int rounds) {
+    return best_ns_per_op(rounds, [](std::size_t ops) {
+        ds::List<std::int64_t> list;
+        for (std::size_t i = 0; i < ops; ++i)
+            list.add(static_cast<std::int64_t>(i));
+    });
+}
+
+double bench_null_session(int rounds) {
+    return best_ns_per_op(rounds, [](std::size_t ops) {
+        ds::ProfiledList<std::int64_t> list(nullptr, {"Bench", "Null", 1});
+        for (std::size_t i = 0; i < ops; ++i)
+            list.add(static_cast<std::int64_t>(i));
+    });
+}
+
+/// Times only the record() loop; session setup and stop()/finalize stay
+/// outside the timed window (they are not the per-event hot path).
+double bench_record(runtime::CaptureMode mode, int rounds) {
+    double best = 1e100;
+    for (int r = 0; r < rounds; ++r) {
+        runtime::ProfilingSession session(mode);
+        const runtime::InstanceId id = session.register_instance(
+            runtime::DsKind::List, "List<Int64>", {"Bench", "Record", 1});
+        const auto t0 = Clock::now();
+        for (std::size_t i = 0; i < kOpsPerRound; ++i)
+            session.record(id, runtime::OpKind::Add,
+                           static_cast<std::int64_t>(i),
+                           static_cast<std::uint32_t>(i + 1));
+        const auto t1 = Clock::now();
+        session.stop();
+        best = std::min(best, ns_per_op(t0, t1, kOpsPerRound));
+    }
+    return best;
+}
+
+double bench_profiled_list(runtime::CaptureMode mode, int rounds) {
+    double best = 1e100;
+    for (int r = 0; r < rounds; ++r) {
+        runtime::ProfilingSession session(mode);
+        ds::ProfiledList<std::int64_t> list(&session, {"Bench", "List", 1});
+        const auto t0 = Clock::now();
+        for (std::size_t i = 0; i < kOpsPerRound; ++i)
+            list.add(static_cast<std::int64_t>(i));
+        const auto t1 = Clock::now();
+        session.stop();
+        best = std::min(best, ns_per_op(t0, t1, kOpsPerRound));
+    }
+    return best;
+}
+
+/// Multi-producer record(): `threads` producers hammer one session; the
+/// reported figure is wall-time per event across all producers.
+double bench_record_mt(runtime::CaptureMode mode, unsigned threads,
+                       int rounds) {
+    double best = 1e100;
+    for (int r = 0; r < rounds; ++r) {
+        runtime::ProfilingSession session(mode);
+        std::vector<runtime::InstanceId> ids;
+        for (unsigned t = 0; t < threads; ++t)
+            ids.push_back(session.register_instance(
+                runtime::DsKind::List, "List<Int64>", {"Bench", "MT", t}));
+        const auto t0 = Clock::now();
+        {
+            std::vector<std::thread> workers;
+            for (unsigned t = 0; t < threads; ++t) {
+                workers.emplace_back([&session, &ids, t] {
+                    const runtime::InstanceId id = ids[t];
+                    for (std::size_t i = 0; i < kOpsPerRound; ++i)
+                        session.record(id, runtime::OpKind::Add,
+                                       static_cast<std::int64_t>(i),
+                                       static_cast<std::uint32_t>(i + 1));
+                });
+            }
+            for (auto& w : workers) w.join();
+        }
+        const auto t1 = Clock::now();
+        session.stop();
+        best = std::min(best, ns_per_op(t0, t1, kOpsPerRound * threads));
+    }
+    return best;
+}
+
+struct Result {
+    std::string name;
+    double ns;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string out_path = argc > 1 ? argv[1] : "BENCH_capture.json";
+    const int rounds = argc > 2 ? std::atoi(argv[2]) : 9;
+
+    std::vector<Result> results;
+    const double plain = bench_plain_list(rounds);
+    results.push_back({"plain_list_add", plain});
+    results.push_back({"null_session_list_add", bench_null_session(rounds)});
+    results.push_back(
+        {"record_buffered", bench_record(runtime::CaptureMode::Buffered,
+                                         rounds)});
+    results.push_back(
+        {"record_streaming", bench_record(runtime::CaptureMode::Streaming,
+                                          rounds)});
+    results.push_back(
+        {"list_add_buffered",
+         bench_profiled_list(runtime::CaptureMode::Buffered, rounds)});
+    results.push_back(
+        {"list_add_streaming",
+         bench_profiled_list(runtime::CaptureMode::Streaming, rounds)});
+    results.push_back(
+        {"record_buffered_mt4",
+         bench_record_mt(runtime::CaptureMode::Buffered, 4, rounds)});
+    results.push_back(
+        {"record_streaming_mt4",
+         bench_record_mt(runtime::CaptureMode::Streaming, 4, rounds)});
+
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::perror("capture_overhead: fopen");
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"capture_overhead\",\n");
+    std::fprintf(f, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"ops_per_round\": %zu,\n", kOpsPerRound);
+    std::fprintf(f, "  \"rounds\": %d,\n", rounds);
+    std::fprintf(f, "  \"seq_block_size\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     runtime::ProfilingSession::kSeqBlockSize));
+    std::fprintf(f, "  \"timestamp_stride\": %u,\n",
+                 runtime::ProfilingSession::kTimestampStride);
+    std::fprintf(f, "  \"results\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Result& res = results[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"ns_per_op\": %.2f, "
+                     "\"slowdown_vs_plain\": %.2f}%s\n",
+                     res.name.c_str(), res.ns,
+                     plain > 0 ? res.ns / plain : 0.0,
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+
+    for (const Result& res : results)
+        std::printf("%-24s %10.2f ns/op  (%5.1fx plain)\n", res.name.c_str(),
+                    res.ns, plain > 0 ? res.ns / plain : 0.0);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -3,6 +3,7 @@
 // parallel primitives behind the recommended actions.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <vector>
 
 #include "core/dsspy.hpp"
@@ -59,6 +60,33 @@ void BM_ListAdd_Streaming(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * 1024);
 }
 BENCHMARK(BM_ListAdd_Streaming);
+
+// Raw record() hot path, without the container proxy around it.
+void BM_Record_Buffered(benchmark::State& state) {
+    runtime::ProfilingSession session(runtime::CaptureMode::Buffered);
+    const runtime::InstanceId id = session.register_instance(
+        runtime::DsKind::List, "List<Int64>", {"B", "M", 1});
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i)
+            session.record(id, runtime::OpKind::Add, i,
+                           static_cast<std::uint32_t>(i + 1));
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Record_Buffered);
+
+void BM_Record_Streaming(benchmark::State& state) {
+    runtime::ProfilingSession session(runtime::CaptureMode::Streaming);
+    const runtime::InstanceId id = session.register_instance(
+        runtime::DsKind::List, "List<Int64>", {"B", "M", 1});
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i)
+            session.record(id, runtime::OpKind::Add, i,
+                           static_cast<std::uint32_t>(i + 1));
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Record_Streaming);
 
 void BM_ListGet_Buffered(benchmark::State& state) {
     runtime::ProfilingSession session(runtime::CaptureMode::Buffered);
@@ -140,6 +168,35 @@ void BM_FullAnalysis(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_FullAnalysis);
+
+// Parallel post-mortem analysis over a shared session; Arg = pool threads
+// (0 = sequential baseline).
+void BM_FullAnalysis_Pool(benchmark::State& state) {
+    static runtime::ProfilingSession* session = [] {
+        auto* s = new runtime::ProfilingSession();
+        for (int inst = 0; inst < 64; ++inst) {
+            ds::ProfiledList<int> list(
+                s, {"B", "M", static_cast<std::uint32_t>(inst)});
+            for (int i = 0; i < 2000; ++i) list.add(i);
+            for (std::size_t i = 0; i < list.count(); ++i)
+                benchmark::DoNotOptimize(list.get(i));
+        }
+        s->stop();
+        return s;
+    }();
+    const core::Dsspy analyzer;
+    const auto threads = static_cast<unsigned>(state.range(0));
+    std::unique_ptr<par::ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<par::ThreadPool>(threads);
+    for (auto _ : state) {
+        auto result = analyzer.analyze(*session, pool.get());
+        benchmark::DoNotOptimize(result.total_instances());
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(session->store().total_events()));
+}
+BENCHMARK(BM_FullAnalysis_Pool)->Arg(0)->Arg(1)->Arg(2)->Arg(4);
 
 // --- parallel primitives (the recommended actions) ---------------------------
 

@@ -1,5 +1,7 @@
 #include "core/dsspy.hpp"
 
+#include "parallel/parallel_for.hpp"
+
 namespace dsspy::core {
 
 std::vector<UseCase> AnalysisResult::all_use_cases() const {
@@ -35,14 +37,14 @@ double AnalysisResult::search_space_reduction() const noexcept {
                      static_cast<double>(list_array_instances_);
 }
 
-AnalysisResult Dsspy::analyze(
-    const runtime::ProfilingSession& session) const {
-    return analyze(session.registry().snapshot(), session.store());
+AnalysisResult Dsspy::analyze(const runtime::ProfilingSession& session,
+                              par::ThreadPool* pool) const {
+    return analyze(session.registry().snapshot(), session.store(), pool);
 }
 
 AnalysisResult Dsspy::analyze(
     const std::vector<runtime::InstanceInfo>& instances,
-    const runtime::ProfileStore& store) const {
+    const runtime::ProfileStore& store, par::ThreadPool* pool) const {
     AnalysisResult result;
     result.total_instances_ = instances.size();
     result.total_events_ = store.total_events();
@@ -51,12 +53,25 @@ AnalysisResult Dsspy::analyze(
         if (info.kind == runtime::DsKind::List ||
             info.kind == runtime::DsKind::Array)
             ++result.list_array_instances_;
+    }
 
-        InstanceAnalysis ia;
-        ia.profile = RuntimeProfile(info, store.events(info.id));
-        ia.patterns = detector_.detect(ia.profile);
-        ia.use_cases = engine_.classify(ia.profile, ia.patterns);
-        result.instances_.push_back(std::move(ia));
+    // Each instance is independent (stateless detector/engine, read-only
+    // store) and writes only its pre-sized slot, so the parallel loop is
+    // deterministic: same instances, same order, same bits.
+    result.instances_.resize(instances.size());
+    auto analyze_range = [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            const runtime::InstanceInfo& info = instances[i];
+            InstanceAnalysis& ia = result.instances_[i];
+            ia.profile = RuntimeProfile(info, store.events(info.id));
+            ia.patterns = detector_.detect(ia.profile);
+            ia.use_cases = engine_.classify(ia.profile, ia.patterns);
+        }
+    };
+    if (pool != nullptr && instances.size() > 1) {
+        par::parallel_for_chunks(*pool, 0, instances.size(), analyze_range);
+    } else {
+        analyze_range(0, instances.size());
     }
     return result;
 }

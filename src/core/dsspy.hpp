@@ -16,6 +16,10 @@
 #include "core/use_cases.hpp"
 #include "runtime/session.hpp"
 
+namespace dsspy::par {
+class ThreadPool;
+}
+
 namespace dsspy::core {
 
 /// Per-instance analysis output: the profile view, its patterns, and the
@@ -91,16 +95,21 @@ public:
         : config_(config), detector_(config), engine_(config) {}
 
     /// Analyze a stopped session: build a profile per instance, detect
-    /// patterns, classify use cases.
+    /// patterns, classify use cases.  With a pool, instances are analyzed
+    /// in parallel; the result is bit-identical to the sequential run (the
+    /// detector and engine are stateless and each instance writes its own
+    /// pre-allocated slot).
     [[nodiscard]] AnalysisResult analyze(
-        const runtime::ProfilingSession& session) const;
+        const runtime::ProfilingSession& session,
+        par::ThreadPool* pool = nullptr) const;
 
     /// Analyze explicit instance metadata + a finalized store (e.g. a
     /// trace deserialized with runtime::read_trace).  The store must
     /// outlive the result.
     [[nodiscard]] AnalysisResult analyze(
         const std::vector<runtime::InstanceInfo>& instances,
-        const runtime::ProfileStore& store) const;
+        const runtime::ProfileStore& store,
+        par::ThreadPool* pool = nullptr) const;
 
     [[nodiscard]] const DetectorConfig& config() const noexcept {
         return config_;

@@ -82,6 +82,8 @@ struct Pattern {
     double coverage = 0.0;      ///< Touched share of the container (0..1].
     runtime::ThreadId thread = 0;
     bool synthetic = false;     ///< Materialized from a ForAll event.
+
+    friend bool operator==(const Pattern&, const Pattern&) = default;
 };
 
 /// Locates the eight patterns in a runtime profile.

@@ -101,6 +101,8 @@ struct UseCase {
     /// ~0.5 at the threshold, 1.0 at twice the threshold or beyond.
     /// Used to rank recommendations (most clear-cut first).
     double confidence = 0.5;
+
+    friend bool operator==(const UseCase&, const UseCase&) = default;
 };
 
 /// Applies the use-case rules to a profile and its detected patterns.

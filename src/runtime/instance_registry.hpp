@@ -24,6 +24,8 @@ struct InstanceInfo {
     std::string type_name;            ///< e.g. "List<Int32>".
     support::SourceLoc location;      ///< Instantiation site.
     bool deallocated = false;         ///< Instance lifetime ended.
+
+    friend bool operator==(const InstanceInfo&, const InstanceInfo&) = default;
 };
 
 /// Thread-safe, append-only registry of instances.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "parallel/parallel_for.hpp"
+
 namespace dsspy::runtime {
 
 ProfileStore::ProfileStore(ProfileStore&& other) noexcept {
@@ -27,23 +29,44 @@ ProfileStore& ProfileStore::operator=(ProfileStore&& other) noexcept {
 
 void ProfileStore::append(std::span<const AccessEvent> events) {
     std::scoped_lock lock(mutex_);
-    for (const AccessEvent& ev : events) {
-        if (ev.instance == kInvalidInstance) continue;
-        if (ev.instance >= per_instance_.size())
-            per_instance_.resize(ev.instance + 1);
-        per_instance_[ev.instance].push_back(ev);
-        ++total_;
+    // Batch by instance: consecutive events for the same instance (the
+    // common case — a collector drain batch comes from one thread's ring,
+    // and threads tend to work one container at a time) become a single
+    // range insert instead of per-event push_backs.
+    std::size_t i = 0;
+    const std::size_t n = events.size();
+    while (i < n) {
+        const InstanceId inst = events[i].instance;
+        std::size_t j = i + 1;
+        while (j < n && events[j].instance == inst) ++j;
+        if (inst != kInvalidInstance) {
+            if (inst >= per_instance_.size())
+                per_instance_.resize(inst + 1);
+            auto& seq = per_instance_[inst];
+            seq.insert(seq.end(), events.begin() + static_cast<std::ptrdiff_t>(i),
+                       events.begin() + static_cast<std::ptrdiff_t>(j));
+            total_ += j - i;
+        }
+        i = j;
     }
     finalized_ = false;
 }
 
-void ProfileStore::finalize() {
+void ProfileStore::finalize(par::ThreadPool* pool) {
     std::scoped_lock lock(mutex_);
-    for (auto& seq : per_instance_) {
-        std::sort(seq.begin(), seq.end(),
-                  [](const AccessEvent& a, const AccessEvent& b) {
-                      return a.seq < b.seq;
-                  });
+    auto sort_range = [this](std::size_t lo, std::size_t hi) {
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+            auto& seq = per_instance_[idx];
+            std::sort(seq.begin(), seq.end(),
+                      [](const AccessEvent& a, const AccessEvent& b) {
+                          return a.seq < b.seq;
+                      });
+        }
+    };
+    if (pool != nullptr && per_instance_.size() > 1) {
+        par::parallel_for_chunks(*pool, 0, per_instance_.size(), sort_range);
+    } else {
+        sort_range(0, per_instance_.size());
     }
     finalized_ = true;
 }

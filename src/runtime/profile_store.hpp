@@ -13,6 +13,10 @@
 
 #include "runtime/access_event.hpp"
 
+namespace dsspy::par {
+class ThreadPool;
+}
+
 namespace dsspy::runtime {
 
 /// Accumulates events per instance; thread-safe for concurrent appends.
@@ -31,11 +35,15 @@ public:
     ProfileStore(const ProfileStore&) = delete;
     ProfileStore& operator=(const ProfileStore&) = delete;
 
-    /// Append a batch of events (collector thread or merge path).
+    /// Append a batch of events (collector thread or merge path).  Runs of
+    /// consecutive events targeting the same instance are bulk-inserted.
     void append(std::span<const AccessEvent> events);
 
     /// Sort all per-instance sequences by `seq`.  Call once after capture.
-    void finalize();
+    /// With a pool, the per-instance sorts run in parallel (the result is
+    /// identical: `seq` values are globally unique, so the comparator is a
+    /// strict total order).
+    void finalize(par::ThreadPool* pool = nullptr);
 
     /// Event sequence of one instance (empty if none were recorded).
     /// Only valid to call after `finalize()`; the returned span is

@@ -1,11 +1,31 @@
 #include "runtime/session.hpp"
 
+#include <algorithm>
 #include <array>
+#include <cassert>
 #include <chrono>
+#include <span>
+
+#include "parallel/thread_pool.hpp"
 
 namespace dsspy::runtime {
 
 namespace {
+
+/// Events below this count are finalized sequentially; above it the
+/// per-instance sorts go to the shared thread pool.
+constexpr std::size_t kParallelFinalizeThreshold = 1u << 16;
+
+/// Collector backoff: yield this many empty rounds before sleeping.
+constexpr unsigned kCollectorYieldRounds = 32;
+
+/// Collector backoff: cap the timed sleep (microseconds, power of two).
+constexpr unsigned kCollectorMaxSleepLog2 = 8;  // 256 us
+
+/// Buffered-mode chunk sizing: 4K events (128 KiB) first, doubling to a
+/// 64K-event (2 MiB) steady state.
+constexpr std::size_t kFirstChunkEvents = 4096;
+constexpr std::size_t kMaxChunkEvents = 1u << 16;
 
 std::uint64_t steady_now_ns() noexcept {
     return static_cast<std::uint64_t>(
@@ -34,11 +54,20 @@ thread_local std::array<ThreadSlot, 4> t_slots{};
 ProfilingSession::Channel::Channel(ThreadId id, CaptureMode mode,
                                    std::size_t ring_capacity)
     : tid(id) {
-    if (mode == CaptureMode::Streaming) {
+    if (mode == CaptureMode::Streaming)
         ring = std::make_unique<SpscRing<AccessEvent>>(ring_capacity);
-    } else {
-        buffer.reserve(4096);
-    }
+    // Buffered mode allocates its first chunk lazily on the first record.
+}
+
+void ProfilingSession::Channel::grow_chunk() {
+    const std::size_t cap =
+        chunks.empty()
+            ? kFirstChunkEvents
+            : std::min(chunks.back().capacity * 2, kMaxChunkEvents);
+    chunks.push_back(Chunk{
+        std::make_unique_for_overwrite<AccessEvent[]>(cap), cap});
+    write_pos = chunks.back().events.get();
+    write_end = write_pos + cap;
 }
 
 ProfilingSession::ProfilingSession(CaptureMode mode, std::size_t ring_capacity)
@@ -52,7 +81,15 @@ ProfilingSession::ProfilingSession(CaptureMode mode, std::size_t ring_capacity)
     }
 }
 
-ProfilingSession::~ProfilingSession() { stop(); }
+ProfilingSession::~ProfilingSession() {
+    stop();
+    Channel* chan = channels_head_.load(std::memory_order_acquire);
+    while (chan != nullptr) {
+        Channel* next = chan->next;
+        delete chan;
+        chan = next;
+    }
+}
 
 InstanceId ProfilingSession::register_instance(DsKind kind,
                                                std::string type_name,
@@ -70,11 +107,17 @@ ProfilingSession::Channel& ProfilingSession::channel_for_current_thread() {
         if (slot.token == token_)
             return *static_cast<Channel*>(slot.channel);
     }
-    // Slow path: register this thread with the session.
-    std::scoped_lock lock(channels_mutex_);
-    const auto tid = static_cast<ThreadId>(channels_.size());
-    channels_.push_back(std::make_unique<Channel>(tid, mode_, ring_capacity_));
-    Channel* chan = channels_.back().get();
+    // Slow path: register this thread with the session.  Push-front onto
+    // the lock-free list — neither the collector nor other producers are
+    // ever stalled by a registration.
+    const auto tid = static_cast<ThreadId>(
+        next_tid_.fetch_add(1, std::memory_order_relaxed));
+    auto* chan = new Channel(tid, mode_, ring_capacity_);
+    Channel* head = channels_head_.load(std::memory_order_relaxed);
+    do {
+        chan->next = head;
+    } while (!channels_head_.compare_exchange_weak(
+        head, chan, std::memory_order_release, std::memory_order_relaxed));
     // Install into the least-recently-used slot (slot 0 shifts down).
     for (std::size_t i = t_slots.size() - 1; i > 0; --i)
         t_slots[i] = t_slots[i - 1];
@@ -85,11 +128,34 @@ ProfilingSession::Channel& ProfilingSession::channel_for_current_thread() {
 void ProfilingSession::record(InstanceId instance, OpKind op,
                               std::int64_t position,
                               std::uint32_t size) noexcept {
-    if (!capturing_.load(std::memory_order_relaxed)) return;
+    if (!capturing_.load(std::memory_order_acquire)) return;
     Channel& chan = channel_for_current_thread();
+    if (chan.sealed.load(std::memory_order_relaxed)) {
+        // Quiesce-contract violation: a record raced stop().  Loud in debug
+        // builds, dropped in release builds.
+        assert(false && "record() after stop(): recording threads must be "
+                        "quiesced before stopping the session");
+        return;
+    }
+
     AccessEvent ev;
-    ev.seq = seq_.fetch_add(1, std::memory_order_relaxed);
-    ev.time_ns = now_ns();
+    if (chan.next_seq == chan.seq_block_end) {
+        const std::uint64_t base =
+            seq_alloc_.fetch_add(kSeqBlockSize, std::memory_order_relaxed);
+        chan.next_seq = base;
+        chan.seq_block_end = base + kSeqBlockSize;
+        // A fresh block also refreshes the timestamp, bounding the skew
+        // between a thread's seq block and its clock readings.
+        chan.last_ts_ns = steady_now_ns();
+        chan.ts_countdown = kTimestampStride;
+    }
+    ev.seq = chan.next_seq++;
+    if (chan.ts_countdown == 0) {
+        chan.last_ts_ns = steady_now_ns();
+        chan.ts_countdown = kTimestampStride;
+    }
+    --chan.ts_countdown;
+    ev.time_ns = chan.last_ts_ns;
     ev.position = position;
     ev.instance = instance;
     ev.size = size;
@@ -97,13 +163,26 @@ void ProfilingSession::record(InstanceId instance, OpKind op,
     ev.thread = chan.tid;
 
     if (mode_ == CaptureMode::Buffered) {
-        chan.buffer.push_back(ev);
+        if (chan.write_pos == chan.write_end) chan.grow_chunk();
+        *chan.write_pos++ = ev;
     } else {
         // Blocking backpressure: the mutator waits for the collector rather
         // than dropping events — profiles must be complete for the pattern
-        // analysis to be meaningful.
-        while (!chan.ring->try_push(ev)) std::this_thread::yield();
+        // analysis to be meaningful.  Escalate from yield to a short sleep
+        // in case the collector is in its idle backoff.
+        unsigned spins = 0;
+        while (!chan.ring->try_push(ev)) {
+            if (++spins < 64) {
+                std::this_thread::yield();
+            } else {
+                std::this_thread::sleep_for(std::chrono::microseconds(10));
+            }
+        }
     }
+    // Release-publish the completed record; stop() acquire-reads this count
+    // so every merged event is fully visible (single writer: plain add).
+    chan.events.store(chan.events.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_release);
 }
 
 std::uint64_t ProfilingSession::now_ns() const noexcept {
@@ -112,27 +191,41 @@ std::uint64_t ProfilingSession::now_ns() const noexcept {
 
 void ProfilingSession::collector_loop(const std::stop_token& st) {
     std::array<AccessEvent, 1024> batch;
+    unsigned idle_rounds = 0;
     while (!st.stop_requested()) {
         bool any = false;
-        {
-            std::scoped_lock lock(channels_mutex_);
-            for (const auto& chan : channels_) {
-                const std::size_t n = chan->ring->pop_into(batch);
-                if (n > 0) {
-                    store_.append(std::span(batch.data(), n));
-                    any = true;
-                }
+        for (Channel* chan = channels_head_.load(std::memory_order_acquire);
+             chan != nullptr; chan = chan->next) {
+            const std::size_t n = chan->ring->pop_into(batch);
+            if (n > 0) {
+                store_.append(std::span(batch.data(), n));
+                any = true;
             }
         }
-        if (!any) std::this_thread::yield();
+        if (any) {
+            idle_rounds = 0;
+            continue;
+        }
+        // Idle: back off exponentially instead of burning a core.  Start
+        // with yields (cheap wakeup while producers are merely between
+        // events), end in a bounded timed sleep.
+        ++idle_rounds;
+        if (idle_rounds <= kCollectorYieldRounds) {
+            std::this_thread::yield();
+        } else {
+            const unsigned exp = idle_rounds - kCollectorYieldRounds;
+            const unsigned log2 =
+                exp < kCollectorMaxSleepLog2 ? exp : kCollectorMaxSleepLog2;
+            std::this_thread::sleep_for(std::chrono::microseconds(1u << log2));
+        }
     }
     drain_all_rings();
 }
 
 void ProfilingSession::drain_all_rings() {
     std::array<AccessEvent, 1024> batch;
-    std::scoped_lock lock(channels_mutex_);
-    for (const auto& chan : channels_) {
+    for (Channel* chan = channels_head_.load(std::memory_order_acquire);
+         chan != nullptr; chan = chan->next) {
         if (!chan->ring) continue;
         std::size_t n;
         while ((n = chan->ring->pop_into(batch)) > 0)
@@ -152,16 +245,42 @@ void ProfilingSession::stop() {
             collector_.request_stop();
             collector_.join();  // collector drains remaining events on exit
         }
+        for (Channel* chan = channels_head_.load(std::memory_order_acquire);
+             chan != nullptr; chan = chan->next)
+            chan->sealed.store(true, std::memory_order_release);
     } else {
-        std::scoped_lock lock(channels_mutex_);
-        for (const auto& chan : channels_) store_.append(chan->buffer);
+        for (Channel* chan = channels_head_.load(std::memory_order_acquire);
+             chan != nullptr; chan = chan->next) {
+            chan->sealed.store(true, std::memory_order_release);
+            // The acquire pairs with the release in record(): exactly the
+            // events whose writes are fully published are merged.
+            std::uint64_t remaining =
+                chan->events.load(std::memory_order_acquire);
+            for (const Channel::Chunk& chunk : chan->chunks) {
+                if (remaining == 0) break;
+                const std::size_t n = static_cast<std::size_t>(
+                    std::min<std::uint64_t>(remaining, chunk.capacity));
+                store_.append(std::span(chunk.events.get(), n));
+                remaining -= n;
+            }
+        }
     }
-    store_.finalize();
+    store_.finalize(store_.total_events() >= kParallelFinalizeThreshold
+                        ? &par::ThreadPool::default_pool()
+                        : nullptr);
 }
 
-std::size_t ProfilingSession::thread_count() const {
-    std::scoped_lock lock(channels_mutex_);
-    return channels_.size();
+std::size_t ProfilingSession::thread_count() const noexcept {
+    return next_tid_.load(std::memory_order_acquire);
+}
+
+std::uint64_t ProfilingSession::events_recorded() const noexcept {
+    std::uint64_t total = 0;
+    for (const Channel* chan =
+             channels_head_.load(std::memory_order_acquire);
+         chan != nullptr; chan = chan->next)
+        total += chan->events.load(std::memory_order_acquire);
+    return total;
 }
 
 std::uint64_t ProfilingSession::capture_duration_ns() const noexcept {
