@@ -7,8 +7,12 @@
 //   2. an "analysis process" loads the trace file — no access to the
 //      original program — and produces the full report, and
 //   3. a hand-written trace (as a foreign tool would emit) is analyzed
-//      the same way.
+//      the same way, and
+//   4. the same session is persisted as compact DST1 binary and read back
+//      through the auto-detecting file API (which throws on missing
+//      files — a lost trace is an error, not an empty profile).
 #include <algorithm>
+#include <cstdio>
 #include <iostream>
 #include <sstream>
 
@@ -88,13 +92,46 @@ std::string foreign_trace() {
     return out.str();
 }
 
+/// Persist the CSV trace as DST1 binary, reload it through the
+/// format-auto-detecting file API, and show the size difference.
+void binary_round_trip(const std::string& trace_text) {
+    using namespace dsspy;
+    std::istringstream in(trace_text);
+    const runtime::Trace trace = runtime::read_trace(in);
+
+    const std::string path = "offline_analysis_trace.dst";
+    if (!runtime::write_trace_file(path, trace.instances, trace.store,
+                                   runtime::TraceFormat::Binary)) {
+        std::cerr << "[binary] failed to write " << path << '\n';
+        return;
+    }
+    const runtime::Trace reloaded = runtime::read_trace_file(path);
+    std::cout << "[binary] " << trace_text.size() << " bytes of CSV became "
+              << "a DST1 file holding " << reloaded.store.total_events()
+              << " events\n";
+    std::remove(path.c_str());
+
+    // A missing trace file throws — callers cannot confuse "file gone"
+    // with "program recorded nothing".
+    try {
+        (void)runtime::read_trace_file(path);
+    } catch (const std::runtime_error& e) {
+        std::cout << "[binary] re-reading the deleted file throws: "
+                  << e.what() << '\n';
+    }
+}
+
 }  // namespace
 
 int main() {
     std::cout << "=== Decoupled capture/analysis ===\n";
-    analyze_phase(record_phase());
+    const std::string trace_text = record_phase();
+    analyze_phase(trace_text);
 
     std::cout << "\n=== Foreign (hand-written) trace ===\n";
     analyze_phase(foreign_trace());
+
+    std::cout << "\n=== Binary (DST1) persistence ===\n";
+    binary_round_trip(trace_text);
     return 0;
 }

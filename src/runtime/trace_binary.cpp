@@ -1,0 +1,357 @@
+#include "runtime/trace_binary.hpp"
+
+#include <cstring>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace dsspy::runtime {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("trace_io: " + what);
+}
+
+// ---------------------------------------------------------------- encoding
+
+void put_u32(std::string& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out += static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out += static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+/// LEB128: 7 value bits per byte, high bit = continuation.
+void put_varint(std::string& out, std::uint64_t v) {
+    while (v >= 0x80) {
+        out += static_cast<char>((v & 0x7F) | 0x80);
+        v >>= 7;
+    }
+    out += static_cast<char>(v);
+}
+
+/// Zigzag folds small negative deltas into small varints.
+std::uint64_t zigzag(std::uint64_t delta) {
+    const auto s = static_cast<std::int64_t>(delta);
+    return (static_cast<std::uint64_t>(s) << 1) ^
+           static_cast<std::uint64_t>(s >> 63);
+}
+
+void put_delta(std::string& out, std::uint64_t cur, std::uint64_t prev) {
+    put_varint(out, zigzag(cur - prev));  // mod-2^64 delta: exact round trip
+}
+
+void put_string(std::string& out, const std::string& s) {
+    put_varint(out, s.size());
+    out += s;
+}
+
+// Control-byte flags: each bit marks one field as "took its common delta"
+// (see trace_binary.hpp); clear bits have an explicit value following.
+enum : std::uint8_t {
+    kSeqPlusOne = 1u << 0,
+    kTimeSame = 1u << 1,
+    kSameInstance = 1u << 2,
+    kSameOp = 1u << 3,
+    kPosPlusOne = 1u << 4,
+    kSizeSame = 1u << 5,
+    kSameThread = 1u << 6,
+    kControlReserved = 1u << 7,
+};
+
+/// Chunk-local delta baseline (all fields zero — AccessEvent's defaults
+/// use sentinels, so build it explicitly).
+AccessEvent chunk_baseline() {
+    AccessEvent ev;
+    ev.instance = 0;
+    ev.op = OpKind::Get;
+    return ev;
+}
+
+void put_event(std::string& out, const AccessEvent& ev,
+               const AccessEvent& prev) {
+    const auto upos = static_cast<std::uint64_t>(ev.position);
+    const auto uprev_pos = static_cast<std::uint64_t>(prev.position);
+    std::uint8_t control = 0;
+    if (ev.seq == prev.seq + 1) control |= kSeqPlusOne;
+    if (ev.time_ns == prev.time_ns) control |= kTimeSame;
+    if (ev.instance == prev.instance) control |= kSameInstance;
+    if (ev.op == prev.op) control |= kSameOp;
+    if (upos == uprev_pos + 1) control |= kPosPlusOne;
+    if (ev.size == prev.size) control |= kSizeSame;
+    if (ev.thread == prev.thread) control |= kSameThread;
+    out += static_cast<char>(control);
+    if (!(control & kSeqPlusOne)) put_delta(out, ev.seq, prev.seq);
+    if (!(control & kTimeSame)) put_delta(out, ev.time_ns, prev.time_ns);
+    if (!(control & kSameInstance))
+        put_delta(out, ev.instance, prev.instance);
+    if (!(control & kSameOp)) out += static_cast<char>(ev.op);
+    if (!(control & kPosPlusOne)) put_delta(out, upos, uprev_pos);
+    if (!(control & kSizeSame)) put_delta(out, ev.size, prev.size);
+    if (!(control & kSameThread)) put_delta(out, ev.thread, prev.thread);
+}
+
+// ---------------------------------------------------------------- decoding
+
+/// Bounded byte cursor; every read checks the remaining length.
+struct Cursor {
+    const unsigned char* ptr;
+    const unsigned char* end;
+
+    [[nodiscard]] std::size_t remaining() const {
+        return static_cast<std::size_t>(end - ptr);
+    }
+
+    std::uint32_t u32() {
+        if (remaining() < 4) fail("truncated fixed-width field");
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) v |= std::uint32_t{ptr[i]} << (8 * i);
+        ptr += 4;
+        return v;
+    }
+
+    std::uint64_t u64() {
+        if (remaining() < 8) fail("truncated fixed-width field");
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) v |= std::uint64_t{ptr[i]} << (8 * i);
+        ptr += 8;
+        return v;
+    }
+
+    std::uint8_t u8() {
+        if (remaining() < 1) fail("truncated byte field");
+        return *ptr++;
+    }
+
+    std::uint64_t varint() {
+        std::uint64_t v = 0;
+        for (unsigned shift = 0; shift < 64; shift += 7) {
+            if (ptr == end) fail("unterminated varint");
+            const unsigned char byte = *ptr++;
+            v |= std::uint64_t{byte & 0x7Fu} << shift;
+            if ((byte & 0x80u) == 0) {
+                // The 10th byte carries only bit 63: anything above is
+                // an overlong/corrupt encoding.
+                if (shift == 63 && byte > 1) fail("varint overflows 64 bits");
+                return v;
+            }
+        }
+        fail("varint longer than 10 bytes");
+    }
+
+    std::uint64_t delta(std::uint64_t prev) {
+        const std::uint64_t z = varint();
+        const std::uint64_t d = (z >> 1) ^ (~(z & 1) + 1);  // un-zigzag
+        return prev + d;
+    }
+
+    std::string str() {
+        const std::uint64_t len = varint();
+        if (len > remaining()) fail("truncated string field");
+        std::string s(reinterpret_cast<const char*>(ptr),
+                      static_cast<std::size_t>(len));
+        ptr += len;
+        return s;
+    }
+};
+
+template <typename T>
+T checked_narrow(std::uint64_t v, const char* what) {
+    if (v > static_cast<std::uint64_t>(std::numeric_limits<T>::max()))
+        fail(std::string("field '") + what + "' out of range");
+    return static_cast<T>(v);
+}
+
+/// Decode exactly `count` events from one chunk payload into `out`.
+void decode_chunk(Cursor cur, std::uint32_t count,
+                  std::vector<AccessEvent>& out) {
+    out.resize(count);
+    AccessEvent prev = chunk_baseline();
+    for (std::uint32_t i = 0; i < count; ++i) {
+        AccessEvent& ev = out[i];
+        const std::uint8_t control = cur.u8();
+        if (control & kControlReserved) fail("bad event control byte");
+        ev.seq = (control & kSeqPlusOne) ? prev.seq + 1 : cur.delta(prev.seq);
+        ev.time_ns = (control & kTimeSame) ? prev.time_ns
+                                           : cur.delta(prev.time_ns);
+        ev.instance = (control & kSameInstance)
+                          ? prev.instance
+                          : checked_narrow<InstanceId>(
+                                cur.delta(prev.instance), "instance");
+        if (control & kSameOp) {
+            ev.op = prev.op;
+        } else {
+            const std::uint8_t op = cur.u8();
+            if (op >= kOpKindCount) fail("bad op value");
+            ev.op = static_cast<OpKind>(op);
+        }
+        const auto uprev_pos = static_cast<std::uint64_t>(prev.position);
+        ev.position = static_cast<std::int64_t>(
+            (control & kPosPlusOne) ? uprev_pos + 1 : cur.delta(uprev_pos));
+        ev.size = (control & kSizeSame)
+                      ? prev.size
+                      : checked_narrow<std::uint32_t>(cur.delta(prev.size),
+                                                      "size");
+        ev.thread = (control & kSameThread)
+                        ? prev.thread
+                        : checked_narrow<ThreadId>(cur.delta(prev.thread),
+                                                   "thread");
+        prev = ev;
+    }
+    if (cur.ptr != cur.end) fail("chunk payload longer than declared events");
+}
+
+}  // namespace
+
+bool is_binary_trace(std::string_view bytes) {
+    return bytes.size() >= sizeof(kTraceBinaryMagic) &&
+           std::memcmp(bytes.data(), kTraceBinaryMagic,
+                       sizeof(kTraceBinaryMagic)) == 0;
+}
+
+std::size_t write_trace_binary(std::ostream& os,
+                               const std::vector<InstanceInfo>& instances,
+                               const ProfileStore& store) {
+    const std::vector<InstanceId> order =
+        detail::event_write_order(instances, store);
+    std::uint64_t event_count = 0;
+    for (const InstanceId id : order) event_count += store.events(id).size();
+
+    std::string head;
+    head.append(kTraceBinaryMagic, sizeof(kTraceBinaryMagic));
+    put_u32(head, kTraceBinaryVersion);
+    put_u64(head, instances.size());
+    put_u64(head, event_count);
+    for (const InstanceInfo& info : instances) {
+        put_varint(head, info.id);
+        put_varint(head, static_cast<std::uint64_t>(info.kind));
+        put_varint(head, info.location.position);
+        put_string(head, info.type_name);
+        put_string(head, info.location.class_name);
+        put_string(head, info.location.method);
+        head += static_cast<char>(info.deallocated ? 1 : 0);
+    }
+    os.write(head.data(), static_cast<std::streamsize>(head.size()));
+
+    // Stream events chunk by chunk across instance boundaries.
+    std::string payload;
+    payload.reserve(kTraceBinaryChunkEvents * 4);
+    std::uint32_t in_chunk = 0;
+    AccessEvent prev = chunk_baseline();
+    const auto flush_chunk = [&] {
+        if (in_chunk == 0) return;
+        std::string header;
+        put_u32(header, in_chunk);
+        put_u32(header, static_cast<std::uint32_t>(payload.size()));
+        os.write(header.data(), static_cast<std::streamsize>(header.size()));
+        os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+        payload.clear();
+        in_chunk = 0;
+        prev = chunk_baseline();
+    };
+    std::size_t written = 0;
+    for (const InstanceId id : order) {
+        for (const AccessEvent& ev : store.events(id)) {
+            put_event(payload, ev, prev);
+            prev = ev;
+            ++written;
+            if (++in_chunk == kTraceBinaryChunkEvents) flush_chunk();
+        }
+    }
+    flush_chunk();
+    return written;
+}
+
+Trace read_trace_binary(std::string_view bytes, par::ThreadPool* pool) {
+    Cursor cur{reinterpret_cast<const unsigned char*>(bytes.data()),
+               reinterpret_cast<const unsigned char*>(bytes.data()) +
+                   bytes.size()};
+    if (!is_binary_trace(bytes)) fail("bad magic (not a DST1 trace)");
+    cur.ptr += sizeof(kTraceBinaryMagic);
+    const std::uint32_t version = cur.u32();
+    if (version != kTraceBinaryVersion)
+        fail("unsupported DST1 version " + std::to_string(version));
+    const std::uint64_t instance_count = cur.u64();
+    const std::uint64_t event_count = cur.u64();
+
+    Trace trace;
+    if (instance_count > cur.remaining())  // each record is >= 7 bytes
+        fail("instance count exceeds input size");
+    trace.instances.reserve(static_cast<std::size_t>(instance_count));
+    for (std::uint64_t i = 0; i < instance_count; ++i) {
+        InstanceInfo info;
+        info.id = checked_narrow<InstanceId>(cur.varint(), "id");
+        const std::uint64_t kind = cur.varint();
+        if (kind >= kDsKindCount) fail("bad kind value");
+        info.kind = static_cast<DsKind>(kind);
+        info.location.position =
+            checked_narrow<std::uint32_t>(cur.varint(), "position");
+        info.type_name = cur.str();
+        info.location.class_name = cur.str();
+        info.location.method = cur.str();
+        info.deallocated = cur.u8() != 0;
+        trace.instances.push_back(std::move(info));
+    }
+
+    // Index the chunks first (headers carry the payload size, so this is a
+    // cheap skip-scan), then decode them — concurrently with a pool.
+    struct ChunkRef {
+        Cursor payload;
+        std::uint32_t count;
+    };
+    std::vector<ChunkRef> chunks;
+    std::uint64_t declared = 0;
+    while (declared < event_count) {
+        const std::uint32_t count = cur.u32();
+        const std::uint32_t payload_bytes = cur.u32();
+        if (count == 0) fail("empty event chunk");
+        if (payload_bytes > cur.remaining()) fail("truncated event chunk");
+        chunks.push_back(ChunkRef{{cur.ptr, cur.ptr + payload_bytes}, count});
+        cur.ptr += payload_bytes;
+        declared += count;
+    }
+    if (declared != event_count) fail("chunk event counts exceed header total");
+    if (cur.ptr != cur.end) fail("trailing bytes after final chunk");
+
+    std::vector<std::vector<AccessEvent>> decoded(chunks.size());
+    const auto decode_range = [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+            decode_chunk(chunks[i].payload, chunks[i].count, decoded[i]);
+    };
+    if (pool != nullptr && chunks.size() > 1) {
+        // decode_chunk throws on corrupt chunks; capture the first error
+        // and rethrow after the barrier (pool tasks must not leak
+        // exceptions).
+        std::mutex error_mutex;
+        std::exception_ptr error;
+        par::parallel_for_chunks(
+            *pool, 0, chunks.size(), [&](std::size_t lo, std::size_t hi) {
+                try {
+                    decode_range(lo, hi);
+                } catch (...) {
+                    const std::scoped_lock lock(error_mutex);
+                    if (!error) error = std::current_exception();
+                }
+            });
+        if (error) std::rethrow_exception(error);
+    } else {
+        decode_range(0, chunks.size());
+    }
+
+    // Appending in file order keeps the store bit-identical to a
+    // sequential decode regardless of how the decode itself was scheduled.
+    for (const std::vector<AccessEvent>& batch : decoded)
+        trace.store.append(batch);
+    trace.store.finalize(pool);
+    return trace;
+}
+
+}  // namespace dsspy::runtime

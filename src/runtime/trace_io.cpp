@@ -2,11 +2,12 @@
 
 #include <charconv>
 #include <fstream>
+#include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
-#include "support/strings.hpp"
+#include "runtime/trace_binary.hpp"
 
 namespace dsspy::runtime {
 
@@ -24,7 +25,9 @@ std::string escape(const std::string& field) {
     return out;
 }
 
-/// Split one CSV line honoring quoted fields.
+/// Split one CSV record honoring quoted fields (which may contain commas,
+/// escaped quotes, and newlines — record extraction below guarantees the
+/// record holds a balanced set of quotes).
 std::vector<std::string> split_csv(const std::string& line) {
     std::vector<std::string> fields;
     std::string current;
@@ -67,11 +70,9 @@ T parse_number(const std::string& field, const char* what) {
     return value;
 }
 
-}  // namespace
-
-std::size_t write_trace(std::ostream& os,
-                        const std::vector<InstanceInfo>& instances,
-                        const ProfileStore& store) {
+std::size_t write_trace_csv(std::ostream& os,
+                            const std::vector<InstanceInfo>& instances,
+                            const ProfileStore& store) {
     for (const InstanceInfo& info : instances) {
         os << "I," << info.id << ','
            << static_cast<unsigned>(info.kind) << ','
@@ -82,8 +83,8 @@ std::size_t write_trace(std::ostream& os,
            << (info.deallocated ? 1 : 0) << '\n';
     }
     std::size_t events = 0;
-    for (const InstanceInfo& info : instances) {
-        for (const AccessEvent& ev : store.events(info.id)) {
+    for (const InstanceId id : detail::event_write_order(instances, store)) {
+        for (const AccessEvent& ev : store.events(id)) {
             os << "E," << ev.seq << ',' << ev.time_ns << ',' << ev.instance
                << ',' << static_cast<unsigned>(ev.op) << ',' << ev.position
                << ',' << ev.size << ',' << ev.thread << '\n';
@@ -93,16 +94,31 @@ std::size_t write_trace(std::ostream& os,
     return events;
 }
 
-std::size_t write_trace(std::ostream& os, const ProfilingSession& session) {
-    return write_trace(os, session.registry().snapshot(), session.store());
-}
-
-Trace read_trace(std::istream& is) {
+Trace read_trace_csv(const std::string& data, par::ThreadPool* pool) {
     Trace trace;
-    std::string line;
     std::vector<AccessEvent> batch;
     batch.reserve(1024);
-    while (std::getline(is, line)) {
+    std::string line;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        // Extract one logical record: a '\n' inside an open quote belongs
+        // to the field (escape() quotes fields containing newlines), so
+        // track quote state instead of splitting on every physical line.
+        bool quoted = false;
+        std::size_t end = pos;
+        while (end < data.size()) {
+            const char ch = data[end];
+            if (ch == '"') {
+                quoted = !quoted;  // "" toggles twice: no net change
+            } else if (ch == '\n' && !quoted) {
+                break;
+            }
+            ++end;
+        }
+        if (quoted)
+            throw std::runtime_error("trace_io: unterminated quoted field");
+        line.assign(data, pos, end - pos);
+        pos = end + 1;
         if (line.empty()) continue;
         const std::vector<std::string> fields = split_csv(line);
         if (fields[0] == "I") {
@@ -150,22 +166,84 @@ Trace read_trace(std::istream& is) {
         }
     }
     trace.store.append(batch);
-    trace.store.finalize();
+    trace.store.finalize(pool);
     return trace;
 }
 
+}  // namespace
+
+namespace detail {
+
+std::vector<InstanceId> event_write_order(
+    const std::vector<InstanceInfo>& instances, const ProfileStore& store) {
+    std::vector<InstanceId> order;
+    order.reserve(instances.size());
+    std::vector<bool> listed(store.instance_slots(), false);
+    for (const InstanceInfo& info : instances) {
+        order.push_back(info.id);
+        if (info.id < listed.size()) listed[info.id] = true;
+    }
+    // Store-only ids (events appended without a matching registry entry,
+    // e.g. by an external tool building traces directly) must still be
+    // written — dropping them silently would corrupt the round trip.
+    for (InstanceId id = 0; id < listed.size(); ++id)
+        if (!listed[id] && !store.events(id).empty()) order.push_back(id);
+    return order;
+}
+
+}  // namespace detail
+
+std::size_t write_trace(std::ostream& os,
+                        const std::vector<InstanceInfo>& instances,
+                        const ProfileStore& store, TraceFormat format) {
+    return format == TraceFormat::Binary
+               ? write_trace_binary(os, instances, store)
+               : write_trace_csv(os, instances, store);
+}
+
+std::size_t write_trace(std::ostream& os, const ProfilingSession& session,
+                        TraceFormat format) {
+    return write_trace(os, session.registry().snapshot(), session.store(),
+                       format);
+}
+
+Trace read_trace(std::istream& is, par::ThreadPool* pool) {
+    // Slurp the stream once and dispatch on the magic: binary decode needs
+    // random access for the chunk index, and CSV record extraction is
+    // simpler over a contiguous buffer than across getline boundaries.
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    if (is.bad())
+        throw std::runtime_error("trace_io: I/O error while reading trace");
+    const std::string data = std::move(buffer).str();
+    if (is_binary_trace(data)) return read_trace_binary(data, pool);
+    return read_trace_csv(data, pool);
+}
+
 bool write_trace_file(const std::string& path,
-                      const ProfilingSession& session) {
-    std::ofstream out(path, std::ios::binary);
+                      const std::vector<InstanceInfo>& instances,
+                      const ProfileStore& store, TraceFormat format) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out) return false;
-    write_trace(out, session);
+    write_trace(out, instances, store, format);
+    // A short write (full disk, dead pipe) may only surface at flush time;
+    // report it instead of pretending the trace landed.
+    out.flush();
     return static_cast<bool>(out);
 }
 
-Trace read_trace_file(const std::string& path) {
+bool write_trace_file(const std::string& path, const ProfilingSession& session,
+                      TraceFormat format) {
+    return write_trace_file(path, session.registry().snapshot(),
+                            session.store(), format);
+}
+
+Trace read_trace_file(const std::string& path, par::ThreadPool* pool) {
     std::ifstream in(path, std::ios::binary);
-    if (!in) return {};
-    return read_trace(in);
+    if (!in)
+        throw std::runtime_error("trace_io: cannot open trace file '" + path +
+                                 "'");
+    return read_trace(in, pool);
 }
 
 }  // namespace dsspy::runtime

@@ -1,17 +1,26 @@
-// Trace serialization: export a recorded session to CSV and re-import it
-// for offline analysis.
+// Trace serialization: export a recorded session and re-import it for
+// offline analysis.
 //
 // DSspy analyzes profiles post-mortem; persisting the raw event stream
 // decouples capture from analysis entirely — a trace taken on one machine
 // (or by an external instrumentation layer such as a Pin tool) can be
-// analyzed anywhere.  The format is line-oriented CSV with two record
-// types:
+// analyzed anywhere.  Two on-disk formats are supported (see DESIGN.md §7):
 //
-//   I,<id>,<kind>,<type_name>,<class>,<method>,<position>,<deallocated>
-//   E,<seq>,<time_ns>,<instance>,<op>,<position>,<size>,<thread>
+//  * CSV — line-oriented text with two record types:
 //
-// Instance records come first; event records follow in arbitrary order
-// (the store is re-sorted on finalize).  Text fields are CSV-escaped.
+//      I,<id>,<kind>,<type_name>,<class>,<method>,<position>,<deallocated>
+//      E,<seq>,<time_ns>,<instance>,<op>,<position>,<size>,<thread>
+//
+//    Instance records come first; event records follow in arbitrary order
+//    (the store is re-sorted on finalize).  Text fields are CSV-escaped;
+//    quoted fields may span physical lines (a name may contain newlines).
+//
+//  * DST1 — the compact binary format in trace_binary.hpp: a fixed header,
+//    an instance table, then ~64K-event chunks with delta/varint-encoded
+//    fields.  Roughly an order of magnitude smaller and several times
+//    faster to read than CSV; chunks decode in parallel on a ThreadPool.
+//
+// `read_trace` auto-detects the format from the leading magic bytes.
 #pragma once
 
 #include <iosfwd>
@@ -22,7 +31,17 @@
 #include "runtime/profile_store.hpp"
 #include "runtime/session.hpp"
 
+namespace dsspy::par {
+class ThreadPool;
+}
+
 namespace dsspy::runtime {
+
+/// On-disk trace encodings.
+enum class TraceFormat {
+    Csv,     ///< Line-oriented text (human-inspectable, foreign-tool-friendly).
+    Binary,  ///< DST1 chunked binary (compact, fast, parallel-decodable).
+};
 
 /// A deserialized trace: instance metadata plus the finalized store.
 struct Trace {
@@ -32,21 +51,50 @@ struct Trace {
 
 /// Write a stopped session's registry and events to `os`.
 /// Returns the number of events written.
-std::size_t write_trace(std::ostream& os, const ProfilingSession& session);
+std::size_t write_trace(std::ostream& os, const ProfilingSession& session,
+                        TraceFormat format = TraceFormat::Csv);
 
 /// Write explicit instances/events (for tools that build traces directly).
+/// Events whose instance id does not appear in `instances` are written too
+/// (after the listed instances, in id order), so externally built stores
+/// survive a write/read cycle.
 std::size_t write_trace(std::ostream& os,
                         const std::vector<InstanceInfo>& instances,
-                        const ProfileStore& store);
+                        const ProfileStore& store,
+                        TraceFormat format = TraceFormat::Csv);
 
-/// Parse a trace written by `write_trace`.  Throws std::runtime_error on
-/// malformed input (wrong field counts, non-numeric fields, unknown record
-/// tags).  The returned store is finalized.
-[[nodiscard]] Trace read_trace(std::istream& is);
+/// Parse a trace written by `write_trace`, auto-detecting the format from
+/// the magic bytes.  Throws std::runtime_error on malformed input (wrong
+/// field counts, non-numeric fields, unknown record tags, truncated or
+/// corrupt binary data).  The returned store is finalized.  With a pool,
+/// binary chunk decode and the finalize sort run in parallel; the result
+/// is bit-identical to the sequential path.
+[[nodiscard]] Trace read_trace(std::istream& is,
+                               par::ThreadPool* pool = nullptr);
 
-/// Convenience: file-path overloads.  Return false / empty on I/O failure.
+/// Convenience: file-path overloads.  `write_trace_file` returns false if
+/// the file cannot be opened or the flushed stream reports a short write;
+/// `read_trace_file` throws std::runtime_error when the file cannot be
+/// opened (a missing trace is not an empty trace) and propagates
+/// `read_trace` parse errors.
+bool write_trace_file(const std::string& path, const ProfilingSession& session,
+                      TraceFormat format = TraceFormat::Csv);
 bool write_trace_file(const std::string& path,
-                      const ProfilingSession& session);
-[[nodiscard]] Trace read_trace_file(const std::string& path);
+                      const std::vector<InstanceInfo>& instances,
+                      const ProfileStore& store,
+                      TraceFormat format = TraceFormat::Csv);
+[[nodiscard]] Trace read_trace_file(const std::string& path,
+                                    par::ThreadPool* pool = nullptr);
+
+namespace detail {
+
+/// The instance-id order in which writers emit event sequences: ids from
+/// `instances` first (in list order), then store-only ("orphan") ids in
+/// ascending order.  Both the CSV and DST1 writers follow this order, so
+/// cross-format conversions produce identically ordered stores.
+std::vector<InstanceId> event_write_order(
+    const std::vector<InstanceInfo>& instances, const ProfileStore& store);
+
+}  // namespace detail
 
 }  // namespace dsspy::runtime

@@ -1,9 +1,12 @@
 // dsspy — command-line front end for the DSspy analysis pipeline.
 //
 // Subcommands:
-//   dsspy analyze <trace.csv> [output options] [--set key=value ...]
-//       Offline analysis of a recorded trace (see runtime/trace_io.hpp).
-//   dsspy demo <app> [--trace FILE] [output options]
+//   dsspy analyze <trace> [output options] [--set key=value ...]
+//       Offline analysis of a recorded trace (CSV or DST1 binary; the
+//       format is auto-detected — see runtime/trace_io.hpp).
+//   dsspy convert <in> <out> [--format=csv|binary]
+//       Re-encode a trace (default: to the compact DST1 binary format).
+//   dsspy demo <app> [--trace FILE [--format=csv|binary]] [output options]
 //       Run one of the seven evaluation apps instrumented and analyze it.
 //   dsspy corpus <program> [output options]
 //       Replay one empirical-study program's workload and analyze it.
@@ -35,6 +38,7 @@
 #include "core/transform_plan.hpp"
 #include "corpus/program_model.hpp"
 #include "corpus/workload.hpp"
+#include "parallel/thread_pool.hpp"
 #include "runtime/trace_io.hpp"
 #include "support/table.hpp"
 #include "viz/html_report.hpp"
@@ -46,6 +50,8 @@ using namespace dsspy;
 struct Options {
     std::string command;
     std::string target;
+    std::string convert_out;
+    std::optional<runtime::TraceFormat> format;
     bool report = false;
     bool summary = false;
     bool plan = false;
@@ -62,14 +68,18 @@ int usage(const char* argv0) {
     std::cerr
         << "Usage: " << argv0 << " <command> [args]\n\n"
         << "Commands:\n"
-        << "  analyze <trace.csv>   analyze a recorded trace offline\n"
+        << "  analyze <trace>       analyze a recorded trace offline\n"
+        << "                        (CSV or DST1 binary, auto-detected)\n"
+        << "  convert <in> <out>    re-encode a trace (--format, default\n"
+        << "                        binary)\n"
         << "  demo <app>            run an evaluation app instrumented\n"
         << "  corpus <program>      replay an empirical-study workload\n"
         << "  list                  list demo apps and corpus programs\n"
         << "  config                print detector thresholds\n\n"
         << "Output: --report (default) --summary --plan --json --csv-usecases\n"
         << "        --csv-instances --csv-patterns --html FILE\n"
-        << "Extras: --trace FILE (demo: also write the raw trace)\n"
+        << "Extras: --trace FILE (demo/corpus: also write the raw trace)\n"
+        << "        --format=csv|binary (trace encoding for convert/--trace)\n"
         << "        --set key=value (threshold override, repeatable)\n";
     return 2;
 }
@@ -80,9 +90,13 @@ std::optional<Options> parse_args(int argc, char** argv) {
     opt.command = argv[1];
     int i = 2;
     if (opt.command == "analyze" || opt.command == "demo" ||
-        opt.command == "corpus") {
+        opt.command == "corpus" || opt.command == "convert") {
         if (i >= argc || argv[i][0] == '-') return std::nullopt;
         opt.target = argv[i++];
+    }
+    if (opt.command == "convert") {
+        if (i >= argc || argv[i][0] == '-') return std::nullopt;
+        opt.convert_out = argv[i++];
     }
     for (; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -104,6 +118,10 @@ std::optional<Options> parse_args(int argc, char** argv) {
             opt.html_path = argv[++i];
         } else if (arg == "--trace" && i + 1 < argc) {
             opt.trace_path = argv[++i];
+        } else if (arg == "--format=csv") {
+            opt.format = runtime::TraceFormat::Csv;
+        } else if (arg == "--format=binary") {
+            opt.format = runtime::TraceFormat::Binary;
         } else if (arg == "--set" && i + 1 < argc) {
             opt.overrides.emplace_back(argv[++i]);
         } else {
@@ -149,7 +167,15 @@ void emit_outputs(const Options& opt, const core::AnalysisResult& analysis) {
 }
 
 int cmd_analyze(const Options& opt, const core::Dsspy& analyzer) {
-    const runtime::Trace trace = runtime::read_trace_file(opt.target);
+    runtime::Trace trace;
+    try {
+        trace = runtime::read_trace_file(opt.target,
+                                         &par::ThreadPool::default_pool());
+    } catch (const std::runtime_error& e) {
+        std::cerr << "Cannot read trace " << opt.target << ": " << e.what()
+                  << '\n';
+        return 1;
+    }
     if (trace.instances.empty() && trace.store.total_events() == 0) {
         std::cerr << "No trace data in " << opt.target << '\n';
         return 1;
@@ -157,6 +183,29 @@ int cmd_analyze(const Options& opt, const core::Dsspy& analyzer) {
     const core::AnalysisResult analysis =
         analyzer.analyze(trace.instances, trace.store);
     emit_outputs(opt, analysis);
+    return 0;
+}
+
+int cmd_convert(const Options& opt) {
+    const runtime::TraceFormat format =
+        opt.format.value_or(runtime::TraceFormat::Binary);
+    runtime::Trace trace;
+    try {
+        trace = runtime::read_trace_file(opt.target,
+                                         &par::ThreadPool::default_pool());
+    } catch (const std::runtime_error& e) {
+        std::cerr << "Cannot read trace " << opt.target << ": " << e.what()
+                  << '\n';
+        return 1;
+    }
+    if (!runtime::write_trace_file(opt.convert_out, trace.instances,
+                                   trace.store, format)) {
+        std::cerr << "Failed to write " << opt.convert_out << '\n';
+        return 1;
+    }
+    std::cerr << "Wrote " << trace.store.total_events() << " events ("
+              << (format == runtime::TraceFormat::Binary ? "binary" : "csv")
+              << ") to " << opt.convert_out << '\n';
     return 0;
 }
 
@@ -173,8 +222,13 @@ int cmd_demo(const Options& opt, const core::Dsspy& analyzer) {
     std::cerr << app->name << ": checksum " << run.checksum << ", "
               << session.store().total_events() << " events\n";
     if (!opt.trace_path.empty()) {
-        if (runtime::write_trace_file(opt.trace_path, session))
+        if (runtime::write_trace_file(
+                opt.trace_path, session,
+                opt.format.value_or(runtime::TraceFormat::Csv)))
             std::cerr << "Wrote trace to " << opt.trace_path << '\n';
+        else
+            std::cerr << "Failed to write trace to " << opt.trace_path
+                      << '\n';
     }
     emit_outputs(opt, analyzer.analyze(session));
     return 0;
@@ -197,8 +251,13 @@ int cmd_corpus(const Options& opt, const core::Dsspy& analyzer) {
     }
     session.stop();
     if (!opt.trace_path.empty()) {
-        if (runtime::write_trace_file(opt.trace_path, session))
+        if (runtime::write_trace_file(
+                opt.trace_path, session,
+                opt.format.value_or(runtime::TraceFormat::Csv)))
             std::cerr << "Wrote trace to " << opt.trace_path << '\n';
+        else
+            std::cerr << "Failed to write trace to " << opt.trace_path
+                      << '\n';
     }
     emit_outputs(opt, analyzer.analyze(session));
     return 0;
@@ -239,6 +298,7 @@ int main(int argc, char** argv) {
     const core::Dsspy analyzer(config);
 
     if (opt->command == "analyze") return cmd_analyze(*opt, analyzer);
+    if (opt->command == "convert") return cmd_convert(*opt);
     if (opt->command == "demo") return cmd_demo(*opt, analyzer);
     if (opt->command == "corpus") return cmd_corpus(*opt, analyzer);
     if (opt->command == "list") return cmd_list();
