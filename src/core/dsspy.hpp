@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/detector_config.hpp"
+#include "core/incremental.hpp"
 #include "core/patterns.hpp"
 #include "core/profile.hpp"
 #include "core/use_cases.hpp"
@@ -110,6 +111,23 @@ public:
         const std::vector<runtime::InstanceInfo>& instances,
         const runtime::ProfileStore& store,
         par::ThreadPool* pool = nullptr) const;
+
+    /// Live snapshot of an incremental analyzer attached to a running
+    /// session (attach_incremental): classifies everything folded so far
+    /// against the session's current registry, without stopping the
+    /// session or disturbing the analyzer's state.
+    [[nodiscard]] static StreamReport snapshot(
+        const IncrementalAnalyzer& analyzer,
+        const runtime::ProfilingSession& session) {
+        return analyzer.snapshot(session.registry().snapshot());
+    }
+
+    /// Terminal incremental report for a stopped session.
+    [[nodiscard]] static StreamReport finish(
+        IncrementalAnalyzer& analyzer,
+        const runtime::ProfilingSession& session) {
+        return analyzer.finish(session.registry().snapshot());
+    }
 
     [[nodiscard]] const DetectorConfig& config() const noexcept {
         return config_;

@@ -88,6 +88,44 @@ void write_instances_csv(std::ostream& os, const AnalysisResult& result) {
     }
 }
 
+void write_use_cases_csv(std::ostream& os, const StreamReport& report) {
+    os << "class,method,position,type,use_case,code,parallel,reason,"
+          "recommendation\n";
+    for (const StreamInstance& si : report.instances()) {
+        for (const UseCase& uc : si.use_cases) {
+            os << csv_escape(uc.instance.location.class_name) << ','
+               << csv_escape(uc.instance.location.method) << ','
+               << uc.instance.location.position << ','
+               << csv_escape(uc.instance.type_name) << ','
+               << use_case_name(uc.kind) << ',' << use_case_code(uc.kind)
+               << ',' << (uc.parallel_potential ? 1 : 0) << ','
+               << csv_escape(uc.reason) << ','
+               << csv_escape(uc.recommendation) << '\n';
+        }
+    }
+}
+
+void write_instances_csv(std::ostream& os, const StreamReport& report) {
+    os << "id,class,method,position,kind,type,events,reads,writes,inserts,"
+          "deletes,searches,patterns,threads,max_size,flagged_parallel\n";
+    for (const StreamInstance& si : report.instances()) {
+        const InstanceStats& s = si.stats;
+        const runtime::InstanceInfo& info = s.info;
+        os << info.id << ',' << csv_escape(info.location.class_name) << ','
+           << csv_escape(info.location.method) << ','
+           << info.location.position << ','
+           << runtime::ds_kind_name(info.kind) << ','
+           << csv_escape(info.type_name) << ',' << s.total << ','
+           << s.counts[static_cast<std::size_t>(AccessType::Read)] << ','
+           << s.counts[static_cast<std::size_t>(AccessType::Write)] << ','
+           << s.counts[static_cast<std::size_t>(AccessType::Insert)] << ','
+           << s.counts[static_cast<std::size_t>(AccessType::Delete)] << ','
+           << s.counts[static_cast<std::size_t>(AccessType::Search)] << ','
+           << si.total_patterns() << ',' << s.thread_count << ','
+           << s.max_size << ',' << (si.flagged_parallel() ? 1 : 0) << '\n';
+    }
+}
+
 void write_patterns_csv(std::ostream& os, const AnalysisResult& result) {
     os << "instance_id,kind,first,last,length,start_pos,end_pos,coverage,"
           "thread,synthetic\n";

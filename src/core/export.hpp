@@ -21,6 +21,11 @@ void write_use_cases_csv(std::ostream& os, const AnalysisResult& result);
 /// searches,patterns,threads,max_size,flagged_parallel
 void write_instances_csv(std::ostream& os, const AnalysisResult& result);
 
+/// StreamReport overloads: same columns, same rows as the post-mortem
+/// exporters on equivalent analyses.
+void write_use_cases_csv(std::ostream& os, const StreamReport& report);
+void write_instances_csv(std::ostream& os, const StreamReport& report);
+
 /// One CSV row per detected pattern:
 /// instance_id,kind,first,last,length,start_pos,end_pos,coverage,thread,
 /// synthetic

@@ -2,59 +2,9 @@
 
 #include <algorithm>
 
+#include "core/pattern_machine.hpp"
+
 namespace dsspy::core {
-
-namespace {
-
-/// Run category the state machine tracks per thread.
-enum class RunCat : std::uint8_t { None, Read, Write, Insert, Delete };
-
-/// Per-thread open run.
-struct RunState {
-    RunCat cat = RunCat::None;
-    std::uint32_t first = 0;     // profile event index of the first event
-    std::uint32_t last = 0;      // profile event index of the last event
-    std::uint32_t length = 0;
-    std::int64_t start_pos = 0;
-    std::int64_t last_pos = 0;
-    std::uint32_t last_size = 0;
-    int direction = 0;           // 0 until the second event fixes it
-    bool all_front = true;       // insert/delete: every access at the front
-    bool all_back = true;        // insert/delete: every access at the back
-    runtime::ThreadId thread = 0;
-};
-
-RunCat category_of(AccessType type, std::int64_t position) noexcept {
-    if (position < 0 &&
-        (type == AccessType::Read || type == AccessType::Write))
-        return RunCat::None;  // positionless reads/writes cannot form runs
-    switch (type) {
-        case AccessType::Read: return RunCat::Read;
-        case AccessType::Write: return RunCat::Write;
-        case AccessType::Insert: return RunCat::Insert;
-        case AccessType::Delete: return RunCat::Delete;
-        default: return RunCat::None;
-    }
-}
-
-/// Insert lands at the front?  Positions follow the proxy conventions:
-/// size is recorded *after* the insert, position is the landing index.
-bool insert_at_front(std::int64_t pos, std::uint32_t /*size*/) noexcept {
-    return pos == 0;
-}
-bool insert_at_back(std::int64_t pos, std::uint32_t size) noexcept {
-    return pos == static_cast<std::int64_t>(size) - 1;
-}
-/// Delete from the front/back?  Size is recorded *after* the removal, so a
-/// back-removal has position == size.
-bool delete_at_front(std::int64_t pos, std::uint32_t /*size*/) noexcept {
-    return pos == 0;
-}
-bool delete_at_back(std::int64_t pos, std::uint32_t size) noexcept {
-    return pos == static_cast<std::int64_t>(size);
-}
-
-}  // namespace
 
 std::vector<Pattern> PatternDetector::detect(
     const RuntimeProfile& profile) const {
@@ -62,169 +12,14 @@ std::vector<Pattern> PatternDetector::detect(
     const auto events = profile.events();
     if (events.empty()) return out;
 
-    std::vector<RunState> per_thread;
-    auto state_for = [&per_thread](runtime::ThreadId tid) -> RunState& {
-        if (tid >= per_thread.size()) per_thread.resize(tid + 1);
-        per_thread[tid].thread = tid;
-        return per_thread[tid];
+    detail::PatternMachine machine(config_.min_pattern_events);
+    const auto collect = [&out](const Pattern& p, std::uint64_t /*first_ns*/,
+                                std::uint64_t /*last_ns*/) {
+        out.push_back(p);
     };
-
-    auto flush = [this, &out](RunState& run) {
-        if (run.cat != RunCat::None &&
-            run.length >= config_.min_pattern_events) {
-            Pattern p;
-            p.first = run.first;
-            p.last = run.last;
-            p.length = run.length;
-            p.start_pos = run.start_pos;
-            p.end_pos = run.last_pos;
-            p.thread = run.thread;
-            const double denom =
-                run.last_size > 0 ? static_cast<double>(run.last_size) : 1.0;
-            p.coverage = std::min(1.0, static_cast<double>(run.length) / denom);
-
-            bool emit = true;
-            switch (run.cat) {
-                case RunCat::Read:
-                    p.kind = run.direction >= 0 ? PatternKind::ReadForward
-                                                : PatternKind::ReadBackward;
-                    break;
-                case RunCat::Write:
-                    p.kind = run.direction >= 0 ? PatternKind::WriteForward
-                                                : PatternKind::WriteBackward;
-                    break;
-                case RunCat::Insert:
-                    // Prefer Back when both hold (size stayed at 1).
-                    if (run.all_back) {
-                        p.kind = PatternKind::InsertBack;
-                    } else if (run.all_front) {
-                        p.kind = PatternKind::InsertFront;
-                    } else {
-                        emit = false;
-                    }
-                    break;
-                case RunCat::Delete:
-                    if (run.all_back) {
-                        p.kind = PatternKind::DeleteBack;
-                    } else if (run.all_front) {
-                        p.kind = PatternKind::DeleteFront;
-                    } else {
-                        emit = false;
-                    }
-                    break;
-                case RunCat::None: emit = false; break;
-            }
-            if (emit) out.push_back(p);
-        }
-        run = RunState{.thread = run.thread};
-    };
-
-    auto start_run = [](RunState& run, RunCat cat, std::uint32_t index,
-                        const runtime::AccessEvent& ev) {
-        run.cat = cat;
-        run.first = run.last = index;
-        run.length = 1;
-        run.start_pos = run.last_pos = ev.position;
-        run.last_size = ev.size;
-        run.direction = 0;
-        run.all_front = true;
-        run.all_back = true;
-        if (cat == RunCat::Insert) {
-            run.all_front = insert_at_front(ev.position, ev.size);
-            run.all_back = insert_at_back(ev.position, ev.size);
-        } else if (cat == RunCat::Delete) {
-            run.all_front = delete_at_front(ev.position, ev.size);
-            run.all_back = delete_at_back(ev.position, ev.size);
-        }
-    };
-
-    for (std::uint32_t i = 0; i < events.size(); ++i) {
-        const runtime::AccessEvent& ev = events[i];
-        const AccessType type = derive_access_type(ev.op);
-        RunState& run = state_for(ev.thread);
-
-        // ForAll: a whole-container traversal is a full sequential read.
-        if (type == AccessType::ForAll) {
-            flush(run);
-            if (ev.size > 0) {
-                Pattern p;
-                p.kind = PatternKind::ReadForward;
-                p.first = p.last = i;
-                p.length = ev.size;
-                p.start_pos = 0;
-                p.end_pos = static_cast<std::int64_t>(ev.size) - 1;
-                p.coverage = 1.0;
-                p.thread = ev.thread;
-                p.synthetic = true;
-                out.push_back(p);
-            }
-            continue;
-        }
-
-        const RunCat cat = category_of(type, ev.position);
-        if (cat == RunCat::None) {
-            flush(run);
-            continue;
-        }
-
-        if (run.cat != cat) {
-            flush(run);
-            start_run(run, cat, i, ev);
-            continue;
-        }
-
-        bool extends = false;
-        switch (cat) {
-            case RunCat::Read:
-            case RunCat::Write: {
-                const std::int64_t step = ev.position - run.last_pos;
-                if (run.direction == 0) {
-                    extends = (step == 1 || step == -1);
-                    if (extends) run.direction = static_cast<int>(step);
-                } else {
-                    extends = (step == run.direction);
-                }
-                break;
-            }
-            case RunCat::Insert: {
-                const bool front = run.all_front &&
-                                   insert_at_front(ev.position, ev.size);
-                const bool back =
-                    run.all_back && insert_at_back(ev.position, ev.size);
-                extends = front || back;
-                if (extends) {
-                    run.all_front = front;
-                    run.all_back = back;
-                }
-                break;
-            }
-            case RunCat::Delete: {
-                const bool front = run.all_front &&
-                                   delete_at_front(ev.position, ev.size);
-                const bool back =
-                    run.all_back && delete_at_back(ev.position, ev.size);
-                extends = front || back;
-                if (extends) {
-                    run.all_front = front;
-                    run.all_back = back;
-                }
-                break;
-            }
-            case RunCat::None: break;
-        }
-
-        if (extends) {
-            run.last = i;
-            ++run.length;
-            run.last_pos = ev.position;
-            run.last_size = ev.size;
-        } else {
-            flush(run);
-            start_run(run, cat, i, ev);
-        }
-    }
-
-    for (RunState& run : per_thread) flush(run);
+    for (std::uint32_t i = 0; i < events.size(); ++i)
+        machine.step(i, events[i], collect);
+    machine.finish(collect);
 
     std::sort(out.begin(), out.end(),
               [](const Pattern& a, const Pattern& b) {

@@ -50,4 +50,35 @@ void print_instance_summary(std::ostream& os, const AnalysisResult& result) {
     table.print(os);
 }
 
+void print_use_case_report(std::ostream& os, const StreamReport& report,
+                           bool parallel_only) {
+    std::size_t ordinal = 0;
+    for (const StreamInstance& si : report.instances()) {
+        for (const UseCase& uc : si.use_cases) {
+            if (parallel_only && !uc.parallel_potential) continue;
+            os << format_use_case(uc, ++ordinal) << '\n';
+        }
+    }
+    if (ordinal == 0) os << "No use cases detected.\n";
+}
+
+void print_instance_summary(std::ostream& os, const StreamReport& report) {
+    support::Table table({"Instance", "Type", "Events", "Patterns",
+                          "Use cases"});
+    for (const StreamInstance& si : report.instances()) {
+        if (si.stats.total == 0) continue;
+        std::string codes;
+        for (const UseCase& uc : si.use_cases) {
+            if (!codes.empty()) codes += ", ";
+            codes += use_case_code(uc.kind);
+        }
+        table.add_row({si.stats.info.location.to_string(),
+                       si.stats.info.type_name,
+                       std::to_string(si.stats.total),
+                       std::to_string(si.total_patterns()),
+                       codes.empty() ? "-" : codes});
+    }
+    table.print(os);
+}
+
 }  // namespace dsspy::core

@@ -24,6 +24,13 @@ void print_use_case_report(std::ostream& os, const AnalysisResult& result,
 /// One-line summary per instance: events, patterns, use-case codes.
 void print_instance_summary(std::ostream& os, const AnalysisResult& result);
 
+/// StreamReport overloads: byte-identical output to the post-mortem
+/// printers on equivalent analyses (the differential tests hold them to
+/// that).
+void print_use_case_report(std::ostream& os, const StreamReport& report,
+                           bool parallel_only = false);
+void print_instance_summary(std::ostream& os, const StreamReport& report);
+
 /// Compact single-use-case block (used by the report and the examples).
 [[nodiscard]] std::string format_use_case(const UseCase& use_case,
                                           std::size_t ordinal);

@@ -24,92 +24,6 @@ bool is_linear(runtime::DsKind kind) noexcept {
     }
 }
 
-/// End-of-structure traffic statistics for the Implement-Queue and
-/// Stack-Implementation rules.
-struct EndTraffic {
-    std::size_t front_insert = 0;
-    std::size_t back_insert = 0;
-    std::size_t front_delete = 0;
-    std::size_t back_delete = 0;
-    std::size_t front_read = 0;
-    std::size_t back_read = 0;
-
-    [[nodiscard]] std::size_t inserts() const noexcept {
-        return front_insert + back_insert;
-    }
-    [[nodiscard]] std::size_t deletes() const noexcept {
-        return front_delete + back_delete;
-    }
-};
-
-EndTraffic end_traffic(const RuntimeProfile& profile, std::size_t window) {
-    EndTraffic t;
-    const auto w = static_cast<std::int64_t>(window);
-    for (const runtime::AccessEvent& ev : profile.events()) {
-        if (ev.position < 0) continue;
-        const auto size = static_cast<std::int64_t>(ev.size);
-        const AccessType type = derive_access_type(ev.op);
-        switch (type) {
-            case AccessType::Insert:
-                // size recorded after the insert; back == landing at size-1.
-                if (ev.position >= size - w) ++t.back_insert;
-                else if (ev.position < w) ++t.front_insert;
-                break;
-            case AccessType::Delete:
-                // size recorded after the removal; back == position >= size.
-                if (ev.position >= size - w + 1) ++t.back_delete;
-                else if (ev.position < w) ++t.front_delete;
-                break;
-            case AccessType::Read:
-            case AccessType::Write:
-                if (ev.position >= size - w) ++t.back_read;
-                else if (ev.position < w) ++t.front_read;
-                break;
-            default:
-                break;
-        }
-    }
-    return t;
-}
-
-/// Long "insertion" patterns: Insert-Front/Back for dynamic structures;
-/// for fixed-size arrays, end-anchored Write-Forward/Backward streaks play
-/// the insertion role (sequential initialization of the buffer).
-bool counts_as_insertion_pattern(const Pattern& p, runtime::DsKind kind) {
-    if (is_insert_pattern(p.kind)) return true;
-    if (kind != runtime::DsKind::Array) return false;
-    if (p.kind == PatternKind::WriteForward && p.start_pos == 0) return true;
-    if (p.kind == PatternKind::WriteBackward &&
-        p.end_pos == 0)  // descending streak that reaches the front
-        return true;
-    return false;
-}
-
-std::size_t count_resizes(const RuntimeProfile& profile) {
-    std::size_t n = 0;
-    for (const runtime::AccessEvent& ev : profile.events())
-        if (ev.op == runtime::OpKind::Resize) ++n;
-    return n;
-}
-
-/// Read-like share with ForAll traversals weighted by the number of
-/// elements they read: one for_each over n elements is n reads, not one
-/// access, for the purposes of the Frequent-Long-Read 50%-reads rule.
-double weighted_read_share(const RuntimeProfile& profile) {
-    double reads = 0.0;
-    double total = 0.0;
-    for (const runtime::AccessEvent& ev : profile.events()) {
-        const AccessType type = derive_access_type(ev.op);
-        const double weight =
-            type == AccessType::ForAll && ev.size > 0
-                ? static_cast<double>(ev.size)
-                : 1.0;
-        total += weight;
-        if (is_read_like(type)) reads += weight;
-    }
-    return total > 0.0 ? reads / total : 0.0;
-}
-
 }  // namespace
 
 std::string_view recommended_action(UseCaseKind kind) noexcept {
@@ -146,12 +60,90 @@ std::string_view recommended_action(UseCaseKind kind) noexcept {
     return "?";
 }
 
+InstanceStats compute_instance_stats(const RuntimeProfile& profile,
+                                     const std::vector<Pattern>& patterns,
+                                     const DetectorConfig& config) {
+    InstanceStats s;
+    s.info = profile.info();
+    s.total = profile.total_events();
+    for (std::size_t t = 0; t < kAccessTypeCount; ++t)
+        s.counts[t] = profile.count(static_cast<AccessType>(t));
+    s.thread_count = profile.thread_count();
+    s.duration_ns = profile.duration_ns();
+    s.max_size = profile.max_size();
+
+    const auto events = profile.events();
+    for (const runtime::AccessEvent& ev : events) {
+        accumulate_end_traffic(s.iq_traffic, ev, config.iq_end_window);
+        accumulate_end_traffic(s.edge_traffic, ev, 1);
+        if (ev.op == runtime::OpKind::Resize) ++s.resizes;
+        // ForAll traversals weigh as many reads as elements they touch:
+        // one for_each over n elements is n reads for the 50%-reads rule.
+        const AccessType type = derive_access_type(ev.op);
+        const double weight = type == AccessType::ForAll && ev.size > 0
+                                  ? static_cast<double>(ev.size)
+                                  : 1.0;
+        s.weighted_total += weight;
+        if (is_read_like(type)) s.weighted_reads += weight;
+    }
+
+    for (const Pattern& p : patterns) {
+        ++s.pattern_counts[static_cast<std::size_t>(p.kind)];
+        if (is_read_pattern(p.kind)) {
+            if (!p.synthetic) s.read_pattern_events += p.length;
+            if (p.coverage >= config.flr_min_coverage) ++s.long_read_patterns;
+        }
+        if (!counts_as_insertion_pattern(p, s.info.kind)) continue;
+        if (p.length >= config.li_min_phase_events) {
+            s.long_insert_events += p.length;
+            if (!p.synthetic)
+                s.long_insert_ns +=
+                    events[p.last].time_ns - events[p.first].time_ns;
+            // Longest qualifying phase; first-seen wins ties (patterns are
+            // ordered by first event index).
+            if (!s.has_longest_insert ||
+                p.length > s.longest_insert_length) {
+                s.has_longest_insert = true;
+                s.longest_insert_length = p.length;
+                s.longest_insert_front = p.kind == PatternKind::InsertFront;
+            }
+        }
+    }
+
+    // Sort-After-Insert: the earliest Sort trailing a qualifying insertion
+    // phase within the gap window; among that Sort's phases, the earliest.
+    for (std::uint32_t i = 0; i < events.size() && !s.sai_match; ++i) {
+        if (derive_access_type(events[i].op) != AccessType::Sort) continue;
+        for (const Pattern& p : patterns) {
+            if (!counts_as_insertion_pattern(p, s.info.kind)) continue;
+            if (p.length < config.sai_min_phase_events) continue;
+            if (p.last < i && i - p.last <= config.sai_max_gap_events) {
+                s.sai_match = true;
+                s.sai_phase_length = p.length;
+                break;
+            }
+        }
+    }
+
+    if (!profile.phases().empty()) {
+        const Phase& tail = profile.phases().back();
+        s.tail_type = tail.type;
+        s.tail_length = tail.length();
+        s.tail_last_size = events[tail.last].size;
+    }
+    return s;
+}
+
 std::vector<UseCase> UseCaseEngine::classify(
     const RuntimeProfile& profile,
     const std::vector<Pattern>& patterns) const {
+    return classify(compute_instance_stats(profile, patterns, config_));
+}
+
+std::vector<UseCase> UseCaseEngine::classify(const InstanceStats& s) const {
     std::vector<UseCase> out;
-    const runtime::InstanceInfo& info = profile.info();
-    const std::size_t total = profile.total_events();
+    const runtime::InstanceInfo& info = s.info;
+    const std::size_t total = s.total;
     if (total == 0) return out;
 
     // Confidence: ~0.5 when the evidence sits exactly at the rule's
@@ -161,9 +153,8 @@ std::vector<UseCase> UseCaseEngine::classify(
         return std::clamp(metric / (2.0 * threshold), 0.0, 1.0);
     };
 
-    auto emit = [&out, &info, &profile](UseCaseKind kind,
-                                        double confidence,
-                                        std::string reason) {
+    auto emit = [&out, &info, &s](UseCaseKind kind, double confidence,
+                                  std::string reason) {
         UseCase uc;
         uc.kind = kind;
         uc.instance = info;
@@ -174,10 +165,10 @@ std::vector<UseCase> UseCaseEngine::classify(
         // DSspy captures thread ids so it can support multithreaded code:
         // an instance that is already accessed concurrently needs a
         // synchronization review before further parallelization.
-        if (profile.thread_count() > 1 && uc.parallel_potential) {
+        if (s.thread_count > 1 && uc.parallel_potential) {
             uc.recommendation +=
                 " Note: this instance is already accessed by " +
-                std::to_string(profile.thread_count()) +
+                std::to_string(s.thread_count) +
                 " threads; verify synchronization before transforming.";
         }
         out.push_back(std::move(uc));
@@ -186,60 +177,30 @@ std::vector<UseCase> UseCaseEngine::classify(
     const bool linear = is_linear(info.kind);
 
     // ---- Long-Insert evidence (shared with Sort-After-Insert) -----------
-    std::size_t long_insert_events = 0;
-    std::uint64_t long_insert_ns = 0;
-    const Pattern* longest_insert = nullptr;
-    const auto all_events = profile.events();
-    for (const Pattern& p : patterns) {
-        if (!counts_as_insertion_pattern(p, info.kind)) continue;
-        if (p.length >= config_.li_min_phase_events) {
-            long_insert_events += p.length;
-            if (!p.synthetic)
-                long_insert_ns += all_events[p.last].time_ns -
-                                  all_events[p.first].time_ns;
-            if (longest_insert == nullptr ||
-                p.length > longest_insert->length)
-                longest_insert = &p;
-        }
-    }
     // "Insertion phases >30% of runtime": measured in events (default) or
     // wall-clock time between each qualifying phase's first/last event.
     const double insert_share =
         config_.share_basis == ShareBasis::Time
-            ? (profile.duration_ns() > 0
-                   ? static_cast<double>(long_insert_ns) /
-                         static_cast<double>(profile.duration_ns())
+            ? (s.duration_ns > 0
+                   ? static_cast<double>(s.long_insert_ns) /
+                         static_cast<double>(s.duration_ns)
                    : 0.0)
-            : static_cast<double>(long_insert_events) /
+            : static_cast<double>(s.long_insert_events) /
                   static_cast<double>(total);
-    const bool li_conditions = linear && longest_insert != nullptr &&
+    const bool li_conditions = linear && s.has_longest_insert &&
                                insert_share > config_.li_min_insert_share;
 
     // ---- Sort-After-Insert: a Sort directly after a long insertion ------
     bool sai_fired = false;
-    if (li_conditions) {
-        const auto events = profile.events();
-        for (std::uint32_t i = 0; i < events.size(); ++i) {
-            if (derive_access_type(events[i].op) != AccessType::Sort)
-                continue;
-            for (const Pattern& p : patterns) {
-                if (!counts_as_insertion_pattern(p, info.kind)) continue;
-                if (p.length < config_.sai_min_phase_events) continue;
-                if (p.last < i && i - p.last <= config_.sai_max_gap_events) {
-                    emit(UseCaseKind::SortAfterInsert,
-                         confidence_of(insert_share,
-                                       config_.sai_min_insert_share),
-                         "Sort follows an insertion phase of " +
-                             std::to_string(p.length) + " events (" +
-                             Table::pct(insert_share) +
-                             " of the profile is long insertions); the "
-                             "insertion order is obviously not important.");
-                    sai_fired = true;
-                    break;
-                }
-            }
-            if (sai_fired) break;
-        }
+    if (li_conditions && s.sai_match) {
+        emit(UseCaseKind::SortAfterInsert,
+             confidence_of(insert_share, config_.sai_min_insert_share),
+             "Sort follows an insertion phase of " +
+                 std::to_string(s.sai_phase_length) + " events (" +
+                 Table::pct(insert_share) +
+                 " of the profile is long insertions); the "
+                 "insertion order is obviously not important.");
+        sai_fired = true;
     }
 
     // ---- Long-Insert (suppressed when subsumed by Sort-After-Insert) ----
@@ -250,16 +211,15 @@ std::vector<UseCase> UseCaseEngine::classify(
                  " of the profile (threshold " +
                  Table::pct(config_.li_min_insert_share) +
                  "); longest consecutive insertion streak: " +
-                 std::to_string(longest_insert->length) + " events from the " +
-                 (longest_insert->kind == PatternKind::InsertFront
-                      ? "front."
-                      : "end."));
+                 std::to_string(s.longest_insert_length) +
+                 " events from the " +
+                 (s.longest_insert_front ? "front." : "end."));
     }
 
     // ---- Implement-Queue: two-end traffic on a list ----------------------
     if (info.kind == runtime::DsKind::List &&
         total >= config_.iq_min_events) {
-        const EndTraffic t = end_traffic(profile, config_.iq_end_window);
+        const EndTraffic& t = s.iq_traffic;
         // A queue inserts at one end and consumes (reads/deletes) at the
         // other.  Evaluate both orientations.
         const std::size_t fifo1 =
@@ -299,15 +259,11 @@ std::vector<UseCase> UseCaseEngine::classify(
     }
 
     // ---- Frequent-Search --------------------------------------------------
-    const std::size_t search_ops = profile.count(AccessType::Search);
+    const std::size_t search_ops =
+        s.counts[static_cast<std::size_t>(AccessType::Search)];
     if (linear && search_ops > config_.fs_min_search_ops) {
-        std::size_t read_pattern_events = 0;
-        for (const Pattern& p : patterns) {
-            if (is_read_pattern(p.kind) && !p.synthetic)
-                read_pattern_events += p.length;
-        }
         const double read_pattern_share =
-            static_cast<double>(read_pattern_events) /
+            static_cast<double>(s.read_pattern_events) /
             static_cast<double>(total);
         if (read_pattern_share >= config_.fs_min_read_pattern_share) {
             emit(UseCaseKind::FrequentSearch,
@@ -325,20 +281,16 @@ std::vector<UseCase> UseCaseEngine::classify(
 
     // ---- Frequent-Long-Read -------------------------------------------------
     if (linear) {
-        std::size_t long_read_patterns = 0;
-        for (const Pattern& p : patterns) {
-            if (is_read_pattern(p.kind) &&
-                p.coverage >= config_.flr_min_coverage)
-                ++long_read_patterns;
-        }
-        const double read_share = weighted_read_share(profile);
-        if (long_read_patterns > config_.flr_min_read_patterns &&
+        const double read_share =
+            s.weighted_total > 0.0 ? s.weighted_reads / s.weighted_total
+                                   : 0.0;
+        if (s.long_read_patterns > config_.flr_min_read_patterns &&
             read_share >= config_.flr_min_read_share) {
             emit(UseCaseKind::FrequentLongRead,
-                 confidence_of(static_cast<double>(long_read_patterns),
+                 confidence_of(static_cast<double>(s.long_read_patterns),
                                static_cast<double>(
                                    config_.flr_min_read_patterns)),
-                 std::to_string(long_read_patterns) +
+                 std::to_string(s.long_read_patterns) +
                      " sequential read patterns each covering at least " +
                      Table::pct(config_.flr_min_coverage) +
                      " of the structure; " + Table::pct(read_share) +
@@ -349,18 +301,17 @@ std::vector<UseCase> UseCaseEngine::classify(
 
     // ---- Insert/Delete-Front (sequential) --------------------------------
     if (info.kind == runtime::DsKind::Array) {
-        const std::size_t resizes = count_resizes(profile);
-        if (resizes >= config_.idf_min_resizes) {
+        if (s.resizes >= config_.idf_min_resizes) {
             emit(UseCaseKind::InsertDeleteFront,
-                 confidence_of(static_cast<double>(resizes),
+                 confidence_of(static_cast<double>(s.resizes),
                                static_cast<double>(
                                    config_.idf_min_resizes)),
-                 std::to_string(resizes) +
+                 std::to_string(s.resizes) +
                      " array reallocations: every resize copies all "
                      "elements.");
         }
     } else if (info.kind == runtime::DsKind::List) {
-        const EndTraffic t = end_traffic(profile, 1);
+        const EndTraffic& t = s.edge_traffic;
         if (t.front_insert >= config_.idf_min_front_ops &&
             t.front_delete >= config_.idf_min_front_ops) {
             emit(UseCaseKind::InsertDeleteFront,
@@ -376,15 +327,17 @@ std::vector<UseCase> UseCaseEngine::classify(
 
     // ---- Stack-Implementation (sequential) ---------------------------------
     if (info.kind == runtime::DsKind::List) {
-        const EndTraffic t = end_traffic(profile, 1);
+        const EndTraffic& t = s.edge_traffic;
         const std::size_t muts = t.inserts() + t.deletes();
         // Count *all* insert/delete events to catch mid-structure traffic
         // that would disqualify the stack pattern.
-        const std::size_t all_muts = profile.count(AccessType::Insert) +
-                                     profile.count(AccessType::Delete);
-        if (all_muts >= config_.si_min_ops && muts > 0 &&
-            profile.count(AccessType::Insert) > 0 &&
-            profile.count(AccessType::Delete) > 0) {
+        const std::size_t inserts =
+            s.counts[static_cast<std::size_t>(AccessType::Insert)];
+        const std::size_t deletes =
+            s.counts[static_cast<std::size_t>(AccessType::Delete)];
+        const std::size_t all_muts = inserts + deletes;
+        if (all_muts >= config_.si_min_ops && muts > 0 && inserts > 0 &&
+            deletes > 0) {
             const double back_share =
                 static_cast<double>(t.back_insert + t.back_delete) /
                 static_cast<double>(all_muts);
@@ -405,24 +358,20 @@ std::vector<UseCase> UseCaseEngine::classify(
     }
 
     // ---- Write-Without-Read (sequential) -------------------------------------
-    if (!profile.phases().empty()) {
-        const Phase& tail = profile.phases().back();
-        if (tail.type == AccessType::Write &&
-            tail.length() >= config_.wwr_min_events) {
-            const runtime::AccessEvent& last_ev =
-                profile.events()[tail.last];
-            const double denom =
-                last_ev.size > 0 ? static_cast<double>(last_ev.size) : 1.0;
-            const double coverage =
-                std::min(1.0, static_cast<double>(tail.length()) / denom);
-            if (coverage >= config_.wwr_min_coverage) {
-                emit(UseCaseKind::WriteWithoutRead,
-                     confidence_of(coverage, config_.wwr_min_coverage),
-                     "The profile ends with a write phase of " +
-                         std::to_string(tail.length()) +
-                         " events covering " + Table::pct(coverage) +
-                         " of the structure whose results are never read.");
-            }
+    if (s.tail_type == AccessType::Write &&
+        s.tail_length >= config_.wwr_min_events) {
+        const double denom = s.tail_last_size > 0
+                                 ? static_cast<double>(s.tail_last_size)
+                                 : 1.0;
+        const double coverage =
+            std::min(1.0, static_cast<double>(s.tail_length) / denom);
+        if (coverage >= config_.wwr_min_coverage) {
+            emit(UseCaseKind::WriteWithoutRead,
+                 confidence_of(coverage, config_.wwr_min_coverage),
+                 "The profile ends with a write phase of " +
+                     std::to_string(s.tail_length) +
+                     " events covering " + Table::pct(coverage) +
+                     " of the structure whose results are never read.");
         }
     }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/detector_config.hpp"
+#include "core/instance_stats.hpp"
 #include "core/patterns.hpp"
 #include "core/profile.hpp"
 
@@ -111,10 +112,17 @@ public:
     explicit UseCaseEngine(DetectorConfig config = {}) : config_(config) {}
 
     /// Classify a profile.  `patterns` must come from a PatternDetector
-    /// with the same configuration, run over the same profile.
+    /// with the same configuration, run over the same profile.  Equivalent
+    /// to `classify(compute_instance_stats(profile, patterns, config()))`.
     [[nodiscard]] std::vector<UseCase> classify(
         const RuntimeProfile& profile,
         const std::vector<Pattern>& patterns) const;
+
+    /// Classify from pre-folded aggregates.  This is the single emission
+    /// path both the post-mortem and the incremental pipeline go through;
+    /// the stats must have been folded with the same configuration.
+    [[nodiscard]] std::vector<UseCase> classify(
+        const InstanceStats& stats) const;
 
     [[nodiscard]] const DetectorConfig& config() const noexcept {
         return config_;

@@ -4,6 +4,8 @@
 #include <array>
 #include <cassert>
 #include <chrono>
+#include <cstddef>
+#include <limits>
 #include <span>
 
 #include "parallel/thread_pool.hpp"
@@ -70,9 +72,11 @@ void ProfilingSession::Channel::grow_chunk() {
     write_end = write_pos + cap;
 }
 
-ProfilingSession::ProfilingSession(CaptureMode mode, std::size_t ring_capacity)
+ProfilingSession::ProfilingSession(CaptureMode mode, std::size_t ring_capacity,
+                                   AnalysisMode analysis)
     : mode_(mode),
       ring_capacity_(ring_capacity),
+      analysis_(analysis),
       token_(next_session_token()),
       start_ns_(steady_now_ns()) {
     if (mode_ == CaptureMode::Streaming) {
@@ -94,8 +98,19 @@ ProfilingSession::~ProfilingSession() {
 InstanceId ProfilingSession::register_instance(DsKind kind,
                                                std::string type_name,
                                                support::SourceLoc location) {
-    return registry_.register_instance(kind, std::move(type_name),
-                                       std::move(location));
+    const InstanceId id = registry_.register_instance(
+        kind, std::move(type_name), std::move(location));
+    if (instance_sink_) instance_sink_(registry_.info(id));
+    return id;
+}
+
+void ProfilingSession::set_event_sink(EventSink sink) {
+    sink_ = std::move(sink);
+    has_sink_.store(static_cast<bool>(sink_), std::memory_order_release);
+}
+
+void ProfilingSession::set_instance_sink(InstanceSink sink) {
+    instance_sink_ = std::move(sink);
 }
 
 void ProfilingSession::mark_deallocated(InstanceId id) {
@@ -183,6 +198,13 @@ void ProfilingSession::record(InstanceId instance, OpKind op,
     // so every merged event is fully visible (single writer: plain add).
     chan.events.store(chan.events.load(std::memory_order_relaxed) + 1,
                       std::memory_order_release);
+    // Ordered delivery: next_seq lower-bounds every future seq from this
+    // channel (fresh blocks come from a monotonic allocator).  The release
+    // pairs with the collector's acquire, so once it reads this bound,
+    // every event below it is already in the ring.
+    if (mode_ == CaptureMode::Streaming &&
+        has_sink_.load(std::memory_order_relaxed))
+        chan.published.store(chan.next_seq, std::memory_order_release);
 }
 
 std::uint64_t ProfilingSession::now_ns() const noexcept {
@@ -194,12 +216,20 @@ void ProfilingSession::collector_loop(const std::stop_token& st) {
     unsigned idle_rounds = 0;
     while (!st.stop_requested()) {
         bool any = false;
-        for (Channel* chan = channels_head_.load(std::memory_order_acquire);
-             chan != nullptr; chan = chan->next) {
-            const std::size_t n = chan->ring->pop_into(batch);
-            if (n > 0) {
-                store_.append(std::span(batch.data(), n));
-                any = true;
+        // Re-read each round: the collector starts in the constructor,
+        // before any set_event_sink() call can have happened.
+        if (has_sink_.load(std::memory_order_acquire)) {
+            any = collect_ordered_round();
+        } else {
+            for (Channel* chan =
+                     channels_head_.load(std::memory_order_acquire);
+                 chan != nullptr; chan = chan->next) {
+                const std::size_t n = chan->ring->pop_into(batch);
+                if (n > 0) {
+                    if (analysis_ == AnalysisMode::Postmortem)
+                        store_.append(std::span(batch.data(), n));
+                    any = true;
+                }
             }
         }
         if (any) {
@@ -220,17 +250,165 @@ void ProfilingSession::collector_loop(const std::stop_token& st) {
         }
     }
     drain_all_rings();
+    if (has_sink_.load(std::memory_order_acquire)) {
+        // All producers have quiesced: no bound can rise any more, so
+        // everything still pending is deliverable.
+        deliver_ordered(/*final_flush=*/true);
+    }
+}
+
+/// One ordered-collection round: per channel, read its published sequence
+/// bound and THEN drain the ring into the channel's pending buffer — that
+/// order guarantees that every event below the bound is in the buffer (the
+/// bound is release-stored after the push it covers).  Then deliver every
+/// pending event below the cross-channel watermark.
+bool ProfilingSession::collect_ordered_round() {
+    std::array<AccessEvent, 1024> batch;
+    bool any = false;
+    for (Channel* chan = channels_head_.load(std::memory_order_acquire);
+         chan != nullptr; chan = chan->next) {
+        chan->bound = chan->published.load(std::memory_order_acquire);
+        std::size_t n;
+        unsigned rounds = 0;
+        while ((n = chan->ring->pop_into(batch)) > 0) {
+            if (analysis_ == AnalysisMode::Postmortem)
+                store_.append(std::span(batch.data(), n));
+            chan->pending.insert(chan->pending.end(), batch.data(),
+                                 batch.data() + n);
+            any = true;
+            // A fast producer could refill indefinitely; cap the drain and
+            // revisit next round.  Stopping early is safe: with events left
+            // in the ring, the channel's pending front (older than anything
+            // in the ring) bounds the watermark instead of `bound`.
+            if (++rounds == 16) break;
+        }
+    }
+    deliver_ordered(/*final_flush=*/false);
+    return any;
+}
+
+/// Deliver pending events to the sink in ascending global seq order, up to
+/// the watermark (the minimum over every channel's next undelivered seq or,
+/// for fully-drained channels, its published bound).  With `final_flush`
+/// the bounds are ignored: no further events can appear.
+void ProfilingSession::deliver_ordered(bool final_flush) {
+    for (;;) {
+        Channel* best = nullptr;
+        std::uint64_t best_seq = 0;
+        // Smallest cursor among the *other* channels = how far `best` may
+        // be delivered without risking a seq inversion.
+        std::uint64_t limit = std::numeric_limits<std::uint64_t>::max();
+        for (Channel* chan = channels_head_.load(std::memory_order_acquire);
+             chan != nullptr; chan = chan->next) {
+            const bool has_pending = chan->pending_head < chan->pending.size();
+            if (!has_pending && final_flush) continue;
+            const std::uint64_t cursor =
+                has_pending ? chan->pending[chan->pending_head].seq
+                            : chan->bound;
+            if (has_pending && (best == nullptr || cursor < best_seq)) {
+                if (best != nullptr) limit = std::min(limit, best_seq);
+                best = chan;
+                best_seq = cursor;
+            } else {
+                limit = std::min(limit, cursor);
+            }
+        }
+        if (best == nullptr) return;
+        const std::vector<AccessEvent>& pend = best->pending;
+        std::size_t end = best->pending_head;
+        while (end < pend.size() && pend[end].seq < limit) ++end;
+        if (end == best->pending_head) return;  // watermark blocks progress
+        sink_(std::span(pend.data() + best->pending_head,
+                        end - best->pending_head));
+        best->pending_head = end;
+        if (best->pending_head == best->pending.size()) {
+            best->pending.clear();
+            best->pending_head = 0;
+        } else if (best->pending_head >= 4096 &&
+                   best->pending_head * 2 >= best->pending.size()) {
+            best->pending.erase(best->pending.begin(),
+                                best->pending.begin() +
+                                    static_cast<std::ptrdiff_t>(
+                                        best->pending_head));
+            best->pending_head = 0;
+        }
+    }
 }
 
 void ProfilingSession::drain_all_rings() {
     std::array<AccessEvent, 1024> batch;
+    const bool ordered = has_sink_.load(std::memory_order_acquire);
     for (Channel* chan = channels_head_.load(std::memory_order_acquire);
          chan != nullptr; chan = chan->next) {
         if (!chan->ring) continue;
         std::size_t n;
-        while ((n = chan->ring->pop_into(batch)) > 0)
-            store_.append(std::span(batch.data(), n));
+        while ((n = chan->ring->pop_into(batch)) > 0) {
+            if (analysis_ == AnalysisMode::Postmortem)
+                store_.append(std::span(batch.data(), n));
+            if (ordered)
+                chan->pending.insert(chan->pending.end(), batch.data(),
+                                     batch.data() + n);
+        }
     }
+}
+
+/// Buffered-mode ordered delivery: k-way merge of the sealed per-thread
+/// chunk chains by seq, batched to the sink.  Runs on the stop() caller.
+void ProfilingSession::buffered_merge_to_sink() {
+    struct Cursor {
+        Channel* chan;
+        std::size_t chunk = 0;
+        std::size_t offset = 0;
+        std::uint64_t remaining = 0;
+    };
+    std::vector<Cursor> cursors;
+    for (Channel* chan = channels_head_.load(std::memory_order_acquire);
+         chan != nullptr; chan = chan->next) {
+        const std::uint64_t events =
+            chan->events.load(std::memory_order_acquire);
+        if (events > 0) cursors.push_back(Cursor{chan, 0, 0, events});
+    }
+    const auto front = [](const Cursor& c) -> const AccessEvent& {
+        return c.chan->chunks[c.chunk].events[c.offset];
+    };
+    const auto advance = [](Cursor& c) {
+        --c.remaining;
+        if (++c.offset == c.chan->chunks[c.chunk].capacity) {
+            ++c.chunk;
+            c.offset = 0;
+        }
+    };
+    std::vector<AccessEvent> batch;
+    batch.reserve(1024);
+    while (!cursors.empty()) {
+        // Pick the channel holding the globally smallest seq and stream it
+        // until the runner-up channel's seq takes over.
+        std::size_t bi = 0;
+        std::uint64_t second = std::numeric_limits<std::uint64_t>::max();
+        for (std::size_t i = 1; i < cursors.size(); ++i) {
+            const std::uint64_t seq = front(cursors[i]).seq;
+            if (seq < front(cursors[bi]).seq) {
+                second = std::min(second, front(cursors[bi]).seq);
+                bi = i;
+            } else {
+                second = std::min(second, seq);
+            }
+        }
+        Cursor& c = cursors[bi];
+        while (c.remaining > 0 && front(c).seq < second) {
+            batch.push_back(front(c));
+            advance(c);
+            if (batch.size() == batch.capacity()) {
+                sink_(std::span<const AccessEvent>(batch));
+                batch.clear();
+            }
+        }
+        if (c.remaining == 0) {
+            cursors[bi] = cursors.back();
+            cursors.pop_back();
+        }
+    }
+    if (!batch.empty()) sink_(std::span<const AccessEvent>(batch));
 }
 
 void ProfilingSession::stop() {
@@ -250,18 +428,25 @@ void ProfilingSession::stop() {
             chan->sealed.store(true, std::memory_order_release);
     } else {
         for (Channel* chan = channels_head_.load(std::memory_order_acquire);
-             chan != nullptr; chan = chan->next) {
+             chan != nullptr; chan = chan->next)
             chan->sealed.store(true, std::memory_order_release);
-            // The acquire pairs with the release in record(): exactly the
-            // events whose writes are fully published are merged.
-            std::uint64_t remaining =
-                chan->events.load(std::memory_order_acquire);
-            for (const Channel::Chunk& chunk : chan->chunks) {
-                if (remaining == 0) break;
-                const std::size_t n = static_cast<std::size_t>(
-                    std::min<std::uint64_t>(remaining, chunk.capacity));
-                store_.append(std::span(chunk.events.get(), n));
-                remaining -= n;
+        if (has_sink_.load(std::memory_order_acquire))
+            buffered_merge_to_sink();
+        if (analysis_ == AnalysisMode::Postmortem) {
+            for (Channel* chan =
+                     channels_head_.load(std::memory_order_acquire);
+                 chan != nullptr; chan = chan->next) {
+                // The acquire pairs with the release in record(): exactly
+                // the events whose writes are fully published are merged.
+                std::uint64_t remaining =
+                    chan->events.load(std::memory_order_acquire);
+                for (const Channel::Chunk& chunk : chan->chunks) {
+                    if (remaining == 0) break;
+                    const std::size_t n = static_cast<std::size_t>(
+                        std::min<std::uint64_t>(remaining, chunk.capacity));
+                    store_.append(std::span(chunk.events.get(), n));
+                    remaining -= n;
+                }
             }
         }
     }

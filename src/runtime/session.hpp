@@ -31,7 +31,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -46,6 +48,16 @@ namespace dsspy::runtime {
 enum class CaptureMode {
     Buffered,   ///< Per-thread append-only buffers, merged at stop().
     Streaming,  ///< Per-thread SPSC rings drained live by a collector thread.
+};
+
+/// What happens to events once captured (DESIGN.md §8).
+enum class AnalysisMode {
+    /// Retain every event in the ProfileStore for post-mortem analysis.
+    Postmortem,
+    /// Events are handed to the event sink as they drain and are NOT
+    /// retained: the store stays empty and memory is bounded by the
+    /// live-instance state of the attached incremental analyzer.
+    Incremental,
 };
 
 /// One recording session: create, run the instrumented workload, stop(),
@@ -68,8 +80,14 @@ public:
     /// The monotonic clock is read once per this many events per thread.
     static constexpr std::uint32_t kTimestampStride = 64;
 
+    /// Batch consumer for captured events; see set_event_sink().
+    using EventSink = std::function<void(std::span<const AccessEvent>)>;
+    /// Consumer for instance registrations; see set_instance_sink().
+    using InstanceSink = std::function<void(const InstanceInfo&)>;
+
     explicit ProfilingSession(CaptureMode mode = CaptureMode::Buffered,
-                              std::size_t ring_capacity = 64 * 1024);
+                              std::size_t ring_capacity = 64 * 1024,
+                              AnalysisMode analysis = AnalysisMode::Postmortem);
     ~ProfilingSession();
 
     ProfilingSession(const ProfilingSession&) = delete;
@@ -96,6 +114,27 @@ public:
     }
 
     [[nodiscard]] CaptureMode mode() const noexcept { return mode_; }
+
+    [[nodiscard]] AnalysisMode analysis_mode() const noexcept {
+        return analysis_;
+    }
+
+    /// Install a consumer for captured events.  Must be installed before
+    /// the first record().  Delivery is in ascending global `seq` order —
+    /// which implies each instance's (and each thread's) events arrive in
+    /// their program order, the order the finalized store would present:
+    /// in Streaming mode the collector merges the per-thread rings behind
+    /// a watermark (every channel's published sequence bound) and delivers
+    /// as the watermark advances; in Buffered mode the per-thread chains
+    /// are merge-delivered at stop().  The sink runs on the collector
+    /// thread (Streaming) or the stop() caller (Buffered) and must not
+    /// call back into this session except for registry()/snapshot reads.
+    void set_event_sink(EventSink sink);
+
+    /// Install a consumer notified of every instance registration (after
+    /// it lands in the registry).  Must be installed before profiling
+    /// starts; runs on the registering thread.
+    void set_instance_sink(InstanceSink sink);
 
     /// The recorded profiles.  Call after `stop()`.
     [[nodiscard]] const ProfileStore& store() const noexcept { return store_; }
@@ -145,6 +184,16 @@ private:
         // Published state (read by stop()/collector).
         std::atomic<std::uint64_t> events{0};  ///< Completed records.
         std::atomic<bool> sealed{false};       ///< Set by stop().
+        /// Lower bound on the seq of any future event from this channel
+        /// (stored after each record when an event sink is attached);
+        /// the collector's ordered-delivery watermark is the minimum of
+        /// these bounds across channels.
+        std::atomic<std::uint64_t> published{0};
+
+        // Ordered-delivery state, touched only by the collector.
+        std::vector<AccessEvent> pending;  ///< Drained, not yet delivered.
+        std::size_t pending_head = 0;
+        std::uint64_t bound = 0;           ///< published, read pre-drain.
 
         Channel* next = nullptr;  ///< Lock-free registration list link.
     };
@@ -152,10 +201,14 @@ private:
     Channel& channel_for_current_thread();
     void collector_loop(const std::stop_token& st);
     void drain_all_rings();
+    bool collect_ordered_round();
+    void deliver_ordered(bool final_flush);
+    void buffered_merge_to_sink();
     [[nodiscard]] std::uint64_t now_ns() const noexcept;
 
     const CaptureMode mode_;
     const std::size_t ring_capacity_;
+    const AnalysisMode analysis_;
     const std::uint64_t token_;  ///< Unique id for thread-local caching.
 
     InstanceRegistry registry_;
@@ -171,6 +224,12 @@ private:
     /// traversal needs no lock).  Channels are owned by the list and freed
     /// in the destructor.
     std::atomic<Channel*> channels_head_{nullptr};
+
+    EventSink sink_;            ///< Ordered-delivery consumer (may be empty).
+    InstanceSink instance_sink_;
+    /// Fast flags mirroring sink_ presence: checked on the hot path
+    /// (record) and every collector round without touching std::function.
+    std::atomic<bool> has_sink_{false};
 
     std::jthread collector_;  // Streaming mode only.
 };

@@ -1,7 +1,9 @@
 #include "runtime/trace_binary.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <exception>
+#include <istream>
 #include <limits>
 #include <mutex>
 #include <ostream>
@@ -209,7 +211,130 @@ void decode_chunk(Cursor cur, std::uint32_t count,
     if (cur.ptr != cur.end) fail("chunk payload longer than declared events");
 }
 
+/// Byte source for the streaming decoder: serves the sniffed prefix first,
+/// then pulls from the stream.  Mirrors Cursor's primitives (and error
+/// messages) but never needs the whole trace in memory.
+struct StreamSource {
+    std::istream& is;
+    std::string_view carry;
+
+    /// Read exactly `n` bytes; false only on a clean end of input.
+    bool get(char* dst, std::size_t n) {
+        const std::size_t from_carry = std::min(n, carry.size());
+        std::memcpy(dst, carry.data(), from_carry);
+        carry.remove_prefix(from_carry);
+        if (from_carry == n) return true;
+        is.read(dst + from_carry,
+                static_cast<std::streamsize>(n - from_carry));
+        if (is.bad()) fail("I/O error while reading trace");
+        return static_cast<std::size_t>(is.gcount()) == n - from_carry;
+    }
+
+    std::uint8_t u8(const char* what) {
+        char c;
+        if (!get(&c, 1)) fail(what);
+        return static_cast<std::uint8_t>(c);
+    }
+
+    std::uint32_t u32() {
+        unsigned char b[4];
+        if (!get(reinterpret_cast<char*>(b), 4))
+            fail("truncated fixed-width field");
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) v |= std::uint32_t{b[i]} << (8 * i);
+        return v;
+    }
+
+    std::uint64_t u64() {
+        unsigned char b[8];
+        if (!get(reinterpret_cast<char*>(b), 8))
+            fail("truncated fixed-width field");
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) v |= std::uint64_t{b[i]} << (8 * i);
+        return v;
+    }
+
+    std::uint64_t varint() {
+        std::uint64_t v = 0;
+        for (unsigned shift = 0; shift < 64; shift += 7) {
+            const std::uint8_t byte = u8("unterminated varint");
+            v |= std::uint64_t{byte & 0x7Fu} << shift;
+            if ((byte & 0x80u) == 0) {
+                if (shift == 63 && byte > 1) fail("varint overflows 64 bits");
+                return v;
+            }
+        }
+        fail("varint longer than 10 bytes");
+    }
+
+    std::string str() {
+        const std::uint64_t len = varint();
+        // No "remaining" to check against a stream; cap at a size no real
+        // name field reaches so corrupt lengths fail before allocating.
+        if (len > (1u << 30)) fail("truncated string field");
+        std::string s(static_cast<std::size_t>(len), '\0');
+        if (!get(s.data(), s.size())) fail("truncated string field");
+        return s;
+    }
+
+    [[nodiscard]] bool at_end() {
+        if (!carry.empty()) return false;
+        return is.peek() == std::istream::traits_type::eof();
+    }
+};
+
 }  // namespace
+
+std::size_t read_trace_binary_stream(std::istream& is, std::string_view prefix,
+                                     TraceSink& sink) {
+    StreamSource src{is, prefix};
+    char magic[sizeof(kTraceBinaryMagic)];
+    if (!src.get(magic, sizeof(magic)) ||
+        std::memcmp(magic, kTraceBinaryMagic, sizeof(magic)) != 0)
+        fail("bad magic (not a DST1 trace)");
+    const std::uint32_t version = src.u32();
+    if (version != kTraceBinaryVersion)
+        fail("unsupported DST1 version " + std::to_string(version));
+    const std::uint64_t instance_count = src.u64();
+    const std::uint64_t event_count = src.u64();
+
+    for (std::uint64_t i = 0; i < instance_count; ++i) {
+        InstanceInfo info;
+        info.id = checked_narrow<InstanceId>(src.varint(), "id");
+        const std::uint64_t kind = src.varint();
+        if (kind >= kDsKindCount) fail("bad kind value");
+        info.kind = static_cast<DsKind>(kind);
+        info.location.position =
+            checked_narrow<std::uint32_t>(src.varint(), "position");
+        info.type_name = src.str();
+        info.location.class_name = src.str();
+        info.location.method = src.str();
+        info.deallocated = src.u8("truncated byte field") != 0;
+        sink.on_instance(info);
+    }
+
+    std::vector<char> payload;
+    std::vector<AccessEvent> decoded;
+    std::uint64_t declared = 0;
+    std::size_t delivered = 0;
+    while (declared < event_count) {
+        const std::uint32_t count = src.u32();
+        const std::uint32_t payload_bytes = src.u32();
+        if (count == 0) fail("empty event chunk");
+        payload.resize(payload_bytes);
+        if (!src.get(payload.data(), payload.size()))
+            fail("truncated event chunk");
+        const auto* begin =
+            reinterpret_cast<const unsigned char*>(payload.data());
+        decode_chunk(Cursor{begin, begin + payload.size()}, count, decoded);
+        sink.on_events(decoded);
+        delivered += decoded.size();
+        declared += count;
+    }
+    if (declared != event_count) fail("chunk event counts exceed header total");
+    if (!src.at_end()) fail("trailing bytes after final chunk");
+    return delivered;
+}
 
 bool is_binary_trace(std::string_view bytes) {
     return bytes.size() >= sizeof(kTraceBinaryMagic) &&

@@ -75,4 +75,12 @@ std::size_t write_trace_binary(std::ostream& os,
 /// True if `bytes` starts with the DST1 magic.
 [[nodiscard]] bool is_binary_trace(std::string_view bytes);
 
+/// Stream-decode DST1 from `prefix` (bytes already pulled off the stream
+/// by format sniffing) followed by `is`: instances, then one decoded chunk
+/// at a time to `sink`.  Memory stays bounded by one chunk regardless of
+/// trace size.  Same validation and errors as read_trace_binary; returns
+/// the number of events delivered.
+std::size_t read_trace_binary_stream(std::istream& is, std::string_view prefix,
+                                     TraceSink& sink);
+
 }  // namespace dsspy::runtime

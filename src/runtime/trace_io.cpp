@@ -1,11 +1,13 @@
 #include "runtime/trace_io.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "runtime/trace_binary.hpp"
 
@@ -28,7 +30,7 @@ std::string escape(const std::string& field) {
 /// Split one CSV record honoring quoted fields (which may contain commas,
 /// escaped quotes, and newlines — record extraction below guarantees the
 /// record holds a balanced set of quotes).
-std::vector<std::string> split_csv(const std::string& line) {
+std::vector<std::string> split_csv(std::string_view line) {
     std::vector<std::string> fields;
     std::string current;
     bool quoted = false;
@@ -59,16 +61,130 @@ std::vector<std::string> split_csv(const std::string& line) {
 }
 
 template <typename T>
-T parse_number(const std::string& field, const char* what) {
+T parse_number(std::string_view field, const char* what) {
     T value{};
     const auto* begin = field.data();
     const auto* end = field.data() + field.size();
     const auto [ptr, ec] = std::from_chars(begin, end, value);
     if (ec != std::errc{} || ptr != end)
         throw std::runtime_error(std::string("trace_io: bad ") + what +
-                                 " field: '" + field + "'");
+                                 " field: '" + std::string(field) + "'");
     return value;
 }
+
+/// Quote-aware CSV record extraction as a resumable state machine: a
+/// record ends at a '\n' outside quotes, and `""` toggles the quote state
+/// twice (no net change), so quoted fields may span physical lines — and,
+/// here, buffer refills: the quote state and any partial record carry over
+/// between feed() calls, so a boundary can fall anywhere (even between the
+/// two '"' of an escaped quote) without changing what is parsed.  Both the
+/// slurped read_trace path and the streaming reader run on this scanner.
+class CsvRecordScanner {
+public:
+    /// Scan `chunk`, invoking `emit(std::string_view record)` for every
+    /// completed record.  The view is valid only during the call.
+    template <typename Fn>
+    void feed(std::string_view chunk, Fn&& emit) {
+        std::size_t start = 0;
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+            const char ch = chunk[i];
+            if (ch == '"') {
+                in_quote_ = !in_quote_;
+            } else if (ch == '\n' && !in_quote_) {
+                if (carry_.empty()) {
+                    emit(chunk.substr(start, i - start));
+                } else {
+                    carry_.append(chunk, start, i - start);
+                    emit(std::string_view(carry_));
+                    carry_.clear();
+                }
+                start = i + 1;
+            }
+        }
+        carry_.append(chunk, start, chunk.size() - start);
+    }
+
+    /// End of input: emit the final unterminated record, if any.  Throws
+    /// if a quoted field is still open.
+    template <typename Fn>
+    void finish(Fn&& emit) {
+        if (in_quote_)
+            throw std::runtime_error("trace_io: unterminated quoted field");
+        if (!carry_.empty()) {
+            emit(std::string_view(carry_));
+            carry_.clear();
+        }
+    }
+
+private:
+    std::string carry_;    ///< Partial record spanning feed() boundaries.
+    bool in_quote_ = false;
+};
+
+/// Parse one CSV record and route it to the sink (events via `batch`,
+/// flushed when full).  Returns the number of events parsed (0 or 1).
+std::size_t parse_csv_record(std::string_view line, TraceSink& sink,
+                             std::vector<AccessEvent>& batch) {
+    if (line.empty()) return 0;
+    const std::vector<std::string> fields = split_csv(line);
+    if (fields[0] == "I") {
+        if (fields.size() != 8)
+            throw std::runtime_error(
+                "trace_io: instance record needs 8 fields, got " +
+                std::to_string(fields.size()));
+        InstanceInfo info;
+        info.id = parse_number<InstanceId>(fields[1], "id");
+        const auto kind = parse_number<unsigned>(fields[2], "kind");
+        if (kind >= kDsKindCount)
+            throw std::runtime_error("trace_io: bad kind value");
+        info.kind = static_cast<DsKind>(kind);
+        info.type_name = fields[3];
+        info.location.class_name = fields[4];
+        info.location.method = fields[5];
+        info.location.position =
+            parse_number<std::uint32_t>(fields[6], "position");
+        info.deallocated = fields[7] == "1";
+        sink.on_instance(info);
+        return 0;
+    }
+    if (fields[0] == "E") {
+        if (fields.size() != 8)
+            throw std::runtime_error(
+                "trace_io: event record needs 8 fields, got " +
+                std::to_string(fields.size()));
+        AccessEvent ev;
+        ev.seq = parse_number<std::uint64_t>(fields[1], "seq");
+        ev.time_ns = parse_number<std::uint64_t>(fields[2], "time_ns");
+        ev.instance = parse_number<InstanceId>(fields[3], "instance");
+        const auto op = parse_number<unsigned>(fields[4], "op");
+        if (op >= kOpKindCount)
+            throw std::runtime_error("trace_io: bad op value");
+        ev.op = static_cast<OpKind>(op);
+        ev.position = parse_number<std::int64_t>(fields[5], "position");
+        ev.size = parse_number<std::uint32_t>(fields[6], "size");
+        ev.thread = parse_number<ThreadId>(fields[7], "thread");
+        batch.push_back(ev);
+        if (batch.size() == batch.capacity()) {
+            sink.on_events(batch);
+            batch.clear();
+        }
+        return 1;
+    }
+    throw std::runtime_error("trace_io: unknown record tag '" + fields[0] +
+                             "'");
+}
+
+/// Builds an in-memory Trace from sink callbacks (the slurped path).
+class TraceBuildSink final : public TraceSink {
+public:
+    void on_instance(const InstanceInfo& info) override {
+        trace.instances.push_back(info);
+    }
+    void on_events(std::span<const AccessEvent> events) override {
+        trace.store.append(events);
+    }
+    Trace trace;
+};
 
 std::size_t write_trace_csv(std::ostream& os,
                             const std::vector<InstanceInfo>& instances,
@@ -95,79 +211,45 @@ std::size_t write_trace_csv(std::ostream& os,
 }
 
 Trace read_trace_csv(const std::string& data, par::ThreadPool* pool) {
-    Trace trace;
+    TraceBuildSink sink;
     std::vector<AccessEvent> batch;
     batch.reserve(1024);
-    std::string line;
-    std::size_t pos = 0;
-    while (pos < data.size()) {
-        // Extract one logical record: a '\n' inside an open quote belongs
-        // to the field (escape() quotes fields containing newlines), so
-        // track quote state instead of splitting on every physical line.
-        bool quoted = false;
-        std::size_t end = pos;
-        while (end < data.size()) {
-            const char ch = data[end];
-            if (ch == '"') {
-                quoted = !quoted;  // "" toggles twice: no net change
-            } else if (ch == '\n' && !quoted) {
-                break;
-            }
-            ++end;
-        }
-        if (quoted)
-            throw std::runtime_error("trace_io: unterminated quoted field");
-        line.assign(data, pos, end - pos);
-        pos = end + 1;
-        if (line.empty()) continue;
-        const std::vector<std::string> fields = split_csv(line);
-        if (fields[0] == "I") {
-            if (fields.size() != 8)
-                throw std::runtime_error(
-                    "trace_io: instance record needs 8 fields, got " +
-                    std::to_string(fields.size()));
-            InstanceInfo info;
-            info.id = parse_number<InstanceId>(fields[1], "id");
-            const auto kind = parse_number<unsigned>(fields[2], "kind");
-            if (kind >= kDsKindCount)
-                throw std::runtime_error("trace_io: bad kind value");
-            info.kind = static_cast<DsKind>(kind);
-            info.type_name = fields[3];
-            info.location.class_name = fields[4];
-            info.location.method = fields[5];
-            info.location.position =
-                parse_number<std::uint32_t>(fields[6], "position");
-            info.deallocated = fields[7] == "1";
-            trace.instances.push_back(std::move(info));
-        } else if (fields[0] == "E") {
-            if (fields.size() != 8)
-                throw std::runtime_error(
-                    "trace_io: event record needs 8 fields, got " +
-                    std::to_string(fields.size()));
-            AccessEvent ev;
-            ev.seq = parse_number<std::uint64_t>(fields[1], "seq");
-            ev.time_ns = parse_number<std::uint64_t>(fields[2], "time_ns");
-            ev.instance = parse_number<InstanceId>(fields[3], "instance");
-            const auto op = parse_number<unsigned>(fields[4], "op");
-            if (op >= kOpKindCount)
-                throw std::runtime_error("trace_io: bad op value");
-            ev.op = static_cast<OpKind>(op);
-            ev.position = parse_number<std::int64_t>(fields[5], "position");
-            ev.size = parse_number<std::uint32_t>(fields[6], "size");
-            ev.thread = parse_number<ThreadId>(fields[7], "thread");
-            batch.push_back(ev);
-            if (batch.size() == batch.capacity()) {
-                trace.store.append(batch);
-                batch.clear();
-            }
-        } else {
-            throw std::runtime_error("trace_io: unknown record tag '" +
-                                     fields[0] + "'");
-        }
-    }
-    trace.store.append(batch);
+    CsvRecordScanner scanner;
+    const auto handle = [&](std::string_view line) {
+        parse_csv_record(line, sink, batch);
+    };
+    scanner.feed(data, handle);
+    scanner.finish(handle);
+    if (!batch.empty()) sink.on_events(batch);
+    Trace trace = std::move(sink.trace);
     trace.store.finalize(pool);
     return trace;
+}
+
+/// Streaming CSV: refill a fixed buffer and feed it through the scanner;
+/// quote state and partial records survive the refills.
+std::size_t read_trace_csv_stream(std::istream& is, std::string_view first,
+                                  TraceSink& sink, std::size_t buffer_bytes) {
+    CsvRecordScanner scanner;
+    std::vector<AccessEvent> batch;
+    batch.reserve(1024);
+    std::size_t events = 0;
+    const auto handle = [&](std::string_view line) {
+        events += parse_csv_record(line, sink, batch);
+    };
+    scanner.feed(first, handle);
+    std::string buf(buffer_bytes, '\0');
+    while (is) {
+        is.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+        const auto got = static_cast<std::size_t>(is.gcount());
+        if (got == 0) break;
+        scanner.feed(std::string_view(buf.data(), got), handle);
+    }
+    if (is.bad())
+        throw std::runtime_error("trace_io: I/O error while reading trace");
+    scanner.finish(handle);
+    if (!batch.empty()) sink.on_events(batch);
+    return events;
 }
 
 }  // namespace
@@ -205,6 +287,30 @@ std::size_t write_trace(std::ostream& os, const ProfilingSession& session,
                         TraceFormat format) {
     return write_trace(os, session.registry().snapshot(), session.store(),
                        format);
+}
+
+std::size_t read_trace_stream(std::istream& is, TraceSink& sink,
+                              std::size_t buffer_bytes) {
+    const std::size_t cap = std::max<std::size_t>(buffer_bytes, 64);
+    // Probe one buffer to sniff the format, then hand the consumed prefix
+    // to the chosen reader so no byte is parsed twice.
+    std::string probe(cap, '\0');
+    is.read(probe.data(), static_cast<std::streamsize>(cap));
+    probe.resize(static_cast<std::size_t>(is.gcount()));
+    if (is.bad())
+        throw std::runtime_error("trace_io: I/O error while reading trace");
+    if (is_binary_trace(probe))
+        return read_trace_binary_stream(is, probe, sink);
+    return read_trace_csv_stream(is, probe, sink, cap);
+}
+
+std::size_t read_trace_stream_file(const std::string& path, TraceSink& sink,
+                                   std::size_t buffer_bytes) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("trace_io: cannot open trace file '" + path +
+                                 "'");
+    return read_trace_stream(in, sink, buffer_bytes);
 }
 
 Trace read_trace(std::istream& is, par::ThreadPool* pool) {

@@ -23,7 +23,9 @@
 // `read_trace` auto-detects the format from the leading magic bytes.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -71,6 +73,32 @@ std::size_t write_trace(std::ostream& os,
 /// is bit-identical to the sequential path.
 [[nodiscard]] Trace read_trace(std::istream& is,
                                par::ThreadPool* pool = nullptr);
+
+/// Incremental consumer for read_trace_stream: instance metadata and event
+/// batches are delivered as they are decoded, without materializing the
+/// trace.  Within one instance, events arrive in the file's (per-instance
+/// seq) order — the order write_trace emits and the order the incremental
+/// analyzer requires.
+class TraceSink {
+public:
+    virtual ~TraceSink() = default;
+    virtual void on_instance(const InstanceInfo& info) = 0;
+    virtual void on_events(std::span<const AccessEvent> events) = 0;
+};
+
+/// Stream a trace through `sink` in bounded memory (roughly `buffer_bytes`
+/// for CSV, one ~64K-event chunk for DST1 — never the whole trace).  The
+/// format is auto-detected from the magic bytes; CSV quote state is
+/// carried across buffer refills, so quoted fields spanning any boundary
+/// parse exactly as in read_trace.  Throws std::runtime_error on the same
+/// malformed inputs read_trace rejects.  Returns the number of events
+/// delivered.
+std::size_t read_trace_stream(std::istream& is, TraceSink& sink,
+                              std::size_t buffer_bytes = 1u << 20);
+
+/// File-path convenience; throws when the file cannot be opened.
+std::size_t read_trace_stream_file(const std::string& path, TraceSink& sink,
+                                   std::size_t buffer_bytes = 1u << 20);
 
 /// Convenience: file-path overloads.  `write_trace_file` returns false if
 /// the file cannot be opened or the flushed stream reports a short write;

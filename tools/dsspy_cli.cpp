@@ -3,11 +3,19 @@
 // Subcommands:
 //   dsspy analyze <trace> [output options] [--set key=value ...]
 //       Offline analysis of a recorded trace (CSV or DST1 binary; the
-//       format is auto-detected — see runtime/trace_io.hpp).
+//       format is auto-detected — see runtime/trace_io.hpp).  Streams the
+//       trace through the incremental analyzer by default; --postmortem
+//       loads it whole and runs the post-mortem pipeline (required for
+//       --json/--html/--csv-patterns/--plan, which need materialized
+//       patterns).
 //   dsspy convert <in> <out> [--format=csv|binary]
 //       Re-encode a trace (default: to the compact DST1 binary format).
-//   dsspy demo <app> [--trace FILE [--format=csv|binary]] [output options]
-//       Run one of the seven evaluation apps instrumented and analyze it.
+//   dsspy run <app> [--trace FILE [--format=csv|binary]] [output options]
+//       Run one of the seven evaluation apps instrumented and analyze it
+//       (alias: demo).
+//   dsspy watch <app> [--interval-ms N] [output options]
+//       Run an app with the incremental analyzer attached and print live
+//       snapshots while it runs, then the final report.
 //   dsspy corpus <program> [output options]
 //       Replay one empirical-study program's workload and analyze it.
 //   dsspy list
@@ -24,10 +32,15 @@
 //   --csv-patterns    detected patterns as CSV on stdout
 //   --html FILE       self-contained HTML report with embedded charts
 //   --set key=value   override a detector threshold (repeatable)
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/app_registry.hpp"
@@ -59,9 +72,18 @@ struct Options {
     bool csv_usecases = false;
     bool csv_instances = false;
     bool csv_patterns = false;
+    bool incremental = false;  ///< analyze: force the streaming engine.
+    bool postmortem = false;   ///< analyze: force the post-mortem engine.
+    int interval_ms = 500;     ///< watch: snapshot period.
     std::string html_path;
     std::string trace_path;
     std::vector<std::string> overrides;
+
+    /// Outputs only the post-mortem pipeline can produce (they need
+    /// materialized per-pattern data or the full event store).
+    [[nodiscard]] bool needs_postmortem() const {
+        return json || csv_patterns || plan || !html_path.empty();
+    }
 };
 
 int usage(const char* argv0) {
@@ -69,17 +91,23 @@ int usage(const char* argv0) {
         << "Usage: " << argv0 << " <command> [args]\n\n"
         << "Commands:\n"
         << "  analyze <trace>       analyze a recorded trace offline\n"
-        << "                        (CSV or DST1 binary, auto-detected)\n"
+        << "                        (CSV or DST1 binary, auto-detected;\n"
+        << "                        streamed incrementally by default)\n"
         << "  convert <in> <out>    re-encode a trace (--format, default\n"
         << "                        binary)\n"
-        << "  demo <app>            run an evaluation app instrumented\n"
+        << "  run <app>             run an evaluation app instrumented\n"
+        << "                        (alias: demo)\n"
+        << "  watch <app>           run an app with live incremental\n"
+        << "                        snapshots (--interval-ms, default 500)\n"
         << "  corpus <program>      replay an empirical-study workload\n"
         << "  list                  list demo apps and corpus programs\n"
         << "  config                print detector thresholds\n\n"
         << "Output: --report (default) --summary --plan --json --csv-usecases\n"
         << "        --csv-instances --csv-patterns --html FILE\n"
-        << "Extras: --trace FILE (demo/corpus: also write the raw trace)\n"
+        << "Extras: --trace FILE (run/corpus: also write the raw trace)\n"
         << "        --format=csv|binary (trace encoding for convert/--trace)\n"
+        << "        --incremental | --postmortem (analyze: pick the engine)\n"
+        << "        --interval-ms N (watch: snapshot period)\n"
         << "        --set key=value (threshold override, repeatable)\n";
     return 2;
 }
@@ -89,7 +117,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
     Options opt;
     opt.command = argv[1];
     int i = 2;
-    if (opt.command == "analyze" || opt.command == "demo" ||
+    if (opt.command == "analyze" || opt.command == "run" ||
+        opt.command == "demo" || opt.command == "watch" ||
         opt.command == "corpus" || opt.command == "convert") {
         if (i >= argc || argv[i][0] == '-') return std::nullopt;
         opt.target = argv[i++];
@@ -122,6 +151,13 @@ std::optional<Options> parse_args(int argc, char** argv) {
             opt.format = runtime::TraceFormat::Csv;
         } else if (arg == "--format=binary") {
             opt.format = runtime::TraceFormat::Binary;
+        } else if (arg == "--incremental") {
+            opt.incremental = true;
+        } else if (arg == "--postmortem") {
+            opt.postmortem = true;
+        } else if (arg == "--interval-ms" && i + 1 < argc) {
+            opt.interval_ms = std::atoi(argv[++i]);
+            if (opt.interval_ms <= 0) opt.interval_ms = 500;
         } else if (arg == "--set" && i + 1 < argc) {
             opt.overrides.emplace_back(argv[++i]);
         } else {
@@ -166,7 +202,82 @@ void emit_outputs(const Options& opt, const core::AnalysisResult& analysis) {
     }
 }
 
+/// Streaming-report outputs (the subset the incremental engine supports).
+void emit_stream_outputs(const Options& opt,
+                         const core::StreamReport& report) {
+    if (opt.summary) {
+        core::print_instance_summary(std::cout, report);
+        std::cout << '\n';
+    }
+    if (opt.report) {
+        core::print_use_case_report(std::cout, report);
+        std::cout << "Search space reduction: "
+                  << support::Table::pct(report.search_space_reduction())
+                  << " (" << report.flagged_instances() << " of "
+                  << report.list_array_instances()
+                  << " list/array instances flagged)\n";
+    }
+    if (opt.csv_usecases) core::write_use_cases_csv(std::cout, report);
+    if (opt.csv_instances) core::write_instances_csv(std::cout, report);
+}
+
+/// Feeds a streamed trace into the incremental analyzer, collecting the
+/// instance table on the way.  Trace files written by write_trace emit
+/// each instance's events in seq order, which is exactly the fold order
+/// the analyzer requires.
+class AnalyzerTraceSink final : public runtime::TraceSink {
+public:
+    explicit AnalyzerTraceSink(core::IncrementalAnalyzer& analyzer)
+        : analyzer_(analyzer) {}
+
+    void on_instance(const runtime::InstanceInfo& info) override {
+        instances.push_back(info);
+        analyzer_.declare_instance(info);
+    }
+
+    void on_events(std::span<const runtime::AccessEvent> events) override {
+        analyzer_.fold(events);
+    }
+
+    std::vector<runtime::InstanceInfo> instances;
+
+private:
+    core::IncrementalAnalyzer& analyzer_;
+};
+
 int cmd_analyze(const Options& opt, const core::Dsspy& analyzer) {
+    if (opt.incremental && opt.postmortem) {
+        std::cerr << "--incremental and --postmortem are mutually "
+                     "exclusive\n";
+        return 2;
+    }
+    if (opt.incremental && opt.needs_postmortem()) {
+        std::cerr << "--json/--html/--csv-patterns/--plan need the "
+                     "post-mortem engine (drop --incremental)\n";
+        return 2;
+    }
+    const bool streaming = !opt.postmortem && !opt.needs_postmortem();
+    if (streaming) {
+        // Default path: stream the trace chunk-by-chunk through the
+        // incremental analyzer — memory stays bounded by the live-instance
+        // state, not the trace size.
+        core::IncrementalAnalyzer incremental(analyzer.config());
+        AnalyzerTraceSink sink(incremental);
+        std::size_t events = 0;
+        try {
+            events = runtime::read_trace_stream_file(opt.target, sink);
+        } catch (const std::runtime_error& e) {
+            std::cerr << "Cannot read trace " << opt.target << ": "
+                      << e.what() << '\n';
+            return 1;
+        }
+        if (sink.instances.empty() && events == 0) {
+            std::cerr << "No trace data in " << opt.target << '\n';
+            return 1;
+        }
+        emit_stream_outputs(opt, incremental.finish(sink.instances));
+        return 0;
+    }
     runtime::Trace trace;
     try {
         trace = runtime::read_trace_file(opt.target,
@@ -231,6 +342,50 @@ int cmd_demo(const Options& opt, const core::Dsspy& analyzer) {
                       << '\n';
     }
     emit_outputs(opt, analyzer.analyze(session));
+    return 0;
+}
+
+int cmd_watch(const Options& opt, const core::Dsspy& analyzer) {
+    const apps::AppInfo* app = apps::find_app(opt.target);
+    if (app == nullptr) {
+        std::cerr << "Unknown app: " << opt.target
+                  << " (try `dsspy list`)\n";
+        return 1;
+    }
+    // Streaming capture with the analyzer folding as the collector drains;
+    // AnalysisMode::Incremental keeps the store empty — memory stays
+    // bounded however long the workload runs.
+    runtime::ProfilingSession session(runtime::CaptureMode::Streaming,
+                                      64 * 1024,
+                                      runtime::AnalysisMode::Incremental);
+    core::IncrementalAnalyzer incremental(analyzer.config());
+    core::attach_incremental(session, incremental);
+
+    std::atomic<bool> done{false};
+    double checksum = 0;
+    std::thread worker([&] {
+        checksum = app->run_sequential(&session).checksum;
+        done.store(true, std::memory_order_release);
+    });
+    const auto interval = std::chrono::milliseconds(opt.interval_ms);
+    while (!done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(interval);
+        const core::StreamReport snap =
+            core::Dsspy::snapshot(incremental, session);
+        std::cout << "[watch] " << incremental.events_folded()
+                  << " events folded, " << snap.total_instances()
+                  << " instances, " << snap.all_use_cases().size()
+                  << " use cases so far\n";
+        if (opt.summary) {
+            core::print_instance_summary(std::cout, snap);
+            std::cout << '\n';
+        }
+    }
+    worker.join();
+    session.stop();
+    std::cerr << app->name << ": checksum " << checksum << ", "
+              << incremental.events_folded() << " events\n";
+    emit_stream_outputs(opt, core::Dsspy::finish(incremental, session));
     return 0;
 }
 
@@ -299,7 +454,9 @@ int main(int argc, char** argv) {
 
     if (opt->command == "analyze") return cmd_analyze(*opt, analyzer);
     if (opt->command == "convert") return cmd_convert(*opt);
-    if (opt->command == "demo") return cmd_demo(*opt, analyzer);
+    if (opt->command == "run" || opt->command == "demo")
+        return cmd_demo(*opt, analyzer);
+    if (opt->command == "watch") return cmd_watch(*opt, analyzer);
     if (opt->command == "corpus") return cmd_corpus(*opt, analyzer);
     if (opt->command == "list") return cmd_list();
     if (opt->command == "config") return cmd_config(config);
