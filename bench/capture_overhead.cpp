@@ -7,7 +7,12 @@
 // reports an average 47x capture slowdown (Table IV); this file is the
 // regression guard for our low-overhead reimplementation.
 //
-// Usage: capture_overhead [output.json] [rounds]
+// It also measures the self-telemetry layer's own cost: the same record()
+// loop with the metrics registry disabled vs enabled, written as
+// BENCH_obs.json — the acceptance bound is that enabling telemetry stays
+// within single-digit percent of the uninstrumented capture path.
+//
+// Usage: capture_overhead [output.json] [rounds] [obs_output.json]
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -17,6 +22,7 @@
 #include <vector>
 
 #include "ds/profiled_list.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/session.hpp"
 
 namespace {
@@ -136,6 +142,43 @@ struct Result {
     double ns;
 };
 
+/// Telemetry on/off delta for one capture mode, measured back-to-back so
+/// ambient drift hits both sides equally.
+struct ObsDelta {
+    std::string name;
+    double off_ns = 0;
+    double on_ns = 0;
+
+    [[nodiscard]] double overhead_pct() const {
+        return off_ns > 0 ? (on_ns - off_ns) / off_ns * 100.0 : 0.0;
+    }
+};
+
+ObsDelta bench_obs_delta(runtime::CaptureMode mode, const char* name,
+                         int rounds) {
+    auto& reg = obs::MetricsRegistry::global();
+    ObsDelta delta;
+    delta.name = name;
+    delta.off_ns = 1e100;
+    delta.on_ns = 1e100;
+    // Interleave off/on rounds, alternating which side goes first, so
+    // ambient drift (frequency, page cache, allocator state) and short
+    // quiet windows on a shared machine hit both sides equally instead of
+    // masquerading as telemetry cost.
+    for (int r = 0; r < rounds; ++r) {
+        const bool on_first = (r & 1) != 0;
+        reg.set_enabled(on_first);
+        const double first = bench_record(mode, 1);
+        reg.set_enabled(!on_first);
+        const double second = bench_record(mode, 1);
+        delta.off_ns = std::min(delta.off_ns, on_first ? second : first);
+        delta.on_ns = std::min(delta.on_ns, on_first ? first : second);
+    }
+    reg.set_enabled(false);
+    reg.reset();
+    return delta;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -197,5 +240,42 @@ int main(int argc, char** argv) {
         std::printf("%-24s %10.2f ns/op  (%5.1fx plain)\n", res.name.c_str(),
                     res.ns, plain > 0 ? res.ns / plain : 0.0);
     std::printf("wrote %s\n", out_path.c_str());
+
+    // Self-telemetry cost: the identical record() loop with the metrics
+    // registry off vs on (instrumentation rides the cold branches, so the
+    // delta should stay in the noise).
+    const std::string obs_path = argc > 3 ? argv[3] : "BENCH_obs.json";
+    std::vector<ObsDelta> deltas;
+    deltas.push_back(bench_obs_delta(runtime::CaptureMode::Buffered,
+                                     "record_buffered", rounds));
+    deltas.push_back(bench_obs_delta(runtime::CaptureMode::Streaming,
+                                     "record_streaming", rounds));
+
+    std::FILE* fo = std::fopen(obs_path.c_str(), "w");
+    if (fo == nullptr) {
+        std::perror("capture_overhead: fopen");
+        return 1;
+    }
+    std::fprintf(fo, "{\n  \"benchmark\": \"obs_overhead\",\n");
+    std::fprintf(fo, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(fo, "  \"ops_per_round\": %zu,\n", kOpsPerRound);
+    std::fprintf(fo, "  \"rounds\": %d,\n", rounds);
+    std::fprintf(fo, "  \"results\": [\n");
+    for (std::size_t i = 0; i < deltas.size(); ++i) {
+        const ObsDelta& d = deltas[i];
+        std::fprintf(fo,
+                     "    {\"name\": \"%s\", \"ns_per_op_off\": %.2f, "
+                     "\"ns_per_op_on\": %.2f, \"overhead_pct\": %.2f}%s\n",
+                     d.name.c_str(), d.off_ns, d.on_ns, d.overhead_pct(),
+                     i + 1 < deltas.size() ? "," : "");
+    }
+    std::fprintf(fo, "  ]\n}\n");
+    std::fclose(fo);
+
+    for (const ObsDelta& d : deltas)
+        std::printf("%-24s off %8.2f  on %8.2f ns/op  (%+.2f%%)\n",
+                    d.name.c_str(), d.off_ns, d.on_ns, d.overhead_pct());
+    std::printf("wrote %s\n", obs_path.c_str());
     return 0;
 }

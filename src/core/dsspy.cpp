@@ -1,6 +1,9 @@
 #include "core/dsspy.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "parallel/parallel_for.hpp"
+#include "support/stopwatch.hpp"
 
 namespace dsspy::core {
 
@@ -45,6 +48,7 @@ AnalysisResult Dsspy::analyze(const runtime::ProfilingSession& session,
 AnalysisResult Dsspy::analyze(
     const std::vector<runtime::InstanceInfo>& instances,
     const runtime::ProfileStore& store, par::ThreadPool* pool) const {
+    DSSPY_SPAN("analyze.total");
     AnalysisResult result;
     result.total_instances_ = instances.size();
     result.total_events_ = store.total_events();
@@ -59,13 +63,24 @@ AnalysisResult Dsspy::analyze(
     // store) and writes only its pre-sized slot, so the parallel loop is
     // deterministic: same instances, same order, same bits.
     result.instances_.resize(instances.size());
+    // Per-instance latency histogram, registered once (call sites guard on
+    // obs::enabled(); threads observe into their own shards, so the
+    // parallel loop stays contention-free).
+    static const obs::MetricId instance_ns_metric =
+        obs::MetricsRegistry::global().histogram("analyze.instance_ns");
     auto analyze_range = [&](std::size_t lo, std::size_t hi) {
+        const bool telemetry = obs::enabled();
         for (std::size_t i = lo; i < hi; ++i) {
+            const std::uint64_t begin_ns =
+                telemetry ? support::now_ns() : 0;
             const runtime::InstanceInfo& info = instances[i];
             InstanceAnalysis& ia = result.instances_[i];
             ia.profile = RuntimeProfile(info, store.events(info.id));
             ia.patterns = detector_.detect(ia.profile);
             ia.use_cases = engine_.classify(ia.profile, ia.patterns);
+            if (telemetry)
+                obs::MetricsRegistry::global().observe(
+                    instance_ns_metric, support::now_ns() - begin_ns);
         }
     };
     if (pool != nullptr && instances.size() > 1) {

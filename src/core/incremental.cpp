@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "runtime/session.hpp"
 
 // Sort-After-Insert, streamed
@@ -26,6 +28,28 @@
 // lexicographic minimum — equal to the post-mortem selection.
 
 namespace dsspy::core {
+
+namespace {
+
+/// Self-telemetry ids for the streaming engine (lazy-registered; call
+/// sites guard on obs::enabled()).
+struct IncrementalMetricIds {
+    obs::MetricId events_folded;
+    obs::MetricId fold_batch;  ///< Histogram of fold(span) batch sizes.
+};
+
+const IncrementalMetricIds& incremental_metrics() {
+    static const IncrementalMetricIds ids = [] {
+        auto& reg = obs::MetricsRegistry::global();
+        return IncrementalMetricIds{
+            reg.counter("incremental.events_folded"),
+            reg.histogram("incremental.fold_batch_events"),
+        };
+    }();
+    return ids;
+}
+
+}  // namespace
 
 std::vector<UseCase> StreamReport::all_use_cases() const {
     std::vector<UseCase> out;
@@ -82,12 +106,21 @@ void IncrementalAnalyzer::declare_instance(
 }
 
 void IncrementalAnalyzer::fold(const runtime::AccessEvent& ev) {
+    if (obs::enabled())
+        obs::MetricsRegistry::global().add(
+            incremental_metrics().events_folded);
     const std::lock_guard<std::mutex> lock(mutex_);
     fold_locked(ev);
 }
 
 void IncrementalAnalyzer::fold(
     std::span<const runtime::AccessEvent> events) {
+    if (obs::enabled() && !events.empty()) {
+        auto& reg = obs::MetricsRegistry::global();
+        const IncrementalMetricIds& m = incremental_metrics();
+        reg.add(m.events_folded, events.size());
+        reg.observe(m.fold_batch, events.size());
+    }
     const std::lock_guard<std::mutex> lock(mutex_);
     for (const runtime::AccessEvent& ev : events) fold_locked(ev);
 }
@@ -289,6 +322,7 @@ StreamReport IncrementalAnalyzer::report_from(
 
 StreamReport IncrementalAnalyzer::snapshot(
     const std::vector<runtime::InstanceInfo>& instances) const {
+    DSSPY_SPAN("incremental.snapshot");
     std::vector<State> copy;
     {
         const std::lock_guard<std::mutex> lock(mutex_);
@@ -299,6 +333,7 @@ StreamReport IncrementalAnalyzer::snapshot(
 
 StreamReport IncrementalAnalyzer::finish(
     const std::vector<runtime::InstanceInfo>& instances) {
+    DSSPY_SPAN("incremental.finish");
     const std::lock_guard<std::mutex> lock(mutex_);
     return report_from(std::move(states_), instances);
 }

@@ -1,0 +1,43 @@
+// Exporters for the self-telemetry registry (DESIGN.md §9).
+//
+// Two text formats over the same MetricsRegistry::collect() snapshot:
+//
+//  * JSON — one self-contained document for dashboards and the
+//    `--metrics-out=<file>` CLI flag: every metric with kind and value
+//    (histograms carry count/sum and the full bucket array), plus the
+//    optional self-overhead estimate.
+//  * Prometheus text exposition — `dsspy metrics` default output; metric
+//    names are sanitized ('.' -> '_') and prefixed "dsspy_"; histograms
+//    emit cumulative `_bucket{le="..."}` series plus `_sum`/`_count`.
+//
+// Both emit metrics in collect()'s name-sorted order, so equal registry
+// states export byte-identical documents.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/self_overhead.hpp"
+
+namespace dsspy::obs {
+
+/// JSON document; `overhead` may be null (no "self_overhead" member).
+void write_metrics_json(std::ostream& os,
+                        const std::vector<MetricValue>& metrics,
+                        const SelfOverhead* overhead = nullptr);
+
+/// Prometheus text exposition format; the overhead estimate, when given,
+/// appears as dsspy_self_overhead_* gauges.
+void write_metrics_prometheus(std::ostream& os,
+                              const std::vector<MetricValue>& metrics,
+                              const SelfOverhead* overhead = nullptr);
+
+/// File convenience for the JSON document; false when the file cannot be
+/// opened or the flushed stream reports a short write.
+bool write_metrics_json_file(const std::string& path,
+                             const std::vector<MetricValue>& metrics,
+                             const SelfOverhead* overhead = nullptr);
+
+}  // namespace dsspy::obs

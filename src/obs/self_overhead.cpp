@@ -1,0 +1,108 @@
+#include "obs/self_overhead.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+#include "support/stopwatch.hpp"
+
+namespace dsspy::obs {
+
+namespace {
+
+/// Synthetic stand-in for runtime::AccessEvent (obs stays independent of
+/// runtime/): same size class, same field-assembly work per iteration.
+struct FakeEvent {
+    std::uint64_t seq;
+    std::uint64_t time_ns;
+    std::int64_t position;
+    std::uint32_t instance;
+    std::uint32_t size;
+};
+
+/// Sink that survives optimization: folding the buffer into an atomic
+/// keeps the compiler from deleting the calibration loop.
+std::atomic<std::uint64_t> g_calibration_sink{0};
+
+/// ns/event of assembling kIters events with one clock read per `stride`
+/// iterations.  Best of `rounds` (minimum is the noise-robust statistic).
+double calibrate_ns_per_event(std::uint32_t stride, int rounds) {
+    constexpr std::size_t kIters = 1u << 15;
+    std::array<FakeEvent, 256> ring{};
+    double best = 1e100;
+    for (int r = 0; r < rounds; ++r) {
+        std::uint64_t ts = support::now_ns();
+        std::uint32_t countdown = 0;
+        const std::uint64_t t0 = support::now_ns();
+        for (std::size_t i = 0; i < kIters; ++i) {
+            if (countdown == 0) {
+                ts = support::now_ns();
+                countdown = stride;
+            }
+            --countdown;
+            FakeEvent& ev = ring[i & (ring.size() - 1)];
+            ev.seq = i;
+            ev.time_ns = ts;
+            ev.position = static_cast<std::int64_t>(i);
+            ev.instance = static_cast<std::uint32_t>(i & 0xff);
+            ev.size = static_cast<std::uint32_t>(i + 1);
+        }
+        const std::uint64_t t1 = support::now_ns();
+        std::uint64_t fold = 0;
+        for (const FakeEvent& ev : ring) fold += ev.time_ns + ev.seq;
+        g_calibration_sink.fetch_add(fold, std::memory_order_relaxed);
+        best = std::min(best, static_cast<double>(t1 - t0) /
+                                  static_cast<double>(kIters));
+    }
+    return best;
+}
+
+}  // namespace
+
+SelfOverhead estimate_self_overhead(std::uint64_t events,
+                                    std::uint64_t capture_wall_ns,
+                                    std::uint32_t timestamp_stride) {
+    SelfOverhead est;
+    est.events = events;
+    est.capture_wall_ns = capture_wall_ns;
+    constexpr int kRounds = 3;
+    est.instrumented_ns_per_event = calibrate_ns_per_event(1, kRounds);
+    est.amortized_ns_per_event =
+        calibrate_ns_per_event(std::max<std::uint32_t>(timestamp_stride, 1),
+                               kRounds);
+    est.capture_cost_ns =
+        static_cast<double>(events) * est.amortized_ns_per_event;
+    if (events == 0 || capture_wall_ns == 0) return est;
+    const double wall = static_cast<double>(capture_wall_ns);
+    // Application time = wall minus estimated capture time; clamp so a
+    // tiny window (or noisy calibration) cannot send the fraction to
+    // infinity — the window itself bounds what capture can have cost.
+    const double app_ns = std::max(wall - est.capture_cost_ns, wall * 0.01);
+    est.overhead_fraction = std::min(est.capture_cost_ns, wall) / app_ns;
+    est.estimated_slowdown = 1.0 + est.overhead_fraction;
+    return est;
+}
+
+std::uint64_t sample_peak_rss_bytes() {
+#if defined(__linux__)
+    std::FILE* f = std::fopen("/proc/self/status", "r");
+    if (f == nullptr) return 0;
+    char line[256];
+    std::uint64_t kb = 0;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+        if (std::strncmp(line, "VmHWM:", 6) == 0) {
+            std::sscanf(line + 6, "%llu",
+                        reinterpret_cast<unsigned long long*>(&kb));
+            break;
+        }
+    }
+    std::fclose(f);
+    return kb * 1024;
+#else
+    return 0;
+#endif
+}
+
+}  // namespace dsspy::obs

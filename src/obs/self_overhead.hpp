@@ -1,0 +1,48 @@
+// Self-overhead estimate: how much did profiling slow this workload down?
+//
+// The paper reports an average 47.13x capture slowdown (Table IV) measured
+// offline; DSspy's capture path amortizes timestamps (one clock read per
+// kTimestampStride events) precisely to push that figure toward 1x.  This
+// module turns the offline number into an online one: from the observed
+// event count and capture wall time plus a short calibration loop, it
+// estimates the fraction of the run spent inside record() — the user sees
+// the paper's slowdown figure for their own workload, live.
+//
+// Method: two calibration loops assemble synthetic events into a small
+// ring buffer, one reading the clock every event ("instrumented" — what a
+// naive profiler pays) and one reading it once per `timestamp_stride`
+// events (the amortized capture path).  The amortized per-event cost times
+// the recorded event count approximates total capture time; dividing by
+// the remaining (application) time yields the overhead fraction and the
+// estimated slowdown.  Calibration costs a few hundred microseconds and
+// runs only on demand (metrics export), never on the hot path.
+#pragma once
+
+#include <cstdint>
+
+namespace dsspy::obs {
+
+struct SelfOverhead {
+    std::uint64_t events = 0;            ///< Events recorded in the window.
+    std::uint64_t capture_wall_ns = 0;   ///< Capture-window wall time.
+    double instrumented_ns_per_event = 0;  ///< Clock read every event.
+    double amortized_ns_per_event = 0;     ///< Clock read once per stride.
+    double capture_cost_ns = 0;   ///< events * amortized_ns_per_event.
+    double overhead_fraction = 0;  ///< capture cost / application time.
+    double estimated_slowdown = 1;  ///< 1 + overhead_fraction.
+};
+
+/// Calibrate and estimate; see the file comment.  `timestamp_stride`
+/// should be ProfilingSession::kTimestampStride.  With zero events or an
+/// empty window the estimate degenerates to a 1.0x slowdown; if the
+/// estimated capture cost exceeds the whole window (tiny windows, noisy
+/// calibration) the fraction is clamped so the slowdown stays finite.
+[[nodiscard]] SelfOverhead estimate_self_overhead(
+    std::uint64_t events, std::uint64_t capture_wall_ns,
+    std::uint32_t timestamp_stride);
+
+/// Peak resident set size of this process in bytes (VmHWM on Linux);
+/// 0 where the platform offers no cheap source.
+[[nodiscard]] std::uint64_t sample_peak_rss_bytes();
+
+}  // namespace dsspy::obs

@@ -1,0 +1,66 @@
+// Pipeline span tracer: times a scope into a histogram of the global
+// MetricsRegistry (DESIGN.md §9).
+//
+//     void Dsspy::analyze(...) {
+//         DSSPY_SPAN("analyze.total");
+//         ...
+//     }
+//
+// registers (once, via a function-local static) a histogram named
+// "span.analyze.total" and records the scope's wall time in nanoseconds
+// on every pass.  Timing uses support::now_ns() — the same monotonic
+// source as the capture path, so span and capture timestamps compare
+// directly.  When telemetry is disabled the timer costs one relaxed
+// bool load at construction and nothing at destruction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "support/stopwatch.hpp"
+
+namespace dsspy::obs {
+
+/// RAII scope timer; observes elapsed ns into `id` on destruction.
+/// No-op (and clock-free) when telemetry was disabled at construction.
+class SpanTimer {
+public:
+    explicit SpanTimer(MetricId id) noexcept
+        : id_(id), start_ns_(enabled() ? support::now_ns() : 0) {}
+
+    ~SpanTimer() {
+        if (start_ns_ != 0)
+            MetricsRegistry::global().observe(id_,
+                                              support::now_ns() - start_ns_);
+    }
+
+    SpanTimer(const SpanTimer&) = delete;
+    SpanTimer& operator=(const SpanTimer&) = delete;
+
+private:
+    MetricId id_;
+    std::uint64_t start_ns_;
+};
+
+/// Register (once) the span histogram for `name` under "span.<name>".
+inline MetricId span_metric(std::string_view name) {
+    return MetricsRegistry::global().histogram(std::string("span.") +
+                                               std::string(name));
+}
+
+}  // namespace dsspy::obs
+
+#define DSSPY_OBS_CAT2(a, b) a##b
+#define DSSPY_OBS_CAT(a, b) DSSPY_OBS_CAT2(a, b)
+#define DSSPY_SPAN_IMPL(name, line)                                        \
+    static const ::dsspy::obs::MetricId DSSPY_OBS_CAT(dsspy_span_id_,      \
+                                                      line) =              \
+        ::dsspy::obs::span_metric(name);                                   \
+    const ::dsspy::obs::SpanTimer DSSPY_OBS_CAT(dsspy_span_timer_, line) { \
+        DSSPY_OBS_CAT(dsspy_span_id_, line)                                \
+    }
+
+/// Time the enclosing scope into histogram "span.<name>".  `name` must be
+/// a string literal (or stable string) unique per call site meaning.
+#define DSSPY_SPAN(name) DSSPY_SPAN_IMPL(name, __LINE__)

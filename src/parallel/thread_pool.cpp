@@ -1,6 +1,20 @@
 #include "parallel/thread_pool.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace dsspy::par {
+
+namespace {
+
+/// Self-telemetry: peak task-queue depth (lazy-registered; call sites
+/// guard on obs::enabled()).
+obs::MetricId queue_depth_metric() {
+    static const obs::MetricId id =
+        obs::MetricsRegistry::global().gauge("parallel.queue_depth_hwm");
+    return id;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
     unsigned n = threads != 0 ? threads : std::thread::hardware_concurrency();
@@ -22,11 +36,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+    std::size_t depth = 0;
     {
         std::scoped_lock lock(mutex_);
         tasks_.push_back(std::move(task));
+        depth = tasks_.size();
     }
     work_cv_.notify_one();
+    if (obs::enabled())
+        obs::MetricsRegistry::global().gauge_max(queue_depth_metric(), depth);
 }
 
 void ThreadPool::wait_idle() {

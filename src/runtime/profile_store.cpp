@@ -95,4 +95,14 @@ std::size_t ProfileStore::instance_slots() const {
     return per_instance_.size();
 }
 
+std::size_t ProfileStore::orphan_events(
+    std::size_t registered_instances) const {
+    std::scoped_lock lock(mutex_);
+    std::size_t orphans = 0;
+    for (std::size_t id = registered_instances; id < per_instance_.size();
+         ++id)
+        orphans += per_instance_[id].size();
+    return orphans;
+}
+
 }  // namespace dsspy::runtime

@@ -59,6 +59,16 @@ public:
     /// Highest instance id seen plus one (ids are dense).
     [[nodiscard]] std::size_t instance_slots() const;
 
+    /// Events recorded against instance ids >= `registered_instances` —
+    /// "orphan" (store-only) events with no registry entry behind them.
+    /// Registry ids are dense, so everything at or past the registered
+    /// count was appended with a fabricated id (external tools, corrupted
+    /// producers).  Trace writers already persist these (see
+    /// trace_io.hpp); this surfaces the same count in session summaries
+    /// and the self-telemetry registry instead of only on disk.
+    [[nodiscard]] std::size_t orphan_events(
+        std::size_t registered_instances) const;
+
 private:
     mutable std::mutex mutex_;
     std::vector<std::vector<AccessEvent>> per_instance_;

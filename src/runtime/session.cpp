@@ -8,11 +8,53 @@
 #include <limits>
 #include <span>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "parallel/thread_pool.hpp"
+#include "support/stopwatch.hpp"
 
 namespace dsspy::runtime {
 
 namespace {
+
+/// Self-telemetry ids for the capture pipeline, registered once on first
+/// enabled use (every call site guards on obs::enabled() first, so a
+/// disabled process never touches the registry).
+struct CaptureMetricIds {
+    obs::MetricId seq_block_refills;   ///< Per-thread seq blocks drawn.
+    obs::MetricId channels;            ///< Recording threads registered.
+    obs::MetricId dropped_after_stop;  ///< Quiesce-contract violations.
+    obs::MetricId backpressure_waits;  ///< Ring-full wait episodes.
+    obs::MetricId events_recorded;     ///< Total events captured.
+    obs::MetricId events_per_sec;      ///< Capture-window throughput.
+    obs::MetricId capture_wall_ns;     ///< Capture-window duration.
+    obs::MetricId orphan_events;       ///< Store-only instance events.
+    obs::MetricId collector_yields;    ///< Idle-backoff yield rounds.
+    obs::MetricId collector_sleeps;    ///< Idle-backoff timed sleeps.
+    obs::MetricId drain_batch;         ///< Histogram of drain batch sizes.
+    obs::MetricId pending_hwm;         ///< Ordered-delivery buffer peak.
+};
+
+const CaptureMetricIds& capture_metrics() {
+    static const CaptureMetricIds ids = [] {
+        auto& reg = obs::MetricsRegistry::global();
+        return CaptureMetricIds{
+            reg.counter("capture.seq_block_refills"),
+            reg.counter("capture.channels_registered"),
+            reg.counter("capture.dropped_after_stop"),
+            reg.counter("capture.backpressure_waits"),
+            reg.counter("capture.events_recorded"),
+            reg.gauge("capture.events_per_sec"),
+            reg.gauge("capture.wall_ns"),
+            reg.counter("store.orphan_events"),
+            reg.counter("collector.backoff_yields"),
+            reg.counter("collector.backoff_sleeps"),
+            reg.histogram("collector.drain_batch_events"),
+            reg.gauge("collector.pending_depth_hwm"),
+        };
+    }();
+    return ids;
+}
 
 /// Events below this count are finalized sequentially; above it the
 /// per-instance sorts go to the shared thread pool.
@@ -28,13 +70,6 @@ constexpr unsigned kCollectorMaxSleepLog2 = 8;  // 256 us
 /// 64K-event (2 MiB) steady state.
 constexpr std::size_t kFirstChunkEvents = 4096;
 constexpr std::size_t kMaxChunkEvents = 1u << 16;
-
-std::uint64_t steady_now_ns() noexcept {
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
-}
 
 std::uint64_t next_session_token() noexcept {
     static std::atomic<std::uint64_t> counter{1};
@@ -78,7 +113,7 @@ ProfilingSession::ProfilingSession(CaptureMode mode, std::size_t ring_capacity,
       ring_capacity_(ring_capacity),
       analysis_(analysis),
       token_(next_session_token()),
-      start_ns_(steady_now_ns()) {
+      start_ns_(support::now_ns()) {
     if (mode_ == CaptureMode::Streaming) {
         collector_ = std::jthread(
             [this](const std::stop_token& st) { collector_loop(st); });
@@ -137,6 +172,8 @@ ProfilingSession::Channel& ProfilingSession::channel_for_current_thread() {
     for (std::size_t i = t_slots.size() - 1; i > 0; --i)
         t_slots[i] = t_slots[i - 1];
     t_slots[0] = ThreadSlot{token_, chan};
+    if (obs::enabled())
+        obs::MetricsRegistry::global().add(capture_metrics().channels);
     return *chan;
 }
 
@@ -147,7 +184,10 @@ void ProfilingSession::record(InstanceId instance, OpKind op,
     Channel& chan = channel_for_current_thread();
     if (chan.sealed.load(std::memory_order_relaxed)) {
         // Quiesce-contract violation: a record raced stop().  Loud in debug
-        // builds, dropped in release builds.
+        // builds, dropped (but counted) in release builds.
+        if (obs::enabled())
+            obs::MetricsRegistry::global().add(
+                capture_metrics().dropped_after_stop);
         assert(false && "record() after stop(): recording threads must be "
                         "quiesced before stopping the session");
         return;
@@ -159,14 +199,19 @@ void ProfilingSession::record(InstanceId instance, OpKind op,
             seq_alloc_.fetch_add(kSeqBlockSize, std::memory_order_relaxed);
         chan.next_seq = base;
         chan.seq_block_end = base + kSeqBlockSize;
+        // Telemetry rides the cold refill branch (once per kSeqBlockSize
+        // events); the per-event path stays untouched.
+        if (obs::enabled())
+            obs::MetricsRegistry::global().add(
+                capture_metrics().seq_block_refills);
         // A fresh block also refreshes the timestamp, bounding the skew
         // between a thread's seq block and its clock readings.
-        chan.last_ts_ns = steady_now_ns();
+        chan.last_ts_ns = support::now_ns();
         chan.ts_countdown = kTimestampStride;
     }
     ev.seq = chan.next_seq++;
     if (chan.ts_countdown == 0) {
-        chan.last_ts_ns = steady_now_ns();
+        chan.last_ts_ns = support::now_ns();
         chan.ts_countdown = kTimestampStride;
     }
     --chan.ts_countdown;
@@ -187,6 +232,9 @@ void ProfilingSession::record(InstanceId instance, OpKind op,
         // in case the collector is in its idle backoff.
         unsigned spins = 0;
         while (!chan.ring->try_push(ev)) {
+            if (spins == 0 && obs::enabled())
+                obs::MetricsRegistry::global().add(
+                    capture_metrics().backpressure_waits);
             if (++spins < 64) {
                 std::this_thread::yield();
             } else {
@@ -208,7 +256,7 @@ void ProfilingSession::record(InstanceId instance, OpKind op,
 }
 
 std::uint64_t ProfilingSession::now_ns() const noexcept {
-    return steady_now_ns();
+    return support::now_ns();
 }
 
 void ProfilingSession::collector_loop(const std::stop_token& st) {
@@ -228,6 +276,9 @@ void ProfilingSession::collector_loop(const std::stop_token& st) {
                 if (n > 0) {
                     if (analysis_ == AnalysisMode::Postmortem)
                         store_.append(std::span(batch.data(), n));
+                    if (obs::enabled())
+                        obs::MetricsRegistry::global().observe(
+                            capture_metrics().drain_batch, n);
                     any = true;
                 }
             }
@@ -240,6 +291,11 @@ void ProfilingSession::collector_loop(const std::stop_token& st) {
         // with yields (cheap wakeup while producers are merely between
         // events), end in a bounded timed sleep.
         ++idle_rounds;
+        if (obs::enabled())
+            obs::MetricsRegistry::global().add(
+                idle_rounds <= kCollectorYieldRounds
+                    ? capture_metrics().collector_yields
+                    : capture_metrics().collector_sleeps);
         if (idle_rounds <= kCollectorYieldRounds) {
             std::this_thread::yield();
         } else {
@@ -276,12 +332,19 @@ bool ProfilingSession::collect_ordered_round() {
             chan->pending.insert(chan->pending.end(), batch.data(),
                                  batch.data() + n);
             any = true;
+            if (obs::enabled())
+                obs::MetricsRegistry::global().observe(
+                    capture_metrics().drain_batch, n);
             // A fast producer could refill indefinitely; cap the drain and
             // revisit next round.  Stopping early is safe: with events left
             // in the ring, the channel's pending front (older than anything
             // in the ring) bounds the watermark instead of `bound`.
             if (++rounds == 16) break;
         }
+        if (obs::enabled() && chan->pending.size() > chan->pending_head)
+            obs::MetricsRegistry::global().gauge_max(
+                capture_metrics().pending_hwm,
+                chan->pending.size() - chan->pending_head);
     }
     deliver_ordered(/*final_flush=*/false);
     return any;
@@ -416,7 +479,8 @@ void ProfilingSession::stop() {
     if (!capturing_.compare_exchange_strong(expected, false,
                                             std::memory_order_acq_rel))
         return;  // already stopped
-    stop_ns_ = steady_now_ns();
+    stop_ns_ = support::now_ns();
+    DSSPY_SPAN("capture.stop");
 
     if (mode_ == CaptureMode::Streaming) {
         if (collector_.joinable()) {
@@ -450,9 +514,34 @@ void ProfilingSession::stop() {
             }
         }
     }
-    store_.finalize(store_.total_events() >= kParallelFinalizeThreshold
-                        ? &par::ThreadPool::default_pool()
-                        : nullptr);
+    {
+        DSSPY_SPAN("capture.finalize");
+        store_.finalize(store_.total_events() >= kParallelFinalizeThreshold
+                            ? &par::ThreadPool::default_pool()
+                            : nullptr);
+    }
+
+    if (obs::enabled()) {
+        auto& reg = obs::MetricsRegistry::global();
+        const CaptureMetricIds& m = capture_metrics();
+        const std::uint64_t events = events_recorded();
+        reg.add(m.events_recorded, events);
+        const std::uint64_t wall = stop_ns_ - start_ns_;
+        reg.gauge_max(m.capture_wall_ns, wall);
+        if (wall > 0) {
+            // events/sec = events / (wall / 1e9), computed in integer space.
+            const std::uint64_t rate =
+                static_cast<std::uint64_t>(static_cast<double>(events) *
+                                           1e9 / static_cast<double>(wall));
+            reg.gauge_max(m.events_per_sec, rate);
+        }
+        const std::size_t orphans = store_.orphan_events(registry_.size());
+        if (orphans > 0) reg.add(m.orphan_events, orphans);
+    }
+}
+
+std::size_t ProfilingSession::orphan_events() const {
+    return store_.orphan_events(registry_.size());
 }
 
 std::size_t ProfilingSession::thread_count() const noexcept {
@@ -470,7 +559,7 @@ std::uint64_t ProfilingSession::events_recorded() const noexcept {
 
 std::uint64_t ProfilingSession::capture_duration_ns() const noexcept {
     const std::uint64_t end =
-        capturing_.load(std::memory_order_acquire) ? steady_now_ns() : stop_ns_;
+        capturing_.load(std::memory_order_acquire) ? support::now_ns() : stop_ns_;
     return end - start_ns_;
 }
 

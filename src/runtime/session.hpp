@@ -153,6 +153,11 @@ public:
     /// (start of session to stop()).
     [[nodiscard]] std::uint64_t capture_duration_ns() const noexcept;
 
+    /// Events stored against instance ids the registry never issued
+    /// (store-only "orphans"; see ProfileStore::orphan_events).  Exact
+    /// after stop().
+    [[nodiscard]] std::size_t orphan_events() const;
+
 private:
     struct Channel {
         explicit Channel(ThreadId id, CaptureMode mode,

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -19,6 +20,14 @@ namespace {
 
 [[noreturn]] void fail(const std::string& what) {
     throw std::runtime_error("trace_io: " + what);
+}
+
+/// Self-telemetry: DST1 chunks decoded (lazy-registered; call sites guard
+/// on obs::enabled()).
+obs::MetricId chunks_decoded_metric() {
+    static const obs::MetricId id =
+        obs::MetricsRegistry::global().counter("trace.chunks_decoded");
+    return id;
 }
 
 // ---------------------------------------------------------------- encoding
@@ -327,6 +336,8 @@ std::size_t read_trace_binary_stream(std::istream& is, std::string_view prefix,
         const auto* begin =
             reinterpret_cast<const unsigned char*>(payload.data());
         decode_chunk(Cursor{begin, begin + payload.size()}, count, decoded);
+        if (obs::enabled())
+            obs::MetricsRegistry::global().add(chunks_decoded_metric());
         sink.on_events(decoded);
         delivered += decoded.size();
         declared += count;
@@ -470,6 +481,9 @@ Trace read_trace_binary(std::string_view bytes, par::ThreadPool* pool) {
     } else {
         decode_range(0, chunks.size());
     }
+    if (obs::enabled())
+        obs::MetricsRegistry::global().add(chunks_decoded_metric(),
+                                           chunks.size());
 
     // Appending in file order keeps the store bit-identical to a
     // sequential decode regardless of how the decode itself was scheduled.

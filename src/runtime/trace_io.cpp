@@ -9,11 +9,37 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "runtime/trace_binary.hpp"
 
 namespace dsspy::runtime {
 
 namespace {
+
+/// Self-telemetry ids for trace serialization (registered lazily; every
+/// call site guards on obs::enabled() first).
+struct TraceMetricIds {
+    obs::MetricId bytes_written;
+    obs::MetricId bytes_read;
+    obs::MetricId events_written;
+    obs::MetricId events_read;
+    obs::MetricId blank_records;  ///< Empty CSV records skipped.
+};
+
+const TraceMetricIds& trace_metrics() {
+    static const TraceMetricIds ids = [] {
+        auto& reg = obs::MetricsRegistry::global();
+        return TraceMetricIds{
+            reg.counter("trace.bytes_written"),
+            reg.counter("trace.bytes_read"),
+            reg.counter("trace.events_written"),
+            reg.counter("trace.events_read"),
+            reg.counter("trace.blank_records_skipped"),
+        };
+    }();
+    return ids;
+}
 
 /// CSV-escape a text field (quotes only when needed).
 std::string escape(const std::string& field) {
@@ -125,7 +151,11 @@ private:
 /// flushed when full).  Returns the number of events parsed (0 or 1).
 std::size_t parse_csv_record(std::string_view line, TraceSink& sink,
                              std::vector<AccessEvent>& batch) {
-    if (line.empty()) return 0;
+    if (line.empty()) {
+        if (obs::enabled())
+            obs::MetricsRegistry::global().add(trace_metrics().blank_records);
+        return 0;
+    }
     const std::vector<std::string> fields = split_csv(line);
     if (fields[0] == "I") {
         if (fields.size() != 8)
@@ -234,6 +264,7 @@ std::size_t read_trace_csv_stream(std::istream& is, std::string_view first,
     std::vector<AccessEvent> batch;
     batch.reserve(1024);
     std::size_t events = 0;
+    std::size_t bytes = first.size();
     const auto handle = [&](std::string_view line) {
         events += parse_csv_record(line, sink, batch);
     };
@@ -243,12 +274,18 @@ std::size_t read_trace_csv_stream(std::istream& is, std::string_view first,
         is.read(buf.data(), static_cast<std::streamsize>(buf.size()));
         const auto got = static_cast<std::size_t>(is.gcount());
         if (got == 0) break;
+        bytes += got;
         scanner.feed(std::string_view(buf.data(), got), handle);
     }
     if (is.bad())
         throw std::runtime_error("trace_io: I/O error while reading trace");
     scanner.finish(handle);
     if (!batch.empty()) sink.on_events(batch);
+    if (obs::enabled()) {
+        auto& reg = obs::MetricsRegistry::global();
+        reg.add(trace_metrics().bytes_read, bytes);
+        reg.add(trace_metrics().events_read, events);
+    }
     return events;
 }
 
@@ -278,9 +315,22 @@ std::vector<InstanceId> event_write_order(
 std::size_t write_trace(std::ostream& os,
                         const std::vector<InstanceInfo>& instances,
                         const ProfileStore& store, TraceFormat format) {
-    return format == TraceFormat::Binary
-               ? write_trace_binary(os, instances, store)
-               : write_trace_csv(os, instances, store);
+    DSSPY_SPAN("trace.write");
+    const std::streampos before = obs::enabled() ? os.tellp()
+                                                 : std::streampos{-1};
+    const std::size_t events = format == TraceFormat::Binary
+                                   ? write_trace_binary(os, instances, store)
+                                   : write_trace_csv(os, instances, store);
+    if (obs::enabled()) {
+        auto& reg = obs::MetricsRegistry::global();
+        reg.add(trace_metrics().events_written, events);
+        // Non-seekable sinks (pipes) report -1; skip the byte count then.
+        const std::streampos after = os.tellp();
+        if (before >= std::streampos{0} && after >= before)
+            reg.add(trace_metrics().bytes_written,
+                    static_cast<std::uint64_t>(after - before));
+    }
+    return events;
 }
 
 std::size_t write_trace(std::ostream& os, const ProfilingSession& session,
@@ -291,6 +341,7 @@ std::size_t write_trace(std::ostream& os, const ProfilingSession& session,
 
 std::size_t read_trace_stream(std::istream& is, TraceSink& sink,
                               std::size_t buffer_bytes) {
+    DSSPY_SPAN("trace.read");
     const std::size_t cap = std::max<std::size_t>(buffer_bytes, 64);
     // Probe one buffer to sniff the format, then hand the consumed prefix
     // to the chosen reader so no byte is parsed twice.
@@ -314,6 +365,7 @@ std::size_t read_trace_stream_file(const std::string& path, TraceSink& sink,
 }
 
 Trace read_trace(std::istream& is, par::ThreadPool* pool) {
+    DSSPY_SPAN("trace.read");
     // Slurp the stream once and dispatch on the magic: binary decode needs
     // random access for the chunk index, and CSV record extraction is
     // simpler over a contiguous buffer than across getline boundaries.
@@ -322,8 +374,14 @@ Trace read_trace(std::istream& is, par::ThreadPool* pool) {
     if (is.bad())
         throw std::runtime_error("trace_io: I/O error while reading trace");
     const std::string data = std::move(buffer).str();
-    if (is_binary_trace(data)) return read_trace_binary(data, pool);
-    return read_trace_csv(data, pool);
+    Trace trace = is_binary_trace(data) ? read_trace_binary(data, pool)
+                                        : read_trace_csv(data, pool);
+    if (obs::enabled()) {
+        auto& reg = obs::MetricsRegistry::global();
+        reg.add(trace_metrics().bytes_read, data.size());
+        reg.add(trace_metrics().events_read, trace.store.total_events());
+    }
+    return trace;
 }
 
 bool write_trace_file(const std::string& path,

@@ -6,18 +6,26 @@
 
 namespace dsspy::support {
 
+/// Monotonic nanoseconds since an arbitrary epoch (steady_clock).  The
+/// single timing source shared by the capture hot path, the span tracer
+/// (obs/span.hpp), and the Stopwatch below — keep every timing consumer on
+/// this helper so there is exactly one clock in the system.
+[[nodiscard]] inline std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
 /// Simple monotonic stopwatch.  Started on construction.
 class Stopwatch {
 public:
-    Stopwatch() noexcept : start_(clock::now()) {}
+    Stopwatch() noexcept : start_(now_ns()) {}
 
-    void restart() noexcept { start_ = clock::now(); }
+    void restart() noexcept { start_ = now_ns(); }
 
     [[nodiscard]] std::uint64_t elapsed_ns() const noexcept {
-        return static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
-                                                                 start_)
-                .count());
+        return now_ns() - start_;
     }
 
     [[nodiscard]] double elapsed_ms() const noexcept {
@@ -29,8 +37,7 @@ public:
     }
 
 private:
-    using clock = std::chrono::steady_clock;
-    clock::time_point start_;
+    std::uint64_t start_;
 };
 
 }  // namespace dsspy::support

@@ -18,6 +18,10 @@
 //       snapshots while it runs, then the final report.
 //   dsspy corpus <program> [output options]
 //       Replay one empirical-study program's workload and analyze it.
+//   dsspy metrics <app>
+//       Run an app instrumented with self-telemetry enabled and print the
+//       profiler's own metrics (Prometheus text by default, --json for the
+//       JSON document) including the self-overhead estimate.
 //   dsspy list
 //       List available demo apps and corpus programs.
 //   dsspy config
@@ -32,6 +36,10 @@
 //   --csv-patterns    detected patterns as CSV on stdout
 //   --html FILE       self-contained HTML report with embedded charts
 //   --set key=value   override a detector threshold (repeatable)
+//
+// Self-telemetry (DESIGN.md §9): `--metrics-out=FILE` on any pipeline
+// command additionally enables the metrics registry and writes its JSON
+// snapshot to FILE when the command finishes.
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -51,7 +59,11 @@
 #include "core/transform_plan.hpp"
 #include "corpus/program_model.hpp"
 #include "corpus/workload.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/self_overhead.hpp"
 #include "parallel/thread_pool.hpp"
+#include "runtime/session.hpp"
 #include "runtime/trace_io.hpp"
 #include "support/table.hpp"
 #include "viz/html_report.hpp"
@@ -77,6 +89,7 @@ struct Options {
     int interval_ms = 500;     ///< watch: snapshot period.
     std::string html_path;
     std::string trace_path;
+    std::string metrics_out;   ///< Write the metrics JSON snapshot here.
     std::vector<std::string> overrides;
 
     /// Outputs only the post-mortem pipeline can produce (they need
@@ -100,6 +113,9 @@ int usage(const char* argv0) {
         << "  watch <app>           run an app with live incremental\n"
         << "                        snapshots (--interval-ms, default 500)\n"
         << "  corpus <program>      replay an empirical-study workload\n"
+        << "  metrics <app>         run an app and print the profiler's own\n"
+        << "                        telemetry (Prometheus text; --json for\n"
+        << "                        the JSON document)\n"
         << "  list                  list demo apps and corpus programs\n"
         << "  config                print detector thresholds\n\n"
         << "Output: --report (default) --summary --plan --json --csv-usecases\n"
@@ -108,6 +124,8 @@ int usage(const char* argv0) {
         << "        --format=csv|binary (trace encoding for convert/--trace)\n"
         << "        --incremental | --postmortem (analyze: pick the engine)\n"
         << "        --interval-ms N (watch: snapshot period)\n"
+        << "        --metrics-out=FILE (enable self-telemetry; write the\n"
+        << "        metrics JSON snapshot to FILE on exit)\n"
         << "        --set key=value (threshold override, repeatable)\n";
     return 2;
 }
@@ -119,7 +137,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
     int i = 2;
     if (opt.command == "analyze" || opt.command == "run" ||
         opt.command == "demo" || opt.command == "watch" ||
-        opt.command == "corpus" || opt.command == "convert") {
+        opt.command == "corpus" || opt.command == "convert" ||
+        opt.command == "metrics") {
         if (i >= argc || argv[i][0] == '-') return std::nullopt;
         opt.target = argv[i++];
     }
@@ -158,6 +177,12 @@ std::optional<Options> parse_args(int argc, char** argv) {
         } else if (arg == "--interval-ms" && i + 1 < argc) {
             opt.interval_ms = std::atoi(argv[++i]);
             if (opt.interval_ms <= 0) opt.interval_ms = 500;
+        } else if (arg.rfind("--metrics-out=", 0) == 0) {
+            opt.metrics_out = arg.substr(std::strlen("--metrics-out="));
+            if (opt.metrics_out.empty()) {
+                std::cerr << "--metrics-out needs a file path\n";
+                return std::nullopt;
+            }
         } else if (arg == "--set" && i + 1 < argc) {
             opt.overrides.emplace_back(argv[++i]);
         } else {
@@ -221,6 +246,55 @@ void emit_stream_outputs(const Options& opt,
     if (opt.csv_instances) core::write_instances_csv(std::cout, report);
 }
 
+/// Emit the self-telemetry snapshot at command exit: the `metrics`
+/// subcommand's stdout document and/or the --metrics-out JSON file.  The
+/// self-overhead estimate needs a capture window, so it appears only when
+/// a session ran (run/watch/corpus/metrics; offline analyze passes null).
+void emit_metrics(const Options& opt,
+                  const runtime::ProfilingSession* session) {
+    if (!obs::enabled()) return;
+    auto& reg = obs::MetricsRegistry::global();
+    static const obs::MetricId rss_metric =
+        reg.gauge("process.peak_rss_bytes");
+    reg.gauge_max(rss_metric, obs::sample_peak_rss_bytes());
+    obs::SelfOverhead overhead;
+    const obs::SelfOverhead* overhead_ptr = nullptr;
+    if (session != nullptr) {
+        overhead = obs::estimate_self_overhead(
+            session->events_recorded(), session->capture_duration_ns(),
+            runtime::ProfilingSession::kTimestampStride);
+        overhead_ptr = &overhead;
+    }
+    const std::vector<obs::MetricValue> metrics = reg.collect();
+    if (opt.command == "metrics") {
+        if (opt.json) {
+            obs::write_metrics_json(std::cout, metrics, overhead_ptr);
+        } else {
+            obs::write_metrics_prometheus(std::cout, metrics, overhead_ptr);
+        }
+    }
+    if (!opt.metrics_out.empty()) {
+        if (obs::write_metrics_json_file(opt.metrics_out, metrics,
+                                         overhead_ptr))
+            std::cerr << "Wrote metrics to " << opt.metrics_out << '\n';
+        else
+            std::cerr << "Failed to write metrics to " << opt.metrics_out
+                      << '\n';
+    }
+}
+
+/// The session summary line every capture command prints to stderr;
+/// orphan (store-only) events are surfaced when present — they indicate
+/// events recorded against ids the registry never issued.
+void print_session_summary(const std::string& name, double checksum,
+                           const runtime::ProfilingSession& session) {
+    std::cerr << name << ": checksum " << checksum << ", "
+              << session.store().total_events() << " events";
+    const std::size_t orphans = session.orphan_events();
+    if (orphans > 0) std::cerr << ", " << orphans << " orphan";
+    std::cerr << '\n';
+}
+
 /// Feeds a streamed trace into the incremental analyzer, collecting the
 /// instance table on the way.  Trace files written by write_trace emit
 /// each instance's events in seq order, which is exactly the fold order
@@ -276,6 +350,7 @@ int cmd_analyze(const Options& opt, const core::Dsspy& analyzer) {
             return 1;
         }
         emit_stream_outputs(opt, incremental.finish(sink.instances));
+        emit_metrics(opt, nullptr);
         return 0;
     }
     runtime::Trace trace;
@@ -294,6 +369,7 @@ int cmd_analyze(const Options& opt, const core::Dsspy& analyzer) {
     const core::AnalysisResult analysis =
         analyzer.analyze(trace.instances, trace.store);
     emit_outputs(opt, analysis);
+    emit_metrics(opt, nullptr);
     return 0;
 }
 
@@ -317,6 +393,7 @@ int cmd_convert(const Options& opt) {
     std::cerr << "Wrote " << trace.store.total_events() << " events ("
               << (format == runtime::TraceFormat::Binary ? "binary" : "csv")
               << ") to " << opt.convert_out << '\n';
+    emit_metrics(opt, nullptr);
     return 0;
 }
 
@@ -330,8 +407,7 @@ int cmd_demo(const Options& opt, const core::Dsspy& analyzer) {
     runtime::ProfilingSession session;
     const apps::RunResult run = app->run_sequential(&session);
     session.stop();
-    std::cerr << app->name << ": checksum " << run.checksum << ", "
-              << session.store().total_events() << " events\n";
+    print_session_summary(app->name, run.checksum, session);
     if (!opt.trace_path.empty()) {
         if (runtime::write_trace_file(
                 opt.trace_path, session,
@@ -342,6 +418,7 @@ int cmd_demo(const Options& opt, const core::Dsspy& analyzer) {
                       << '\n';
     }
     emit_outputs(opt, analyzer.analyze(session));
+    emit_metrics(opt, &session);
     return 0;
 }
 
@@ -376,6 +453,21 @@ int cmd_watch(const Options& opt, const core::Dsspy& analyzer) {
                   << " events folded, " << snap.total_instances()
                   << " instances, " << snap.all_use_cases().size()
                   << " use cases so far\n";
+        if (obs::enabled()) {
+            // Watermark lag: events captured but not yet folded — how far
+            // the live snapshot trails the workload.
+            auto& reg = obs::MetricsRegistry::global();
+            static const obs::MetricId lag_metric =
+                reg.gauge("incremental.watermark_lag_events");
+            const std::uint64_t captured = session.events_recorded();
+            const std::uint64_t folded = incremental.events_folded();
+            const std::uint64_t lag = captured > folded ? captured - folded
+                                                        : 0;
+            reg.gauge_max(lag_metric, lag);
+            std::cout << "[metrics] captured " << captured
+                      << ", watermark lag " << lag << " events, peak rss "
+                      << obs::sample_peak_rss_bytes() / 1024 << " KiB\n";
+        }
         if (opt.summary) {
             core::print_instance_summary(std::cout, snap);
             std::cout << '\n';
@@ -386,6 +478,7 @@ int cmd_watch(const Options& opt, const core::Dsspy& analyzer) {
     std::cerr << app->name << ": checksum " << checksum << ", "
               << incremental.events_folded() << " events\n";
     emit_stream_outputs(opt, core::Dsspy::finish(incremental, session));
+    emit_metrics(opt, &session);
     return 0;
 }
 
@@ -405,6 +498,9 @@ int cmd_corpus(const Options& opt, const core::Dsspy& analyzer) {
         corpus::run_study15_workload(*program, &session);
     }
     session.stop();
+    if (session.orphan_events() > 0)
+        std::cerr << program->name << ": " << session.orphan_events()
+                  << " orphan events\n";
     if (!opt.trace_path.empty()) {
         if (runtime::write_trace_file(
                 opt.trace_path, session,
@@ -415,6 +511,29 @@ int cmd_corpus(const Options& opt, const core::Dsspy& analyzer) {
                       << '\n';
     }
     emit_outputs(opt, analyzer.analyze(session));
+    emit_metrics(opt, &session);
+    return 0;
+}
+
+/// `dsspy metrics <app>`: run an instrumented app with self-telemetry
+/// forced on (main() enables it before dispatch), run the analysis so the
+/// per-stage spans populate, then print the telemetry document itself.
+int cmd_metrics(const Options& opt, const core::Dsspy& analyzer) {
+    const apps::AppInfo* app = apps::find_app(opt.target);
+    if (app == nullptr) {
+        std::cerr << "Unknown app: " << opt.target
+                  << " (try `dsspy list`)\n";
+        return 1;
+    }
+    runtime::ProfilingSession session;
+    const apps::RunResult run = app->run_sequential(&session);
+    session.stop();
+    print_session_summary(app->name, run.checksum, session);
+    // The analysis result is discarded — this command reports on the
+    // profiler, not the workload — but running it fills the analyze.*
+    // span histograms the document should contain.
+    (void)analyzer.analyze(session);
+    emit_metrics(opt, &session);
     return 0;
 }
 
@@ -452,12 +571,18 @@ int main(int argc, char** argv) {
         std::cerr << "Ignoring unknown/invalid override: " << entry << '\n';
     const core::Dsspy analyzer(config);
 
+    // Self-telemetry is opt-in: the registry stays disabled (and every
+    // instrumentation site costs one predicted branch) unless asked for.
+    if (!opt->metrics_out.empty() || opt->command == "metrics")
+        obs::MetricsRegistry::global().set_enabled(true);
+
     if (opt->command == "analyze") return cmd_analyze(*opt, analyzer);
     if (opt->command == "convert") return cmd_convert(*opt);
     if (opt->command == "run" || opt->command == "demo")
         return cmd_demo(*opt, analyzer);
     if (opt->command == "watch") return cmd_watch(*opt, analyzer);
     if (opt->command == "corpus") return cmd_corpus(*opt, analyzer);
+    if (opt->command == "metrics") return cmd_metrics(*opt, analyzer);
     if (opt->command == "list") return cmd_list();
     if (opt->command == "config") return cmd_config(config);
     return usage(argv[0]);
