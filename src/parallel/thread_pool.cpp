@@ -1,5 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
+#include <atomic>
+
 #include "obs/metrics.hpp"
 
 namespace dsspy::par {
@@ -14,11 +16,22 @@ obs::MetricId queue_depth_metric() {
     return id;
 }
 
+/// Requested default-pool width (0 = hardware concurrency); read when
+/// default_pool() first constructs.
+std::atomic<unsigned> g_default_threads{0};
+/// Set once default_pool() has materialized (its width is frozen).
+std::atomic<bool> g_default_pool_created{false};
+
+/// The worker count a pool constructed with `threads` ends up with.
+unsigned resolve_width(unsigned threads) noexcept {
+    unsigned n = threads != 0 ? threads : std::thread::hardware_concurrency();
+    return n != 0 ? n : 4;
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
-    unsigned n = threads != 0 ? threads : std::thread::hardware_concurrency();
-    if (n == 0) n = 4;
+    const unsigned n = resolve_width(threads);
     workers_.reserve(n);
     for (unsigned i = 0; i < n; ++i) {
         workers_.emplace_back(
@@ -76,8 +89,19 @@ void ThreadPool::worker_loop(const std::stop_token& st) {
 }
 
 ThreadPool& ThreadPool::default_pool() {
-    static ThreadPool pool;
+    static ThreadPool pool(g_default_threads.load(std::memory_order_relaxed));
+    g_default_pool_created.store(true, std::memory_order_release);
     return pool;
+}
+
+void ThreadPool::set_default_threads(unsigned threads) noexcept {
+    g_default_threads.store(threads, std::memory_order_relaxed);
+}
+
+unsigned ThreadPool::effective_default_threads() noexcept {
+    if (g_default_pool_created.load(std::memory_order_acquire))
+        return default_pool().thread_count();
+    return resolve_width(g_default_threads.load(std::memory_order_relaxed));
 }
 
 }  // namespace dsspy::par

@@ -40,9 +40,20 @@ public:
         return static_cast<unsigned>(workers_.size());
     }
 
-    /// Process-wide default pool (hardware concurrency), created on first
-    /// use.  Shared by the parallel algorithms unless given another pool.
+    /// Process-wide default pool (hardware concurrency unless overridden
+    /// with set_default_threads), created on first use.  Shared by the
+    /// parallel algorithms unless given another pool.
     static ThreadPool& default_pool();
+
+    /// Configure the width default_pool() is created with (the CLI's
+    /// `--threads` plumbing; 0 restores hardware concurrency).  Must be
+    /// called before the first default_pool() use — once the pool exists
+    /// its width is fixed and later calls have no effect.
+    static void set_default_threads(unsigned threads) noexcept;
+
+    /// The width default_pool() has — or, if it has not been created yet,
+    /// the width it would be created with.  Never instantiates the pool.
+    [[nodiscard]] static unsigned effective_default_threads() noexcept;
 
 private:
     void worker_loop(const std::stop_token& st);

@@ -1,0 +1,91 @@
+#include "pipeline/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <ostream>
+#include <sstream>
+
+#include "parallel/thread_pool.hpp"
+#include "support/stopwatch.hpp"
+
+namespace dsspy::pipeline {
+
+std::vector<BatchJobResult> run_batch_jobs(const PipelineRunner& runner,
+                                           const std::vector<RunPlan>& plans,
+                                           unsigned concurrency,
+                                           BatchSummary& summary) {
+    const std::uint64_t start_ns = support::now_ns();
+    std::vector<BatchJobResult> results(plans.size());
+    summary.jobs = plans.size();
+    if (plans.empty()) {
+        summary.wall_ns = support::now_ns() - start_ns;
+        return results;
+    }
+
+    // Dedicated driver pool (see the header): never the shared analysis
+    // pool the jobs' parallel sections run on.
+    const unsigned width = static_cast<unsigned>(std::min<std::size_t>(
+        concurrency != 0 ? concurrency
+                         : par::ThreadPool::effective_default_threads(),
+        plans.size()));
+    par::ThreadPool driver_pool(std::max(1u, width));
+
+    std::atomic<std::size_t> running{0};
+    std::atomic<std::size_t> peak{0};
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+        driver_pool.submit([&, i] {
+            const std::size_t now =
+                running.fetch_add(1, std::memory_order_acq_rel) + 1;
+            std::size_t seen = peak.load(std::memory_order_relaxed);
+            while (now > seen &&
+                   !peak.compare_exchange_weak(seen, now,
+                                               std::memory_order_relaxed)) {
+            }
+            std::ostringstream job_out;
+            std::ostringstream job_err;
+            try {
+                results[i].outcome = runner.run(plans[i], job_out, job_err);
+            } catch (const std::exception& e) {
+                job_err << "Job failed: " << e.what() << '\n';
+                results[i].outcome.exit_code = kExitRuntimeError;
+                results[i].outcome.label = plans[i].display_name();
+                results[i].outcome.error = e.what();
+            }
+            results[i].out_text = std::move(job_out).str();
+            results[i].err_text = std::move(job_err).str();
+            running.fetch_sub(1, std::memory_order_acq_rel);
+        });
+    }
+    driver_pool.wait_idle();
+
+    summary.max_concurrent = peak.load(std::memory_order_relaxed);
+    for (const BatchJobResult& job : results)
+        if (!job.outcome.ok()) ++summary.failed;
+    summary.exit_code = summary.failed == 0 ? kExitOk : kExitRuntimeError;
+    summary.wall_ns = support::now_ns() - start_ns;
+    return results;
+}
+
+BatchSummary run_batch(const PipelineRunner& runner,
+                       const std::vector<RunPlan>& plans,
+                       unsigned concurrency, std::ostream& out,
+                       std::ostream& err) {
+    BatchSummary summary;
+    const std::vector<BatchJobResult> results =
+        run_batch_jobs(runner, plans, concurrency, summary);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const BatchJobResult& job = results[i];
+        err << "[batch] job " << (i + 1) << '/' << results.size() << ": "
+            << job.outcome.label << " (exit " << job.outcome.exit_code << ", "
+            << job.outcome.wall_ns / 1000000 << " ms)\n";
+        err << job.err_text;
+        out << job.out_text;
+    }
+    err << "[batch] " << summary.jobs << " jobs, " << summary.failed
+        << " failed, peak " << summary.max_concurrent << " concurrent, "
+        << summary.wall_ns / 1000000 << " ms\n";
+    return summary;
+}
+
+}  // namespace dsspy::pipeline

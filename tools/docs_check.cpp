@@ -4,12 +4,16 @@
 // references and verifies each against the source of truth:
 //
 //   * `--flag` tokens must appear as string literals in dsspy_cli.cpp
+//     or the pipeline layer sources (src/pipeline/) the CLI parses into
 //     (so the docs cannot advertise a CLI flag that does not parse);
 //   * `dsspy <subcommand>` tokens must name a real subcommand literal;
 //   * path-like tokens (`src/core/`, `tests/test_incremental.cpp`,
 //     `BENCH_trace.json`, `core/incremental.{hpp,cpp}`) must exist in
 //     the repo (also resolved against src/);
-//   * `bench/<name>` tokens must name a declared CMake target.
+//   * `bench/<name>` tokens must name a declared CMake target;
+//   * `§N` section references — in the docs and in every comment under
+//     src/, tools/, tests/ — must name an existing `## N.` DESIGN.md
+//     heading (so renumbering a section cannot strand stale pointers).
 //
 // Fenced code blocks are skipped (they show output and shell sessions,
 // not references).  Tokens containing spaces, globs, '<>', '::', or
@@ -137,6 +141,41 @@ bool contains_any(const std::string& token, const std::string& chars) {
     return token.find_first_of(chars) != std::string::npos;
 }
 
+/// Section numbers with a `## N.` heading in DESIGN.md.
+std::set<int> design_sections(const std::string& design_text) {
+    std::set<int> out;
+    std::istringstream lines(design_text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.rfind("## ", 0) != 0) continue;
+        std::size_t i = 3;
+        std::string digits;
+        while (i < line.size() &&
+               std::isdigit(static_cast<unsigned char>(line[i])))
+            digits += line[i++];
+        if (!digits.empty() && i < line.size() && line[i] == '.')
+            out.insert(std::stoi(digits));
+    }
+    return out;
+}
+
+/// Every `§N` reference in `text` (the UTF-8 section sign is the two
+/// bytes 0xC2 0xA7).
+std::vector<int> section_refs(const std::string& text) {
+    static const std::string kSign = "\xc2\xa7";
+    std::vector<int> out;
+    std::size_t pos = 0;
+    while ((pos = text.find(kSign, pos)) != std::string::npos) {
+        pos += kSign.size();
+        std::string digits;
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos])))
+            digits += text[pos++];
+        if (!digits.empty()) out.push_back(std::stoi(digits));
+    }
+    return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -146,8 +185,19 @@ int main(int argc, char** argv) {
     }
     const fs::path root = argv[1];
 
-    const std::set<std::string> cli_literals =
+    // The CLI is a thin parser over src/pipeline/ (DESIGN.md §10): flag
+    // and message literals the docs cite live in either place.
+    std::set<std::string> cli_literals =
         string_literals(read_file(root / "tools" / "dsspy_cli.cpp"));
+    if (fs::exists(root / "src" / "pipeline"))
+        for (const fs::directory_entry& entry :
+             fs::directory_iterator(root / "src" / "pipeline")) {
+            const std::string ext = entry.path().extension().string();
+            if (ext == ".hpp" || ext == ".cpp")
+                for (const std::string& lit :
+                     string_literals(read_file(entry.path())))
+                    cli_literals.insert(lit);
+        }
 
     std::set<std::string> cmake_names;
     for (const char* dir :
@@ -239,6 +289,25 @@ int main(int argc, char** argv) {
             if (!found) fail(doc, token, "does not exist in the repo");
         }
     }
+
+    // §N references: every section pointer in the docs and in source
+    // comments must resolve to a DESIGN.md heading.
+    const std::set<int> sections =
+        design_sections(read_file(root / "DESIGN.md"));
+    const auto check_sections = [&](const fs::path& file) {
+        for (const int ref : section_refs(read_file(file)))
+            if (sections.count(ref) == 0)
+                fail(file, "\xc2\xa7" + std::to_string(ref),
+                     "does not match any DESIGN.md `## N.` heading");
+    };
+    for (const fs::path& doc : docs) check_sections(doc);
+    for (const char* dir : {"src", "tools", "tests"})
+        for (const fs::directory_entry& entry :
+             fs::recursive_directory_iterator(root / dir)) {
+            const std::string ext = entry.path().extension().string();
+            if (ext == ".hpp" || ext == ".cpp" || ext == ".h")
+                check_sections(entry.path());
+        }
 
     if (errors != 0) {
         std::cerr << "docs_check: " << errors << " stale reference(s)\n";

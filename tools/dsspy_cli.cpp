@@ -1,5 +1,10 @@
 // dsspy — command-line front end for the DSspy analysis pipeline.
 //
+// The CLI is a thin parser over the pipeline service layer (DESIGN.md
+// §10): every subcommand builds a declarative pipeline::RunPlan and hands
+// it to pipeline::PipelineRunner; `dsspy batch` builds many plans and runs
+// them concurrently through pipeline::run_batch.
+//
 // Subcommands:
 //   dsspy analyze <trace> [output options] [--set key=value ...]
 //       Offline analysis of a recorded trace (CSV or DST1 binary; the
@@ -18,6 +23,13 @@
 //       snapshots while it runs, then the final report.
 //   dsspy corpus <program> [output options]
 //       Replay one empirical-study program's workload and analyze it.
+//   dsspy batch <target>... [output options] [--threads=N]
+//       Run several jobs concurrently, one ProfilingSession each.  A
+//       target is an app name, a corpus program name, or a trace path
+//       (auto-detected in that order), or explicit with an `app:`,
+//       `corpus:`, or `trace:` prefix.  Per-job outputs are buffered and
+//       flushed in job order, byte-identical to running the same jobs
+//       sequentially.
 //   dsspy metrics <app>
 //       Run an app instrumented with self-telemetry enabled and print the
 //       profiler's own metrics (Prometheus text by default, --json for the
@@ -25,7 +37,7 @@
 //   dsspy list
 //       List available demo apps and corpus programs.
 //   dsspy config
-//       Print all detector thresholds and their defaults.
+//       Print all detector thresholds and the effective thread-pool width.
 //
 // Output options (default: the Table V style text report):
 //   --report          human-readable use-case report (default)
@@ -36,37 +48,34 @@
 //   --csv-patterns    detected patterns as CSV on stdout
 //   --html FILE       self-contained HTML report with embedded charts
 //   --set key=value   override a detector threshold (repeatable)
+//   --threads=N       worker threads for analysis parallelism and batch
+//                     concurrency (default: hardware concurrency)
 //
 // Self-telemetry (DESIGN.md §9): `--metrics-out=FILE` on any pipeline
 // command additionally enables the metrics registry and writes its JSON
 // snapshot to FILE when the command finishes.
-#include <atomic>
-#include <chrono>
-#include <cstdint>
+//
+// Exit codes: 0 success, 1 runtime failure (unknown app/program, missing
+// or unwritable file, failed job), 2 usage error (unknown command or flag,
+// conflicting options).
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "apps/app_registry.hpp"
 #include "core/config_parse.hpp"
-#include "core/dsspy.hpp"
-#include "core/export.hpp"
 #include "core/report.hpp"
-#include "core/transform_plan.hpp"
 #include "corpus/program_model.hpp"
-#include "corpus/workload.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/self_overhead.hpp"
 #include "parallel/thread_pool.hpp"
-#include "runtime/session.hpp"
-#include "runtime/trace_io.hpp"
-#include "support/table.hpp"
-#include "viz/html_report.hpp"
+#include "pipeline/batch.hpp"
+#include "pipeline/run_plan.hpp"
+#include "pipeline/runner.hpp"
 
 namespace {
 
@@ -75,28 +84,18 @@ using namespace dsspy;
 struct Options {
     std::string command;
     std::string target;
+    std::vector<std::string> batch_targets;
     std::string convert_out;
     std::optional<runtime::TraceFormat> format;
-    bool report = false;
-    bool summary = false;
-    bool plan = false;
-    bool json = false;
-    bool csv_usecases = false;
-    bool csv_instances = false;
-    bool csv_patterns = false;
-    bool incremental = false;  ///< analyze: force the streaming engine.
-    bool postmortem = false;   ///< analyze: force the post-mortem engine.
+    pipeline::OutputSelection outputs;
+    bool json = false;         ///< Raw --json flag (metrics doc vs export).
+    bool incremental = false;  ///< Force the streaming engine.
+    bool postmortem = false;   ///< Force the post-mortem engine.
     int interval_ms = 500;     ///< watch: snapshot period.
-    std::string html_path;
     std::string trace_path;
     std::string metrics_out;   ///< Write the metrics JSON snapshot here.
+    unsigned threads = 0;      ///< --threads override (0 = hardware).
     std::vector<std::string> overrides;
-
-    /// Outputs only the post-mortem pipeline can produce (they need
-    /// materialized per-pattern data or the full event store).
-    [[nodiscard]] bool needs_postmortem() const {
-        return json || csv_patterns || plan || !html_path.empty();
-    }
 };
 
 int usage(const char* argv0) {
@@ -113,6 +112,10 @@ int usage(const char* argv0) {
         << "  watch <app>           run an app with live incremental\n"
         << "                        snapshots (--interval-ms, default 500)\n"
         << "  corpus <program>      replay an empirical-study workload\n"
+        << "  batch <target>...     run several jobs concurrently (targets\n"
+        << "                        are app/corpus names or trace paths;\n"
+        << "                        app:/corpus:/trace: prefixes override\n"
+        << "                        the auto-detection)\n"
         << "  metrics <app>         run an app and print the profiler's own\n"
         << "                        telemetry (Prometheus text; --json for\n"
         << "                        the JSON document)\n"
@@ -122,12 +125,15 @@ int usage(const char* argv0) {
         << "        --csv-instances --csv-patterns --html FILE\n"
         << "Extras: --trace FILE (run/corpus: also write the raw trace)\n"
         << "        --format=csv|binary (trace encoding for convert/--trace)\n"
-        << "        --incremental | --postmortem (analyze: pick the engine)\n"
+        << "        --incremental | --postmortem (pick the engine)\n"
         << "        --interval-ms N (watch: snapshot period)\n"
+        << "        --threads=N (analysis/batch worker threads; default\n"
+        << "        hardware concurrency — `dsspy config` prints it)\n"
         << "        --metrics-out=FILE (enable self-telemetry; write the\n"
         << "        metrics JSON snapshot to FILE on exit)\n"
-        << "        --set key=value (threshold override, repeatable)\n";
-    return 2;
+        << "        --set key=value (threshold override, repeatable)\n"
+        << "Exit codes: 0 success, 1 runtime failure, 2 usage error\n";
+    return pipeline::kExitUsageError;
 }
 
 std::optional<Options> parse_args(int argc, char** argv) {
@@ -146,24 +152,32 @@ std::optional<Options> parse_args(int argc, char** argv) {
         if (i >= argc || argv[i][0] == '-') return std::nullopt;
         opt.convert_out = argv[i++];
     }
+    if (opt.command == "batch") {
+        while (i < argc && argv[i][0] != '-')
+            opt.batch_targets.emplace_back(argv[i++]);
+        if (opt.batch_targets.empty()) {
+            std::cerr << "batch needs at least one target\n";
+            return std::nullopt;
+        }
+    }
     for (; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--report") {
-            opt.report = true;
+            opt.outputs.report = true;
         } else if (arg == "--summary") {
-            opt.summary = true;
+            opt.outputs.summary = true;
         } else if (arg == "--plan") {
-            opt.plan = true;
+            opt.outputs.plan = true;
         } else if (arg == "--json") {
             opt.json = true;
         } else if (arg == "--csv-usecases") {
-            opt.csv_usecases = true;
+            opt.outputs.csv_usecases = true;
         } else if (arg == "--csv-instances") {
-            opt.csv_instances = true;
+            opt.outputs.csv_instances = true;
         } else if (arg == "--csv-patterns") {
-            opt.csv_patterns = true;
+            opt.outputs.csv_patterns = true;
         } else if (arg == "--html" && i + 1 < argc) {
-            opt.html_path = argv[++i];
+            opt.outputs.html_path = argv[++i];
         } else if (arg == "--trace" && i + 1 < argc) {
             opt.trace_path = argv[++i];
         } else if (arg == "--format=csv") {
@@ -177,6 +191,20 @@ std::optional<Options> parse_args(int argc, char** argv) {
         } else if (arg == "--interval-ms" && i + 1 < argc) {
             opt.interval_ms = std::atoi(argv[++i]);
             if (opt.interval_ms <= 0) opt.interval_ms = 500;
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            const int n = std::atoi(arg.c_str() + std::strlen("--threads="));
+            if (n <= 0) {
+                std::cerr << "--threads needs a positive thread count\n";
+                return std::nullopt;
+            }
+            opt.threads = static_cast<unsigned>(n);
+        } else if (arg == "--threads" && i + 1 < argc) {
+            const int n = std::atoi(argv[++i]);
+            if (n <= 0) {
+                std::cerr << "--threads needs a positive thread count\n";
+                return std::nullopt;
+            }
+            opt.threads = static_cast<unsigned>(n);
         } else if (arg.rfind("--metrics-out=", 0) == 0) {
             opt.metrics_out = arg.substr(std::strlen("--metrics-out="));
             if (opt.metrics_out.empty()) {
@@ -190,351 +218,131 @@ std::optional<Options> parse_args(int argc, char** argv) {
             return std::nullopt;
         }
     }
-    if (!opt.summary && !opt.plan && !opt.json && !opt.csv_usecases &&
-        !opt.csv_instances && !opt.csv_patterns && opt.html_path.empty())
-        opt.report = true;
+    // `metrics` prints the telemetry document, `convert` re-encodes: no
+    // default analysis report for either (explicit output flags still
+    // work).  Every analysis command defaults to the Table V report.
+    const bool analysis_command = opt.command != "metrics" &&
+                                  opt.command != "convert" &&
+                                  opt.command != "list" &&
+                                  opt.command != "config";
+    if (opt.json && opt.command != "metrics") opt.outputs.json = true;
+    if (analysis_command && !opt.outputs.any_analysis_output())
+        opt.outputs.report = true;
     return opt;
 }
 
-void emit_outputs(const Options& opt, const core::AnalysisResult& analysis) {
-    if (opt.summary) {
-        core::print_instance_summary(std::cout, analysis);
-        std::cout << '\n';
+/// The shared plan fields every subcommand inherits from the parsed flags.
+pipeline::RunPlan base_plan(const Options& opt,
+                            const core::DetectorConfig& config) {
+    pipeline::RunPlan plan;
+    plan.config = config;
+    plan.outputs = opt.outputs;
+    plan.outputs.metrics_out = opt.metrics_out;
+    if (opt.incremental) plan.engine = pipeline::EngineChoice::Incremental;
+    if (opt.postmortem) plan.engine = pipeline::EngineChoice::Postmortem;
+    plan.trace_out = opt.trace_path;
+    plan.trace_format = opt.format;
+    plan.snapshot_interval_ms = opt.interval_ms;
+    return plan;
+}
+
+/// Resolve one batch target to an input kind: explicit `app:` / `corpus:`
+/// / `trace:` prefix, else app name, else corpus program name, else a
+/// trace path.
+void resolve_batch_target(const std::string& target,
+                          pipeline::RunPlan& plan) {
+    if (target.rfind("app:", 0) == 0) {
+        plan.input = pipeline::InputKind::App;
+        plan.target = target.substr(std::strlen("app:"));
+        return;
     }
-    if (opt.report) {
-        core::print_use_case_report(std::cout, analysis);
-        std::cout << "Search space reduction: "
-                  << support::Table::pct(analysis.search_space_reduction())
-                  << " (" << analysis.flagged_instances() << " of "
-                  << analysis.list_array_instances()
-                  << " list/array instances flagged)\n";
+    if (target.rfind("corpus:", 0) == 0) {
+        plan.input = pipeline::InputKind::CorpusProgram;
+        plan.target = target.substr(std::strlen("corpus:"));
+        return;
     }
-    if (opt.plan) {
-        const core::TransformPlan plan =
-            core::plan_transformations(analysis);
-        core::print_transform_plan(std::cout, plan);
+    if (target.rfind("trace:", 0) == 0) {
+        plan.input = pipeline::InputKind::TraceFile;
+        plan.target = target.substr(std::strlen("trace:"));
+        return;
     }
-    if (opt.json) core::write_analysis_json(std::cout, analysis);
-    if (opt.csv_usecases) core::write_use_cases_csv(std::cout, analysis);
-    if (opt.csv_instances) core::write_instances_csv(std::cout, analysis);
-    if (opt.csv_patterns) core::write_patterns_csv(std::cout, analysis);
-    if (!opt.html_path.empty()) {
-        if (viz::write_html_report_file(opt.html_path, analysis)) {
-            std::cerr << "Wrote " << opt.html_path << '\n';
-        } else {
-            std::cerr << "Failed to write " << opt.html_path << '\n';
+    plan.target = target;
+    if (apps::find_app(target) != nullptr) {
+        plan.input = pipeline::InputKind::App;
+        return;
+    }
+    for (const corpus::ProgramModel& m : corpus::all_programs()) {
+        if (m.name == target) {
+            plan.input = pipeline::InputKind::CorpusProgram;
+            return;
         }
+    }
+    plan.input = pipeline::InputKind::TraceFile;
+}
+
+/// The `[watch]` ticker printed between live snapshots, including the
+/// self-telemetry line when the registry is enabled.
+void print_watch_tick(const Options& opt, const pipeline::WatchTick& tick) {
+    std::cout << "[watch] " << tick.events_folded << " events folded, "
+              << tick.snapshot.total_instances() << " instances, "
+              << tick.snapshot.all_use_cases().size() << " use cases so far\n";
+    if (obs::enabled()) {
+        // Watermark lag: events captured but not yet folded — how far the
+        // live snapshot trails the workload.
+        auto& reg = obs::MetricsRegistry::global();
+        static const obs::MetricId lag_metric =
+            reg.gauge("incremental.watermark_lag_events");
+        const std::uint64_t lag = tick.events_captured > tick.events_folded
+                                      ? tick.events_captured -
+                                            tick.events_folded
+                                      : 0;
+        reg.gauge_max(lag_metric, lag);
+        std::cout << "[metrics] captured " << tick.events_captured
+                  << ", watermark lag " << lag << " events, peak rss "
+                  << obs::sample_peak_rss_bytes() / 1024 << " KiB\n";
+    }
+    if (opt.outputs.summary) {
+        core::print_instance_summary(std::cout, tick.snapshot);
+        std::cout << '\n';
     }
 }
 
-/// Streaming-report outputs (the subset the incremental engine supports).
-void emit_stream_outputs(const Options& opt,
-                         const core::StreamReport& report) {
-    if (opt.summary) {
-        core::print_instance_summary(std::cout, report);
-        std::cout << '\n';
+int cmd_batch(const Options& opt, const core::DetectorConfig& config) {
+    // Per-job side files would collide across concurrent jobs: reject.
+    if (!opt.trace_path.empty() || !opt.outputs.html_path.empty()) {
+        std::cerr << "batch does not support --trace/--html (jobs would "
+                     "write the same file)\n";
+        return pipeline::kExitUsageError;
     }
-    if (opt.report) {
-        core::print_use_case_report(std::cout, report);
-        std::cout << "Search space reduction: "
-                  << support::Table::pct(report.search_space_reduction())
-                  << " (" << report.flagged_instances() << " of "
-                  << report.list_array_instances()
-                  << " list/array instances flagged)\n";
-    }
-    if (opt.csv_usecases) core::write_use_cases_csv(std::cout, report);
-    if (opt.csv_instances) core::write_instances_csv(std::cout, report);
-}
-
-/// Emit the self-telemetry snapshot at command exit: the `metrics`
-/// subcommand's stdout document and/or the --metrics-out JSON file.  The
-/// self-overhead estimate needs a capture window, so it appears only when
-/// a session ran (run/watch/corpus/metrics; offline analyze passes null).
-void emit_metrics(const Options& opt,
-                  const runtime::ProfilingSession* session) {
-    if (!obs::enabled()) return;
-    auto& reg = obs::MetricsRegistry::global();
-    static const obs::MetricId rss_metric =
-        reg.gauge("process.peak_rss_bytes");
-    reg.gauge_max(rss_metric, obs::sample_peak_rss_bytes());
-    obs::SelfOverhead overhead;
-    const obs::SelfOverhead* overhead_ptr = nullptr;
-    if (session != nullptr) {
-        overhead = obs::estimate_self_overhead(
-            session->events_recorded(), session->capture_duration_ns(),
-            runtime::ProfilingSession::kTimestampStride);
-        overhead_ptr = &overhead;
-    }
-    const std::vector<obs::MetricValue> metrics = reg.collect();
-    if (opt.command == "metrics") {
-        if (opt.json) {
-            obs::write_metrics_json(std::cout, metrics, overhead_ptr);
-        } else {
-            obs::write_metrics_prometheus(std::cout, metrics, overhead_ptr);
+    std::vector<pipeline::RunPlan> plans;
+    plans.reserve(opt.batch_targets.size());
+    for (const std::string& target : opt.batch_targets) {
+        pipeline::RunPlan plan = base_plan(opt, config);
+        // The combined snapshot is written once after the batch, not once
+        // per job.
+        plan.outputs.metrics_out.clear();
+        resolve_batch_target(target, plan);
+        if (const std::string problem =
+                pipeline::PipelineRunner::validate(plan);
+            !problem.empty()) {
+            std::cerr << "batch target " << target << ": " << problem << '\n';
+            return pipeline::kExitUsageError;
         }
+        plans.push_back(std::move(plan));
     }
-    if (!opt.metrics_out.empty()) {
-        if (obs::write_metrics_json_file(opt.metrics_out, metrics,
-                                         overhead_ptr))
+    const pipeline::PipelineRunner runner;
+    const pipeline::BatchSummary summary = pipeline::run_batch(
+        runner, plans, opt.threads, std::cout, std::cerr);
+    if (!opt.metrics_out.empty() && obs::enabled()) {
+        const std::vector<obs::MetricValue> metrics =
+            obs::MetricsRegistry::global().collect();
+        if (obs::write_metrics_json_file(opt.metrics_out, metrics, nullptr))
             std::cerr << "Wrote metrics to " << opt.metrics_out << '\n';
         else
             std::cerr << "Failed to write metrics to " << opt.metrics_out
                       << '\n';
     }
-}
-
-/// The session summary line every capture command prints to stderr;
-/// orphan (store-only) events are surfaced when present — they indicate
-/// events recorded against ids the registry never issued.
-void print_session_summary(const std::string& name, double checksum,
-                           const runtime::ProfilingSession& session) {
-    std::cerr << name << ": checksum " << checksum << ", "
-              << session.store().total_events() << " events";
-    const std::size_t orphans = session.orphan_events();
-    if (orphans > 0) std::cerr << ", " << orphans << " orphan";
-    std::cerr << '\n';
-}
-
-/// Feeds a streamed trace into the incremental analyzer, collecting the
-/// instance table on the way.  Trace files written by write_trace emit
-/// each instance's events in seq order, which is exactly the fold order
-/// the analyzer requires.
-class AnalyzerTraceSink final : public runtime::TraceSink {
-public:
-    explicit AnalyzerTraceSink(core::IncrementalAnalyzer& analyzer)
-        : analyzer_(analyzer) {}
-
-    void on_instance(const runtime::InstanceInfo& info) override {
-        instances.push_back(info);
-        analyzer_.declare_instance(info);
-    }
-
-    void on_events(std::span<const runtime::AccessEvent> events) override {
-        analyzer_.fold(events);
-    }
-
-    std::vector<runtime::InstanceInfo> instances;
-
-private:
-    core::IncrementalAnalyzer& analyzer_;
-};
-
-int cmd_analyze(const Options& opt, const core::Dsspy& analyzer) {
-    if (opt.incremental && opt.postmortem) {
-        std::cerr << "--incremental and --postmortem are mutually "
-                     "exclusive\n";
-        return 2;
-    }
-    if (opt.incremental && opt.needs_postmortem()) {
-        std::cerr << "--json/--html/--csv-patterns/--plan need the "
-                     "post-mortem engine (drop --incremental)\n";
-        return 2;
-    }
-    const bool streaming = !opt.postmortem && !opt.needs_postmortem();
-    if (streaming) {
-        // Default path: stream the trace chunk-by-chunk through the
-        // incremental analyzer — memory stays bounded by the live-instance
-        // state, not the trace size.
-        core::IncrementalAnalyzer incremental(analyzer.config());
-        AnalyzerTraceSink sink(incremental);
-        std::size_t events = 0;
-        try {
-            events = runtime::read_trace_stream_file(opt.target, sink);
-        } catch (const std::runtime_error& e) {
-            std::cerr << "Cannot read trace " << opt.target << ": "
-                      << e.what() << '\n';
-            return 1;
-        }
-        if (sink.instances.empty() && events == 0) {
-            std::cerr << "No trace data in " << opt.target << '\n';
-            return 1;
-        }
-        emit_stream_outputs(opt, incremental.finish(sink.instances));
-        emit_metrics(opt, nullptr);
-        return 0;
-    }
-    runtime::Trace trace;
-    try {
-        trace = runtime::read_trace_file(opt.target,
-                                         &par::ThreadPool::default_pool());
-    } catch (const std::runtime_error& e) {
-        std::cerr << "Cannot read trace " << opt.target << ": " << e.what()
-                  << '\n';
-        return 1;
-    }
-    if (trace.instances.empty() && trace.store.total_events() == 0) {
-        std::cerr << "No trace data in " << opt.target << '\n';
-        return 1;
-    }
-    const core::AnalysisResult analysis =
-        analyzer.analyze(trace.instances, trace.store);
-    emit_outputs(opt, analysis);
-    emit_metrics(opt, nullptr);
-    return 0;
-}
-
-int cmd_convert(const Options& opt) {
-    const runtime::TraceFormat format =
-        opt.format.value_or(runtime::TraceFormat::Binary);
-    runtime::Trace trace;
-    try {
-        trace = runtime::read_trace_file(opt.target,
-                                         &par::ThreadPool::default_pool());
-    } catch (const std::runtime_error& e) {
-        std::cerr << "Cannot read trace " << opt.target << ": " << e.what()
-                  << '\n';
-        return 1;
-    }
-    if (!runtime::write_trace_file(opt.convert_out, trace.instances,
-                                   trace.store, format)) {
-        std::cerr << "Failed to write " << opt.convert_out << '\n';
-        return 1;
-    }
-    std::cerr << "Wrote " << trace.store.total_events() << " events ("
-              << (format == runtime::TraceFormat::Binary ? "binary" : "csv")
-              << ") to " << opt.convert_out << '\n';
-    emit_metrics(opt, nullptr);
-    return 0;
-}
-
-int cmd_demo(const Options& opt, const core::Dsspy& analyzer) {
-    const apps::AppInfo* app = apps::find_app(opt.target);
-    if (app == nullptr) {
-        std::cerr << "Unknown app: " << opt.target
-                  << " (try `dsspy list`)\n";
-        return 1;
-    }
-    runtime::ProfilingSession session;
-    const apps::RunResult run = app->run_sequential(&session);
-    session.stop();
-    print_session_summary(app->name, run.checksum, session);
-    if (!opt.trace_path.empty()) {
-        if (runtime::write_trace_file(
-                opt.trace_path, session,
-                opt.format.value_or(runtime::TraceFormat::Csv)))
-            std::cerr << "Wrote trace to " << opt.trace_path << '\n';
-        else
-            std::cerr << "Failed to write trace to " << opt.trace_path
-                      << '\n';
-    }
-    emit_outputs(opt, analyzer.analyze(session));
-    emit_metrics(opt, &session);
-    return 0;
-}
-
-int cmd_watch(const Options& opt, const core::Dsspy& analyzer) {
-    const apps::AppInfo* app = apps::find_app(opt.target);
-    if (app == nullptr) {
-        std::cerr << "Unknown app: " << opt.target
-                  << " (try `dsspy list`)\n";
-        return 1;
-    }
-    // Streaming capture with the analyzer folding as the collector drains;
-    // AnalysisMode::Incremental keeps the store empty — memory stays
-    // bounded however long the workload runs.
-    runtime::ProfilingSession session(runtime::CaptureMode::Streaming,
-                                      64 * 1024,
-                                      runtime::AnalysisMode::Incremental);
-    core::IncrementalAnalyzer incremental(analyzer.config());
-    core::attach_incremental(session, incremental);
-
-    std::atomic<bool> done{false};
-    double checksum = 0;
-    std::thread worker([&] {
-        checksum = app->run_sequential(&session).checksum;
-        done.store(true, std::memory_order_release);
-    });
-    const auto interval = std::chrono::milliseconds(opt.interval_ms);
-    while (!done.load(std::memory_order_acquire)) {
-        std::this_thread::sleep_for(interval);
-        const core::StreamReport snap =
-            core::Dsspy::snapshot(incremental, session);
-        std::cout << "[watch] " << incremental.events_folded()
-                  << " events folded, " << snap.total_instances()
-                  << " instances, " << snap.all_use_cases().size()
-                  << " use cases so far\n";
-        if (obs::enabled()) {
-            // Watermark lag: events captured but not yet folded — how far
-            // the live snapshot trails the workload.
-            auto& reg = obs::MetricsRegistry::global();
-            static const obs::MetricId lag_metric =
-                reg.gauge("incremental.watermark_lag_events");
-            const std::uint64_t captured = session.events_recorded();
-            const std::uint64_t folded = incremental.events_folded();
-            const std::uint64_t lag = captured > folded ? captured - folded
-                                                        : 0;
-            reg.gauge_max(lag_metric, lag);
-            std::cout << "[metrics] captured " << captured
-                      << ", watermark lag " << lag << " events, peak rss "
-                      << obs::sample_peak_rss_bytes() / 1024 << " KiB\n";
-        }
-        if (opt.summary) {
-            core::print_instance_summary(std::cout, snap);
-            std::cout << '\n';
-        }
-    }
-    worker.join();
-    session.stop();
-    std::cerr << app->name << ": checksum " << checksum << ", "
-              << incremental.events_folded() << " events\n";
-    emit_stream_outputs(opt, core::Dsspy::finish(incremental, session));
-    emit_metrics(opt, &session);
-    return 0;
-}
-
-int cmd_corpus(const Options& opt, const core::Dsspy& analyzer) {
-    const corpus::ProgramModel* program = nullptr;
-    for (const corpus::ProgramModel& m : corpus::all_programs())
-        if (m.name == opt.target) program = &m;
-    if (program == nullptr) {
-        std::cerr << "Unknown corpus program: " << opt.target
-                  << " (try `dsspy list`)\n";
-        return 1;
-    }
-    runtime::ProfilingSession session;
-    if (program->in_eval23) {
-        corpus::run_eval_workload(*program, &session);
-    } else {
-        corpus::run_study15_workload(*program, &session);
-    }
-    session.stop();
-    if (session.orphan_events() > 0)
-        std::cerr << program->name << ": " << session.orphan_events()
-                  << " orphan events\n";
-    if (!opt.trace_path.empty()) {
-        if (runtime::write_trace_file(
-                opt.trace_path, session,
-                opt.format.value_or(runtime::TraceFormat::Csv)))
-            std::cerr << "Wrote trace to " << opt.trace_path << '\n';
-        else
-            std::cerr << "Failed to write trace to " << opt.trace_path
-                      << '\n';
-    }
-    emit_outputs(opt, analyzer.analyze(session));
-    emit_metrics(opt, &session);
-    return 0;
-}
-
-/// `dsspy metrics <app>`: run an instrumented app with self-telemetry
-/// forced on (main() enables it before dispatch), run the analysis so the
-/// per-stage spans populate, then print the telemetry document itself.
-int cmd_metrics(const Options& opt, const core::Dsspy& analyzer) {
-    const apps::AppInfo* app = apps::find_app(opt.target);
-    if (app == nullptr) {
-        std::cerr << "Unknown app: " << opt.target
-                  << " (try `dsspy list`)\n";
-        return 1;
-    }
-    runtime::ProfilingSession session;
-    const apps::RunResult run = app->run_sequential(&session);
-    session.stop();
-    print_session_summary(app->name, run.checksum, session);
-    // The analysis result is discarded — this command reports on the
-    // profiler, not the workload — but running it fills the analyze.*
-    // span histograms the document should contain.
-    (void)analyzer.analyze(session);
-    emit_metrics(opt, &session);
-    return 0;
+    return summary.exit_code;
 }
 
 int cmd_list() {
@@ -548,14 +356,17 @@ int cmd_list() {
                   << corpus::domain_short_name(m.domain)
                   << (m.in_eval23 ? ", Table III" : "")
                   << (m.in_study15 ? ", Table II" : "") << ")\n";
-    return 0;
+    return pipeline::kExitOk;
 }
 
 int cmd_config(const core::DetectorConfig& config) {
     std::cout << "Detector thresholds (override with --set key=value):\n";
     for (const std::string& line : core::config_to_strings(config))
         std::cout << "  " << line << '\n';
-    return 0;
+    std::cout << "Thread pool: "
+              << par::ThreadPool::effective_default_threads()
+              << " worker threads (override with --threads=N)\n";
+    return pipeline::kExitOk;
 }
 
 }  // namespace
@@ -569,21 +380,58 @@ int main(int argc, char** argv) {
         core::apply_config_overrides(config, opt->overrides);
     for (const std::string& entry : rejected)
         std::cerr << "Ignoring unknown/invalid override: " << entry << '\n';
-    const core::Dsspy analyzer(config);
+
+    // --threads plumbs into every pool the process creates: the shared
+    // analysis pool (created on first use) and the batch driver pool.
+    if (opt->threads != 0)
+        par::ThreadPool::set_default_threads(opt->threads);
 
     // Self-telemetry is opt-in: the registry stays disabled (and every
     // instrumentation site costs one predicted branch) unless asked for.
     if (!opt->metrics_out.empty() || opt->command == "metrics")
         obs::MetricsRegistry::global().set_enabled(true);
 
-    if (opt->command == "analyze") return cmd_analyze(*opt, analyzer);
-    if (opt->command == "convert") return cmd_convert(*opt);
-    if (opt->command == "run" || opt->command == "demo")
-        return cmd_demo(*opt, analyzer);
-    if (opt->command == "watch") return cmd_watch(*opt, analyzer);
-    if (opt->command == "corpus") return cmd_corpus(*opt, analyzer);
-    if (opt->command == "metrics") return cmd_metrics(*opt, analyzer);
     if (opt->command == "list") return cmd_list();
     if (opt->command == "config") return cmd_config(config);
-    return usage(argv[0]);
+    if (opt->command == "batch") return cmd_batch(*opt, config);
+
+    pipeline::RunPlan plan = base_plan(*opt, config);
+    plan.target = opt->target;
+    if (opt->command == "analyze") {
+        if (opt->incremental && opt->postmortem) {
+            std::cerr << "--incremental and --postmortem are mutually "
+                         "exclusive\n";
+            return pipeline::kExitUsageError;
+        }
+        plan.input = pipeline::InputKind::TraceFile;
+    } else if (opt->command == "convert") {
+        plan.input = pipeline::InputKind::TraceFile;
+        plan.engine = pipeline::EngineChoice::Postmortem;
+        plan.trace_out = opt->convert_out;
+        plan.trace_note = pipeline::TraceNoteStyle::ConvertNote;
+    } else if (opt->command == "run" || opt->command == "demo") {
+        plan.input = pipeline::InputKind::App;
+    } else if (opt->command == "watch") {
+        plan.input = pipeline::InputKind::App;
+        plan.watch = true;
+    } else if (opt->command == "corpus") {
+        plan.input = pipeline::InputKind::CorpusProgram;
+    } else if (opt->command == "metrics") {
+        plan.input = pipeline::InputKind::App;
+        plan.outputs.metrics_doc = opt->json ? pipeline::MetricsDoc::Json
+                                             : pipeline::MetricsDoc::Prometheus;
+    } else {
+        return usage(argv[0]);
+    }
+
+    const pipeline::PipelineRunner runner;
+    const pipeline::WatchCallback on_tick =
+        plan.watch ? pipeline::WatchCallback(
+                         [&opt](const pipeline::WatchTick& tick) {
+                             print_watch_tick(*opt, tick);
+                         })
+                   : pipeline::WatchCallback();
+    const pipeline::RunOutcome outcome =
+        runner.run(plan, std::cout, std::cerr, on_tick);
+    return outcome.exit_code;
 }
