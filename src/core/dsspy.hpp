@@ -15,6 +15,7 @@
 #include "core/patterns.hpp"
 #include "core/profile.hpp"
 #include "core/use_cases.hpp"
+#include "runtime/column_store.hpp"
 #include "runtime/session.hpp"
 
 namespace dsspy::par {
@@ -106,8 +107,28 @@ public:
 
     /// Analyze explicit instance metadata + a finalized store (e.g. a
     /// trace deserialized with runtime::read_trace).  The store must
-    /// outlive the result.
+    /// outlive the result.  Runs over the store's columnar view with the
+    /// vectorized kernels (DESIGN.md §11); the profiles keep their AoS
+    /// event spans so reports and the HTML export still see events().
     [[nodiscard]] AnalysisResult analyze(
+        const std::vector<runtime::InstanceInfo>& instances,
+        const runtime::ProfileStore& store,
+        par::ThreadPool* pool = nullptr) const;
+
+    /// Analyze a bare columnar store (the zero-copy DST1 path,
+    /// runtime::read_trace_columns): identical verdicts without any AoS
+    /// events behind them — profiles have empty events() spans.  The
+    /// store must outlive the result.
+    [[nodiscard]] AnalysisResult analyze(
+        const std::vector<runtime::InstanceInfo>& instances,
+        const runtime::ColumnStore& columns,
+        par::ThreadPool* pool = nullptr) const;
+
+    /// The pre-columnar AoS implementation, kept as the differential
+    /// reference: per-event RuntimeProfile construction, per-step pattern
+    /// machine, instance-count work partitioning.  The differential suite
+    /// and the benchmark baseline compare analyze() against this.
+    [[nodiscard]] AnalysisResult analyze_reference(
         const std::vector<runtime::InstanceInfo>& instances,
         const runtime::ProfileStore& store,
         par::ThreadPool* pool = nullptr) const;
@@ -134,6 +155,12 @@ public:
     }
 
 private:
+    [[nodiscard]] AnalysisResult analyze_columns_impl(
+        const std::vector<runtime::InstanceInfo>& instances,
+        const runtime::ColumnStore& columns,
+        const runtime::ProfileStore* aos_store, par::ThreadPool* pool,
+        std::size_t total_events) const;
+
     DetectorConfig config_;
     PatternDetector detector_;
     UseCaseEngine engine_;

@@ -42,33 +42,44 @@ struct EndTraffic {
     }
 };
 
-/// Fold one event into the end-traffic counters (events within `window`
+/// Fold one access into the end-traffic counters (accesses within `window`
 /// slots of position 0 / the last index count as front / back traffic).
-inline void accumulate_end_traffic(EndTraffic& t,
-                                   const runtime::AccessEvent& ev,
+/// This field form is the single source of truth: the AoS event overload
+/// below and the columnar scalar kernel (detector_kernels.hpp) both call
+/// it, so the two analysis paths cannot drift.
+inline void accumulate_end_traffic(EndTraffic& t, AccessType type,
+                                   std::int64_t position, std::uint32_t size,
                                    std::size_t window) noexcept {
-    if (ev.position < 0) return;
+    if (position < 0) return;
     const auto w = static_cast<std::int64_t>(window);
-    const auto size = static_cast<std::int64_t>(ev.size);
-    switch (derive_access_type(ev.op)) {
+    const auto sz = static_cast<std::int64_t>(size);
+    switch (type) {
         case AccessType::Insert:
             // size recorded after the insert; back == landing at size-1.
-            if (ev.position >= size - w) ++t.back_insert;
-            else if (ev.position < w) ++t.front_insert;
+            if (position >= sz - w) ++t.back_insert;
+            else if (position < w) ++t.front_insert;
             break;
         case AccessType::Delete:
             // size recorded after the removal; back == position >= size.
-            if (ev.position >= size - w + 1) ++t.back_delete;
-            else if (ev.position < w) ++t.front_delete;
+            if (position >= sz - w + 1) ++t.back_delete;
+            else if (position < w) ++t.front_delete;
             break;
         case AccessType::Read:
         case AccessType::Write:
-            if (ev.position >= size - w) ++t.back_read;
-            else if (ev.position < w) ++t.front_read;
+            if (position >= sz - w) ++t.back_read;
+            else if (position < w) ++t.front_read;
             break;
         default:
             break;
     }
+}
+
+/// Fold one event into the end-traffic counters.
+inline void accumulate_end_traffic(EndTraffic& t,
+                                   const runtime::AccessEvent& ev,
+                                   std::size_t window) noexcept {
+    accumulate_end_traffic(t, derive_access_type(ev.op), ev.position,
+                           ev.size, window);
 }
 
 /// Long "insertion" patterns: Insert-Front/Back for dynamic structures;

@@ -133,7 +133,14 @@ public:
     template <class Sink>
     void step(std::uint32_t index, const runtime::AccessEvent& ev,
               Sink&& sink) {
-        const AccessType type = derive_access_type(ev.op);
+        step(index, ev, derive_access_type(ev.op), sink);
+    }
+
+    /// Same fold with the access type already derived (the columnar
+    /// detector computes the whole type column up front).
+    template <class Sink>
+    void step(std::uint32_t index, const runtime::AccessEvent& ev,
+              AccessType type, Sink&& sink) {
         PatternRun& run = state_for(ev.thread);
 
         // ForAll: a whole-container traversal is a full sequential read.
@@ -230,6 +237,33 @@ public:
     void visit_open_runs(Fn&& fn) const {
         for (const PatternRun& run : per_thread_)
             if (run.cat != RunCat::None) fn(run);
+    }
+
+    /// Open run of one thread (cat == None when the run is closed).  The
+    /// columnar detector inspects this to decide whether a vectorized
+    /// streak scan (detector_kernels.hpp) can extend the run in bulk.
+    [[nodiscard]] const PatternRun& peek_run(runtime::ThreadId tid) {
+        return state_for(tid);
+    }
+
+    /// Apply a bulk extension of `count` events to `tid`'s open run, as if
+    /// step() had accepted each one: the run state only depends on the
+    /// final row of an accepted streak, so the fast path hands the machine
+    /// the streak's tail directly.  The caller guarantees every skipped
+    /// row would have extended the run (monotone position chain for
+    /// read/write, preserved all_front/all_back anchor for insert/delete).
+    void extend_run(runtime::ThreadId tid, std::uint32_t last_index,
+                    std::int64_t last_pos, std::uint32_t last_size,
+                    std::uint64_t last_ns, std::uint32_t count) {
+        PatternRun& run = state_for(tid);
+        run.last = last_index;
+        run.length += count;
+        if (run.direction == 0 && count > 0 &&
+            (run.cat == RunCat::Read || run.cat == RunCat::Write))
+            run.direction = last_pos >= run.last_pos ? 1 : -1;
+        run.last_pos = last_pos;
+        run.last_size = last_size;
+        run.last_ns = last_ns;
     }
 
 private:

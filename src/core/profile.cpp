@@ -6,7 +6,7 @@ namespace dsspy::core {
 
 RuntimeProfile::RuntimeProfile(runtime::InstanceInfo info,
                                std::span<const runtime::AccessEvent> events)
-    : info_(std::move(info)), events_(events) {
+    : info_(std::move(info)), events_(events), total_(events.size()) {
     if (events_.empty()) return;
 
     std::vector<runtime::ThreadId> threads;
@@ -36,32 +36,42 @@ RuntimeProfile::RuntimeProfile(runtime::InstanceInfo info,
     thread_count_ = threads.size();
 }
 
+RuntimeProfile::RuntimeProfile(runtime::InstanceInfo info,
+                               std::span<const runtime::AccessEvent> events,
+                               ProfileAggregates aggregates)
+    : info_(std::move(info)),
+      events_(events),
+      total_(aggregates.total_events),
+      counts_(aggregates.counts),
+      phases_(std::move(aggregates.phases)),
+      max_size_(aggregates.max_size),
+      duration_ns_(aggregates.duration_ns),
+      thread_count_(aggregates.thread_count) {}
+
 double RuntimeProfile::share(AccessType type) const noexcept {
-    if (events_.empty()) return 0.0;
-    return static_cast<double>(count(type)) /
-           static_cast<double>(events_.size());
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(count(type)) / static_cast<double>(total_);
 }
 
 double RuntimeProfile::read_like_share() const noexcept {
-    if (events_.empty()) return 0.0;
+    if (total_ == 0) return 0.0;
     std::size_t reads = 0;
     for (std::size_t t = 0; t < kAccessTypeCount; ++t) {
         if (is_read_like(static_cast<AccessType>(t))) reads += counts_[t];
     }
-    return static_cast<double>(reads) / static_cast<double>(events_.size());
+    return static_cast<double>(reads) / static_cast<double>(total_);
 }
 
 double RuntimeProfile::phase_share(AccessType type,
                                    std::size_t min_phase_events)
     const noexcept {
-    if (events_.empty()) return 0.0;
+    if (total_ == 0) return 0.0;
     std::size_t in_phase = 0;
     for (const Phase& phase : phases_) {
         if (phase.type == type && phase.length() >= min_phase_events)
             in_phase += phase.length();
     }
-    return static_cast<double>(in_phase) /
-           static_cast<double>(events_.size());
+    return static_cast<double>(in_phase) / static_cast<double>(total_);
 }
 
 bool RuntimeProfile::has_long_phase(AccessType type,

@@ -30,6 +30,19 @@ struct Phase {
     }
 };
 
+/// Aggregates precomputed by the columnar analysis path.  The kernel
+/// scans over raw columns (DESIGN.md §11) produce exactly the numbers the
+/// AoS constructor below would derive, so profiles built either way are
+/// indistinguishable to the use-case rules.
+struct ProfileAggregates {
+    std::size_t total_events = 0;
+    std::array<std::size_t, kAccessTypeCount> counts{};
+    std::vector<Phase> phases;
+    std::size_t max_size = 0;
+    std::uint64_t duration_ns = 0;
+    std::size_t thread_count = 0;
+};
+
 /// Read-only analysis view of one instance's event sequence.
 class RuntimeProfile {
 public:
@@ -39,17 +52,27 @@ public:
     RuntimeProfile(runtime::InstanceInfo info,
                    std::span<const runtime::AccessEvent> events);
 
+    /// Build from kernel-computed aggregates; `events` may be empty when
+    /// the caller analyzed raw columns without materializing AccessEvent
+    /// rows (the zero-copy trace path).
+    RuntimeProfile(runtime::InstanceInfo info,
+                   std::span<const runtime::AccessEvent> events,
+                   ProfileAggregates aggregates);
+
     [[nodiscard]] const runtime::InstanceInfo& info() const noexcept {
         return info_;
     }
 
+    /// The instance's event rows.  Empty for profiles built from column
+    /// aggregates without an AoS mirror — use total_events() for the real
+    /// event count.
     [[nodiscard]] std::span<const runtime::AccessEvent> events()
         const noexcept {
         return events_;
     }
 
     [[nodiscard]] std::size_t total_events() const noexcept {
-        return events_.size();
+        return total_;
     }
 
     /// Number of events of the given derived access type.
@@ -95,6 +118,7 @@ public:
 private:
     runtime::InstanceInfo info_;
     std::span<const runtime::AccessEvent> events_;
+    std::size_t total_ = 0;
     std::array<std::size_t, kAccessTypeCount> counts_{};
     std::vector<Phase> phases_;
     std::size_t max_size_ = 0;

@@ -20,6 +20,7 @@
 #include "core/incremental.hpp"
 #include "runtime/session.hpp"
 #include "runtime/trace_io.hpp"
+#include "runtime/trace_mmap.hpp"
 
 namespace dsspy::pipeline {
 
@@ -137,9 +138,13 @@ struct RunOutcome {
     std::optional<core::AnalysisResult> analysis;  ///< Post-mortem result.
     std::optional<core::StreamReport> stream;      ///< Incremental result.
 
-    /// Backing storage for `analysis` (live runs / trace loads).
+    /// Backing storage for `analysis` (live runs / trace loads).  Binary
+    /// traces analyzed without event-level outputs load as columns only
+    /// (`column_trace`, DESIGN.md §11); everything else fills `trace` or
+    /// `session`.
     std::unique_ptr<runtime::ProfilingSession> session;
     std::unique_ptr<runtime::Trace> trace;
+    std::unique_ptr<runtime::ColumnTrace> column_trace;
 
     [[nodiscard]] bool ok() const noexcept { return exit_code == kExitOk; }
 };

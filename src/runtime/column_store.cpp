@@ -1,0 +1,43 @@
+#include "runtime/column_store.hpp"
+
+namespace dsspy::runtime {
+
+void ColumnStore::clear() {
+    time_ns_.clear();
+    position_.clear();
+    size_.clear();
+    op_.clear();
+    thread_.clear();
+    ranges_.clear();
+}
+
+void ColumnStore::allocate(std::size_t rows, std::size_t instance_slots) {
+    time_ns_.resize(rows);
+    position_.resize(rows);
+    size_.resize(rows);
+    op_.resize(rows);
+    thread_.resize(rows);
+    ranges_.assign(instance_slots, ColumnRange{});
+}
+
+void ColumnStore::set_range(InstanceId id, std::size_t begin,
+                            std::size_t end) {
+    if (id >= ranges_.size()) ranges_.resize(id + 1);
+    ranges_[id] = ColumnRange{begin, end};
+}
+
+void ColumnStore::place_events(InstanceId id, std::size_t first_row,
+                               std::span<const AccessEvent> events) {
+    // One pass per column keeps every write stream unit-stride; the AoS
+    // source line is read five times but stays cache-resident per block.
+    const std::size_t n = events.size();
+    for (std::size_t i = 0; i < n; ++i) time_ns_[first_row + i] = events[i].time_ns;
+    for (std::size_t i = 0; i < n; ++i) position_[first_row + i] = events[i].position;
+    for (std::size_t i = 0; i < n; ++i) size_[first_row + i] = events[i].size;
+    for (std::size_t i = 0; i < n; ++i)
+        op_[first_row + i] = static_cast<std::uint8_t>(events[i].op);
+    for (std::size_t i = 0; i < n; ++i) thread_[first_row + i] = events[i].thread;
+    set_range(id, first_row, first_row + n);
+}
+
+}  // namespace dsspy::runtime

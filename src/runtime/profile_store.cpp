@@ -11,8 +11,11 @@ ProfileStore::ProfileStore(ProfileStore&& other) noexcept {
     per_instance_ = std::move(other.per_instance_);
     total_ = other.total_;
     finalized_ = other.finalized_;
+    columns_ = std::move(other.columns_);
+    columns_built_ = other.columns_built_;
     other.per_instance_.clear();
     other.total_ = 0;
+    other.columns_built_ = false;
 }
 
 ProfileStore& ProfileStore::operator=(ProfileStore&& other) noexcept {
@@ -21,8 +24,11 @@ ProfileStore& ProfileStore::operator=(ProfileStore&& other) noexcept {
         per_instance_ = std::move(other.per_instance_);
         total_ = other.total_;
         finalized_ = other.finalized_;
+        columns_ = std::move(other.columns_);
+        columns_built_ = other.columns_built_;
         other.per_instance_.clear();
         other.total_ = 0;
+        other.columns_built_ = false;
     }
     return *this;
 }
@@ -50,6 +56,7 @@ void ProfileStore::append(std::span<const AccessEvent> events) {
         i = j;
     }
     finalized_ = false;
+    columns_built_ = false;
 }
 
 void ProfileStore::finalize(par::ThreadPool* pool) {
@@ -69,6 +76,37 @@ void ProfileStore::finalize(par::ThreadPool* pool) {
         sort_range(0, per_instance_.size());
     }
     finalized_ = true;
+    build_columns_locked(pool);
+}
+
+void ProfileStore::build_columns_locked(par::ThreadPool* pool) const {
+    // Row layout: instances in id order, each instance's events contiguous
+    // and already in seq order after the finalize sort.
+    const std::size_t slots = per_instance_.size();
+    std::vector<std::size_t> offsets(slots + 1, 0);
+    for (std::size_t id = 0; id < slots; ++id)
+        offsets[id + 1] = offsets[id] + per_instance_[id].size();
+    columns_.allocate(offsets[slots], slots);
+    auto place_range = [this, &offsets](std::size_t lo, std::size_t hi) {
+        for (std::size_t id = lo; id < hi; ++id)
+            columns_.place_events(static_cast<InstanceId>(id), offsets[id],
+                                  per_instance_[id]);
+    };
+    // Each instance writes a disjoint row range, so the transpose
+    // parallelizes without synchronization (ranges_ was pre-sized by
+    // allocate; set_range only stores).
+    if (pool != nullptr && slots > 1) {
+        par::parallel_for_chunks(*pool, 0, slots, place_range);
+    } else {
+        place_range(0, slots);
+    }
+    columns_built_ = true;
+}
+
+const ColumnStore& ProfileStore::columns(par::ThreadPool* pool) const {
+    std::scoped_lock lock(mutex_);
+    if (!columns_built_) build_columns_locked(pool);
+    return columns_;
 }
 
 std::span<const AccessEvent> ProfileStore::events(InstanceId id) const {

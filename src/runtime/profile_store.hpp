@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "runtime/access_event.hpp"
+#include "runtime/column_store.hpp"
 
 namespace dsspy::par {
 class ThreadPool;
@@ -39,11 +40,19 @@ public:
     /// consecutive events targeting the same instance are bulk-inserted.
     void append(std::span<const AccessEvent> events);
 
-    /// Sort all per-instance sequences by `seq`.  Call once after capture.
-    /// With a pool, the per-instance sorts run in parallel (the result is
+    /// Sort all per-instance sequences by `seq` and build the columnar
+    /// (SoA) view.  Call once after capture.  With a pool, the per-instance
+    /// sorts and the column transpose run in parallel (the result is
     /// identical: `seq` values are globally unique, so the comparator is a
-    /// strict total order).
+    /// strict total order, and each instance fills a disjoint row range).
     void finalize(par::ThreadPool* pool = nullptr);
+
+    /// Structure-of-arrays view of all events (DESIGN.md §11): one
+    /// contiguous row range per instance, rows in per-instance `seq`
+    /// order.  Built by finalize (or lazily here); invalidated by append.
+    /// The returned reference is invalidated by further appends.
+    [[nodiscard]] const ColumnStore& columns(
+        par::ThreadPool* pool = nullptr) const;
 
     /// Event sequence of one instance (empty if none were recorded).
     /// Only valid to call after `finalize()`; the returned span is
@@ -70,10 +79,14 @@ public:
         std::size_t registered_instances) const;
 
 private:
+    void build_columns_locked(par::ThreadPool* pool) const;
+
     mutable std::mutex mutex_;
     std::vector<std::vector<AccessEvent>> per_instance_;
     std::size_t total_ = 0;
     bool finalized_ = false;
+    mutable ColumnStore columns_;
+    mutable bool columns_built_ = false;
 };
 
 }  // namespace dsspy::runtime

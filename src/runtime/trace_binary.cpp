@@ -13,14 +13,24 @@
 #include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
+#include "runtime/trace_codec.hpp"
 
 namespace dsspy::runtime {
 
 namespace {
 
-[[noreturn]] void fail(const std::string& what) {
-    throw std::runtime_error("trace_io: " + what);
-}
+using codec::chunk_baseline;
+using codec::checked_narrow;
+using codec::Cursor;
+using codec::fail;
+using codec::kControlReserved;
+using codec::kPosPlusOne;
+using codec::kSameInstance;
+using codec::kSameOp;
+using codec::kSameThread;
+using codec::kSeqPlusOne;
+using codec::kSizeSame;
+using codec::kTimeSame;
 
 /// Self-telemetry: DST1 chunks decoded (lazy-registered; call sites guard
 /// on obs::enabled()).
@@ -65,28 +75,6 @@ void put_string(std::string& out, const std::string& s) {
     out += s;
 }
 
-// Control-byte flags: each bit marks one field as "took its common delta"
-// (see trace_binary.hpp); clear bits have an explicit value following.
-enum : std::uint8_t {
-    kSeqPlusOne = 1u << 0,
-    kTimeSame = 1u << 1,
-    kSameInstance = 1u << 2,
-    kSameOp = 1u << 3,
-    kPosPlusOne = 1u << 4,
-    kSizeSame = 1u << 5,
-    kSameThread = 1u << 6,
-    kControlReserved = 1u << 7,
-};
-
-/// Chunk-local delta baseline (all fields zero — AccessEvent's defaults
-/// use sentinels, so build it explicitly).
-AccessEvent chunk_baseline() {
-    AccessEvent ev;
-    ev.instance = 0;
-    ev.op = OpKind::Get;
-    return ev;
-}
-
 void put_event(std::string& out, const AccessEvent& ev,
                const AccessEvent& prev) {
     const auto upos = static_cast<std::uint64_t>(ev.position);
@@ -111,75 +99,8 @@ void put_event(std::string& out, const AccessEvent& ev,
 }
 
 // ---------------------------------------------------------------- decoding
-
-/// Bounded byte cursor; every read checks the remaining length.
-struct Cursor {
-    const unsigned char* ptr;
-    const unsigned char* end;
-
-    [[nodiscard]] std::size_t remaining() const {
-        return static_cast<std::size_t>(end - ptr);
-    }
-
-    std::uint32_t u32() {
-        if (remaining() < 4) fail("truncated fixed-width field");
-        std::uint32_t v = 0;
-        for (int i = 0; i < 4; ++i) v |= std::uint32_t{ptr[i]} << (8 * i);
-        ptr += 4;
-        return v;
-    }
-
-    std::uint64_t u64() {
-        if (remaining() < 8) fail("truncated fixed-width field");
-        std::uint64_t v = 0;
-        for (int i = 0; i < 8; ++i) v |= std::uint64_t{ptr[i]} << (8 * i);
-        ptr += 8;
-        return v;
-    }
-
-    std::uint8_t u8() {
-        if (remaining() < 1) fail("truncated byte field");
-        return *ptr++;
-    }
-
-    std::uint64_t varint() {
-        std::uint64_t v = 0;
-        for (unsigned shift = 0; shift < 64; shift += 7) {
-            if (ptr == end) fail("unterminated varint");
-            const unsigned char byte = *ptr++;
-            v |= std::uint64_t{byte & 0x7Fu} << shift;
-            if ((byte & 0x80u) == 0) {
-                // The 10th byte carries only bit 63: anything above is
-                // an overlong/corrupt encoding.
-                if (shift == 63 && byte > 1) fail("varint overflows 64 bits");
-                return v;
-            }
-        }
-        fail("varint longer than 10 bytes");
-    }
-
-    std::uint64_t delta(std::uint64_t prev) {
-        const std::uint64_t z = varint();
-        const std::uint64_t d = (z >> 1) ^ (~(z & 1) + 1);  // un-zigzag
-        return prev + d;
-    }
-
-    std::string str() {
-        const std::uint64_t len = varint();
-        if (len > remaining()) fail("truncated string field");
-        std::string s(reinterpret_cast<const char*>(ptr),
-                      static_cast<std::size_t>(len));
-        ptr += len;
-        return s;
-    }
-};
-
-template <typename T>
-T checked_narrow(std::uint64_t v, const char* what) {
-    if (v > static_cast<std::uint64_t>(std::numeric_limits<T>::max()))
-        fail(std::string("field '") + what + "' out of range");
-    return static_cast<T>(v);
-}
+// The bounded cursor, control bits, and chunk validation are shared with
+// the columnar mmap decoder — see trace_codec.hpp.
 
 /// Decode exactly `count` events from one chunk payload into `out`.
 void decode_chunk(Cursor cur, std::uint32_t count,
@@ -327,9 +248,17 @@ std::size_t read_trace_binary_stream(std::istream& is, std::string_view prefix,
     std::uint64_t declared = 0;
     std::size_t delivered = 0;
     while (declared < event_count) {
-        const std::uint32_t count = src.u32();
-        const std::uint32_t payload_bytes = src.u32();
-        if (count == 0) fail("empty event chunk");
+        unsigned char header[8];
+        if (!src.get(reinterpret_cast<char*>(header), sizeof(header)))
+            fail("truncated chunk header");
+        std::uint32_t count = 0;
+        std::uint32_t payload_bytes = 0;
+        for (int i = 0; i < 4; ++i) {
+            count |= std::uint32_t{header[i]} << (8 * i);
+            payload_bytes |= std::uint32_t{header[4 + i]} << (8 * i);
+        }
+        codec::check_chunk_header(count, payload_bytes,
+                                  std::numeric_limits<std::size_t>::max());
         payload.resize(payload_bytes);
         if (!src.get(payload.data(), payload.size()))
             fail("truncated event chunk");
@@ -446,10 +375,10 @@ Trace read_trace_binary(std::string_view bytes, par::ThreadPool* pool) {
     std::vector<ChunkRef> chunks;
     std::uint64_t declared = 0;
     while (declared < event_count) {
+        if (cur.remaining() < 8) fail("truncated chunk header");
         const std::uint32_t count = cur.u32();
         const std::uint32_t payload_bytes = cur.u32();
-        if (count == 0) fail("empty event chunk");
-        if (payload_bytes > cur.remaining()) fail("truncated event chunk");
+        codec::check_chunk_header(count, payload_bytes, cur.remaining());
         chunks.push_back(ChunkRef{{cur.ptr, cur.ptr + payload_bytes}, count});
         cur.ptr += payload_bytes;
         declared += count;

@@ -3,15 +3,19 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "core/dsspy.hpp"
 #include "ds/ds.hpp"
 #include "parallel/thread_pool.hpp"
 #include "runtime/trace_binary.hpp"
 #include "runtime/trace_io.hpp"
+#include "runtime/trace_mmap.hpp"
 
 namespace dsspy::runtime {
 namespace {
@@ -503,6 +507,248 @@ TEST(TraceIoBinary, RejectsCorruptChunkCounts) {
     ASSERT_LT(off + 4, bytes.size());
     bytes[off] = static_cast<char>(0xFF);  // inflate the chunk event count
     EXPECT_THROW((void)read_trace_binary(bytes), std::runtime_error);
+}
+
+// --------------------------------------------------- columnar DST1 decode
+
+/// The column decode must agree row-for-row with the AoS reader on the
+/// same bytes: identical per-instance ranges, identical field values in
+/// identical order.
+void expect_columns_match_trace(const ColumnTrace& cols, const Trace& aos) {
+    ASSERT_EQ(cols.instances.size(), aos.instances.size());
+    for (std::size_t i = 0; i < cols.instances.size(); ++i)
+        EXPECT_EQ(cols.instances[i], aos.instances[i]) << "instance " << i;
+    ASSERT_EQ(cols.columns.total_events(), aos.store.total_events());
+    const std::size_t slots =
+        std::max(cols.columns.instance_slots(), aos.store.instance_slots());
+    for (std::size_t id = 0; id < slots; ++id) {
+        const auto events = aos.store.events(static_cast<InstanceId>(id));
+        const ColumnRange range =
+            cols.columns.range(static_cast<InstanceId>(id));
+        ASSERT_EQ(range.size(), events.size()) << "instance " << id;
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            const std::size_t row = range.begin + i;
+            EXPECT_EQ(cols.columns.time_ns()[row], events[i].time_ns);
+            EXPECT_EQ(cols.columns.position()[row], events[i].position);
+            EXPECT_EQ(cols.columns.sizes()[row], events[i].size);
+            EXPECT_EQ(cols.columns.op()[row],
+                      static_cast<std::uint8_t>(events[i].op));
+            EXPECT_EQ(cols.columns.thread()[row], events[i].thread);
+        }
+    }
+}
+
+TEST(TraceIoColumns, GroupedFastPathMatchesAoSReader) {
+    // write_trace emits each instance as one contiguous ascending-seq
+    // block, so this exercises the zero-copy grouping scan.
+    ProfilingSession session;
+    drive_session(session);
+    session.stop();
+    std::ostringstream out;
+    write_trace(out, session, TraceFormat::Binary);
+    const std::string bytes = std::move(out).str();
+
+    expect_columns_match_trace(read_trace_columns(bytes),
+                               read_trace_binary(bytes));
+}
+
+TEST(TraceIoColumns, InterleavedTraceTakesArgsortFallback) {
+    // Our writers always group events by instance, so an interleaved
+    // stream (what an external producer recording in capture order would
+    // emit) must be hand-encoded.  Every event uses control byte 0 —
+    // all fields explicit — which is valid, just uncompressed.
+    std::string bytes(kTraceBinaryMagic, sizeof(kTraceBinaryMagic));
+    const auto put_u32 = [&](std::uint32_t v) {
+        for (int i = 0; i < 4; ++i)
+            bytes += static_cast<char>((v >> (8 * i)) & 0xFF);
+    };
+    const auto put_u64 = [&](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            bytes += static_cast<char>((v >> (8 * i)) & 0xFF);
+    };
+    const auto put_varint = [&](std::string& out, std::uint64_t v) {
+        while (v >= 0x80) {
+            out += static_cast<char>((v & 0x7F) | 0x80);
+            v >>= 7;
+        }
+        out += static_cast<char>(v);
+    };
+    const auto put_delta = [&](std::string& out, std::uint64_t cur,
+                               std::uint64_t prev) {
+        const auto s = static_cast<std::int64_t>(cur - prev);
+        put_varint(out, (static_cast<std::uint64_t>(s) << 1) ^
+                            static_cast<std::uint64_t>(s >> 63));
+    };
+    const auto put_string = [&](const std::string& s) {
+        put_varint(bytes, s.size());
+        bytes += s;
+    };
+
+    constexpr std::uint32_t kEvents = 40;
+    put_u32(kTraceBinaryVersion);
+    put_u64(2);        // instance_count
+    put_u64(kEvents);  // event_count
+    for (InstanceId id = 0; id < 2; ++id) {
+        put_varint(bytes, id);
+        put_varint(bytes, static_cast<std::uint64_t>(DsKind::List));
+        put_varint(bytes, 10 + id);  // location.position
+        put_string("List<Int32>");
+        put_string("Interleaved.Cls");
+        put_string("m" + std::to_string(id));
+        bytes += static_cast<char>(0);  // deallocated
+    }
+
+    std::string payload;
+    AccessEvent prev;  // chunk baseline: all-zero fields, instance 0, op Get
+    prev.instance = 0;
+    prev.op = OpKind::Get;
+    for (std::uint32_t i = 0; i < kEvents; ++i) {
+        AccessEvent ev;
+        ev.seq = i;
+        ev.time_ns = 1000 + i * 3;
+        ev.instance = i % 2;  // alternating: defeats the grouped fast path
+        ev.op = (i % 3 == 0) ? OpKind::Add : OpKind::Get;
+        ev.position = static_cast<std::int64_t>(i / 2) - 1;
+        ev.size = i / 2;
+        ev.thread = static_cast<ThreadId>(i % 3);
+        payload += static_cast<char>(0);  // control: everything explicit
+        put_delta(payload, ev.seq, prev.seq);
+        put_delta(payload, ev.time_ns, prev.time_ns);
+        put_delta(payload, ev.instance, prev.instance);
+        payload += static_cast<char>(ev.op);
+        put_delta(payload, static_cast<std::uint64_t>(ev.position),
+                  static_cast<std::uint64_t>(prev.position));
+        put_delta(payload, ev.size, prev.size);
+        put_delta(payload, ev.thread, prev.thread);
+        prev = ev;
+    }
+    put_u32(kEvents);
+    put_u32(static_cast<std::uint32_t>(payload.size()));
+    bytes += payload;
+
+    const Trace aos = read_trace_binary(bytes);
+    ASSERT_EQ(aos.store.events(0).size(), kEvents / 2);
+    expect_columns_match_trace(read_trace_columns(bytes), aos);
+}
+
+TEST(TraceIoColumns, ParallelDecodeIsBitIdenticalToSequential) {
+    const std::string bytes = binary_bytes(multi_chunk_trace());
+    const ColumnTrace sequential = read_trace_columns(bytes);
+    par::ThreadPool pool(4);
+    const ColumnTrace parallel = read_trace_columns(bytes, &pool);
+    ASSERT_EQ(parallel.columns.total_events(),
+              sequential.columns.total_events());
+    for (std::size_t i = 0; i < sequential.columns.total_events(); ++i)
+        EXPECT_EQ(parallel.columns.row(i), sequential.columns.row(i));
+}
+
+TEST(TraceIoColumns, FileReadMatchesBufferRead) {
+    const Trace original = multi_chunk_trace();
+    const std::string path = ::testing::TempDir() + "/dsspy_cols.dst";
+    std::ofstream out(path, std::ios::binary);
+    write_trace_binary(out, original.instances, original.store);
+    out.close();
+    ASSERT_TRUE(is_binary_trace_file(path));
+
+    const ColumnTrace mapped = read_trace_columns_file(path);
+    expect_columns_match_trace(mapped, original);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoColumns, IsBinaryTraceFileSniffs) {
+    EXPECT_FALSE(is_binary_trace_file("/nonexistent/dsspy.dst"));
+    const std::string path = ::testing::TempDir() + "/dsspy_not_dst.csv";
+    std::ofstream(path) << "I,0,0,List<Int32>,C,M,1,0\n";
+    EXPECT_FALSE(is_binary_trace_file(path));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoColumns, RejectsTruncatedChunkHeader) {
+    const Trace original = multi_chunk_trace();
+    const std::string bytes = binary_bytes(original);
+    // Locate the first chunk header (u32 count == kTraceBinaryChunkEvents)
+    // and chop the file inside it.
+    const std::uint32_t expected =
+        static_cast<std::uint32_t>(kTraceBinaryChunkEvents);
+    std::size_t off = 24;
+    while (off + 4 <= bytes.size()) {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= std::uint32_t{static_cast<unsigned char>(bytes[off + i])}
+                 << (8 * i);
+        if (v == expected) break;
+        ++off;
+    }
+    ASSERT_LT(off + 4, bytes.size());
+    try {
+        (void)read_trace_columns(bytes.substr(0, off + 4));
+        FAIL() << "truncated chunk header accepted";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("truncated chunk header"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TraceIoColumns, RejectsCorruptChunkCounts) {
+    std::string bytes = binary_bytes(multi_chunk_trace());
+    const std::uint32_t expected =
+        static_cast<std::uint32_t>(kTraceBinaryChunkEvents);
+    std::size_t off = 24;
+    while (off + 4 <= bytes.size()) {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= std::uint32_t{static_cast<unsigned char>(bytes[off + i])}
+                 << (8 * i);
+        if (v == expected) break;
+        ++off;
+    }
+    ASSERT_LT(off + 4, bytes.size());
+    bytes[off] = static_cast<char>(0xFF);  // inflate the chunk event count
+    EXPECT_THROW((void)read_trace_columns(bytes), std::runtime_error);
+}
+
+TEST(TraceIoColumns, RejectsTruncationAtEveryBoundary) {
+    const std::string bytes = binary_bytes(multi_chunk_trace());
+    for (const std::size_t keep :
+         {std::size_t{3}, std::size_t{11}, std::size_t{30}, std::size_t{200},
+          bytes.size() / 2, bytes.size() - 1}) {
+        ASSERT_LT(keep, bytes.size());
+        EXPECT_THROW((void)read_trace_columns(bytes.substr(0, keep)),
+                     std::runtime_error)
+            << "keep=" << keep;
+    }
+}
+
+TEST(TraceIoColumns, RejectsTrailingGarbage) {
+    std::string bytes = binary_bytes(multi_chunk_trace());
+    bytes += "extra";
+    EXPECT_THROW((void)read_trace_columns(bytes), std::runtime_error);
+}
+
+TEST(TraceIoColumns, RejectsMisalignedRegion) {
+    const std::string bytes = binary_bytes(multi_chunk_trace());
+    // An mmapped region is page-aligned by construction; a buffer shifted
+    // off 8-byte alignment simulates a broken mapping and must be refused
+    // up front, not decoded at a skew.
+    std::string padded = "x" + bytes;
+    const std::string_view skewed(padded.data() + 1, bytes.size());
+    ASSERT_NE(reinterpret_cast<std::uintptr_t>(skewed.data()) %
+                  alignof(std::uint64_t),
+              0u);
+    try {
+        (void)read_trace_columns(skewed);
+        FAIL() << "misaligned region accepted";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("misaligned mmap region"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TraceIoColumns, MissingFileThrows) {
+    EXPECT_THROW((void)read_trace_columns_file("/nonexistent/dsspy.dst"),
+                 std::runtime_error);
 }
 
 }  // namespace

@@ -67,6 +67,7 @@
 
 #include "apps/app_registry.hpp"
 #include "core/config_parse.hpp"
+#include "core/detector_kernels.hpp"
 #include "core/report.hpp"
 #include "corpus/program_model.hpp"
 #include "obs/export.hpp"
@@ -366,6 +367,11 @@ int cmd_config(const core::DetectorConfig& config) {
     std::cout << "Thread pool: "
               << par::ThreadPool::effective_default_threads()
               << " worker threads (override with --threads=N)\n";
+    std::cout << "SIMD path: "
+              << core::kernels::simd_level_name(
+                     core::kernels::active_simd_level())
+              << " (detector kernels, DESIGN.md §11; force scalar with "
+                 "DSSPY_FORCE_SCALAR=1)\n";
     return pipeline::kExitOk;
 }
 
