@@ -19,12 +19,28 @@ const char* kind_name(MetricKind kind) {
 
 /// Prometheus metric names allow [a-zA-Z0-9_:]; everything else maps to
 /// '_'.  All dsspy metrics share the "dsspy_" prefix.
-std::string prom_name(const std::string& name) {
+std::string prom_name(std::string_view name) {
     std::string out = "dsspy_";
     for (const char ch : name) {
         const bool ok = std::isalnum(static_cast<unsigned char>(ch)) != 0 ||
                         ch == '_' || ch == ':';
         out += ok ? ch : '_';
+    }
+    return out;
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string prom_label_value(std::string_view value) {
+    std::string out;
+    for (const char ch : value) {
+        if (ch == '\\' || ch == '"') {
+            out += '\\';
+            out += ch;
+        } else if (ch == '\n') {
+            out += "\\n";
+        } else {
+            out += ch;
+        }
     }
     return out;
 }
@@ -128,6 +144,22 @@ void write_metrics_prometheus(std::ostream& os,
            << "dsspy_self_overhead_amortized_ns_per_event "
            << overhead->amortized_ns_per_event << '\n';
     }
+}
+
+void write_prometheus_sample(std::ostream& os, std::string_view name,
+                             std::span<const PromLabel> labels,
+                             std::uint64_t value) {
+    os << prom_name(name);
+    if (!labels.empty()) {
+        os << '{';
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+            if (i > 0) os << ',';
+            os << labels[i].first << "=\"" << prom_label_value(labels[i].second)
+               << '"';
+        }
+        os << '}';
+    }
+    os << ' ' << value << '\n';
 }
 
 bool write_metrics_json_file(const std::string& path,

@@ -14,8 +14,12 @@
 // states export byte-identical documents.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -39,5 +43,22 @@ void write_metrics_prometheus(std::ostream& os,
 bool write_metrics_json_file(const std::string& path,
                              const std::vector<MetricValue>& metrics,
                              const SelfOverhead* overhead = nullptr);
+
+/// One Prometheus label: key and value (the value is escaped on write per
+/// the exposition format — backslash, double quote, newline).
+using PromLabel = std::pair<std::string_view, std::string_view>;
+
+/// Append one labeled Prometheus sample outside the registry:
+///
+///   dsspy_serve_tenant_events{tenant="3",name="push-7"} 1234
+///
+/// The sharded registry aggregates by metric name only; dimensions that
+/// need a label per entity (the serve daemon's per-tenant series) render
+/// through this instead.  `name` is sanitized and "dsspy_"-prefixed
+/// exactly like registry metric names, so labeled and unlabeled series
+/// share one namespace.
+void write_prometheus_sample(std::ostream& os, std::string_view name,
+                             std::span<const PromLabel> labels,
+                             std::uint64_t value);
 
 }  // namespace dsspy::obs

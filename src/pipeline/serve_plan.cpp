@@ -1,0 +1,68 @@
+#include "pipeline/serve_plan.hpp"
+
+#include <chrono>
+#include <ostream>
+#include <thread>
+
+#include "pipeline/run_plan.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/socket.hpp"
+
+namespace dsspy::pipeline {
+
+int run_serve(const ServePlan& plan, std::ostream& out, std::ostream& err,
+              const std::atomic<bool>& stop) {
+    std::string error;
+    if (!serve::parse_address(plan.listen, &error).has_value()) {
+        err << "serve: " << error << '\n';
+        return kExitUsageError;
+    }
+    serve::DaemonOptions options;
+    options.listen = plan.listen;
+    options.max_tenants = plan.max_tenants;
+    options.max_frame_bytes = plan.max_frame_bytes;
+    options.max_tenant_instances = plan.max_tenant_instances;
+    options.client_timeout_ms = plan.client_timeout_ms;
+    options.config = plan.config;
+    serve::Daemon daemon(options);
+    if (!daemon.start(&error)) {
+        err << "serve: " << error << '\n';
+        return kExitRuntimeError;
+    }
+    out << "dsspy serve: listening on " << daemon.address().to_string()
+        << " (max " << plan.max_tenants << " tenants)" << std::endl;
+    while (!stop.load(std::memory_order_acquire))
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    daemon.stop();
+    const serve::DaemonStats stats = daemon.stats();
+    out << "dsspy serve: shut down after " << stats.connections
+        << " connections (" << stats.http_requests << " http, "
+        << stats.rejected << " rejected, " << stats.malformed
+        << " malformed)\n";
+    for (const serve::TenantSummary& tenant : daemon.tenants())
+        out << "  tenant " << tenant.id << " (" << tenant.name << "): "
+            << serve::tenant_state_name(tenant.state) << ", "
+            << tenant.events << " events, " << tenant.flagged
+            << " flagged, " << tenant.orphan_events << " orphan\n";
+    return kExitOk;
+}
+
+int run_push(const PushPlan& plan, std::ostream& out, std::ostream& err) {
+    std::string error;
+    const auto address = serve::parse_address(plan.connect, &error);
+    if (!address.has_value()) {
+        err << "push: " << error << '\n';
+        return kExitUsageError;
+    }
+    const serve::ClientResult result = serve::push_trace_file(
+        *address, plan.trace_path, plan.tenant_name, plan.frame_bytes);
+    if (!result.ok) {
+        err << "push: " << result.error << '\n';
+        return kExitRuntimeError;
+    }
+    out << result.summary << '\n';
+    return kExitOk;
+}
+
+}  // namespace dsspy::pipeline

@@ -1,0 +1,51 @@
+// Declarative descriptions of the two serve-layer jobs (DESIGN.md §12):
+// hosting the profiling daemon and pushing a trace into one.
+//
+// Shaped exactly like RunPlan (run_plan.hpp): the CLI parses flags into a
+// plan, a run_* function executes it and returns the process exit code.
+// Keeping the daemon behind a plan keeps tools/dsspy_cli.cpp a parser and
+// lets tests drive the daemon in-process with no subprocess machinery.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "core/detector_config.hpp"
+
+namespace dsspy::pipeline {
+
+/// `dsspy serve`: host the multi-tenant daemon until `stop` is raised
+/// (the CLI raises it from SIGINT/SIGTERM).
+struct ServePlan {
+    std::string listen = "unix:dsspy.sock";
+    std::size_t max_tenants = 64;
+    std::size_t max_frame_bytes = 1u << 20;
+    std::size_t max_tenant_instances = 1u << 16;
+    int client_timeout_ms = 30000;
+    core::DetectorConfig config;  ///< Thresholds for every tenant.
+};
+
+/// `dsspy push`: send a recorded trace to a daemon and print its verdict.
+struct PushPlan {
+    std::string connect = "unix:dsspy.sock";
+    std::string trace_path;
+    std::string tenant_name;  ///< Empty: the trace filename.
+    std::size_t frame_bytes = 256 << 10;
+};
+
+/// Run the daemon in the foreground.  Prints "listening on <address>" to
+/// `out` once ready (tests and scripts poll for that line), then blocks
+/// until `stop`; a final tenant summary goes to `out` on shutdown.
+/// Returns kExitOk, kExitUsageError for a malformed listen spec, or
+/// kExitRuntimeError when the bind fails.
+int run_serve(const ServePlan& plan, std::ostream& out, std::ostream& err,
+              const std::atomic<bool>& stop);
+
+/// Push one trace.  Prints the daemon's result line to `out`.  Returns
+/// kExitOk, kExitUsageError for a malformed connect spec, or
+/// kExitRuntimeError when the file, connection, or stream fails.
+int run_push(const PushPlan& plan, std::ostream& out, std::ostream& err);
+
+}  // namespace dsspy::pipeline

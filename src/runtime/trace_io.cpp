@@ -7,6 +7,7 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <streambuf>
 #include <string_view>
 
 #include "obs/metrics.hpp"
@@ -219,21 +220,12 @@ public:
 std::size_t write_trace_csv(std::ostream& os,
                             const std::vector<InstanceInfo>& instances,
                             const ProfileStore& store) {
-    for (const InstanceInfo& info : instances) {
-        os << "I," << info.id << ','
-           << static_cast<unsigned>(info.kind) << ','
-           << escape(info.type_name) << ','
-           << escape(info.location.class_name) << ','
-           << escape(info.location.method) << ','
-           << info.location.position << ','
-           << (info.deallocated ? 1 : 0) << '\n';
-    }
+    for (const InstanceInfo& info : instances)
+        detail::write_csv_instance_record(os, info);
     std::size_t events = 0;
     for (const InstanceId id : detail::event_write_order(instances, store)) {
         for (const AccessEvent& ev : store.events(id)) {
-            os << "E," << ev.seq << ',' << ev.time_ns << ',' << ev.instance
-               << ',' << static_cast<unsigned>(ev.op) << ',' << ev.position
-               << ',' << ev.size << ',' << ev.thread << '\n';
+            detail::write_csv_event_record(os, ev);
             ++events;
         }
     }
@@ -310,6 +302,22 @@ std::vector<InstanceId> event_write_order(
     return order;
 }
 
+void write_csv_instance_record(std::ostream& os, const InstanceInfo& info) {
+    os << "I," << info.id << ','
+       << static_cast<unsigned>(info.kind) << ','
+       << escape(info.type_name) << ','
+       << escape(info.location.class_name) << ','
+       << escape(info.location.method) << ','
+       << info.location.position << ','
+       << (info.deallocated ? 1 : 0) << '\n';
+}
+
+void write_csv_event_record(std::ostream& os, const AccessEvent& ev) {
+    os << "E," << ev.seq << ',' << ev.time_ns << ',' << ev.instance << ','
+       << static_cast<unsigned>(ev.op) << ',' << ev.position << ',' << ev.size
+       << ',' << ev.thread << '\n';
+}
+
 }  // namespace detail
 
 std::size_t write_trace(std::ostream& os,
@@ -362,6 +370,41 @@ std::size_t read_trace_stream_file(const std::string& path, TraceSink& sink,
         throw std::runtime_error("trace_io: cannot open trace file '" + path +
                                  "'");
     return read_trace_stream(in, sink, buffer_bytes);
+}
+
+namespace {
+
+/// Read-only streambuf over a ChunkSource: underflow() pulls the next
+/// chunk and exposes it as the get area without copying.  This is what
+/// lets the framed socket connections of the serve layer feed the same
+/// istream-based prefix-carry readers files go through.
+class ChunkSourceBuf final : public std::streambuf {
+public:
+    explicit ChunkSourceBuf(const ChunkSource& next) : next_(next) {}
+
+protected:
+    int_type underflow() override {
+        if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+        const std::string_view chunk = next_();
+        if (chunk.empty()) return traits_type::eof();
+        // The source guarantees the chunk stays valid until the next pull;
+        // the get area never outlives it (underflow refills before reads).
+        char* base = const_cast<char*>(chunk.data());
+        setg(base, base, base + chunk.size());
+        return traits_type::to_int_type(*gptr());
+    }
+
+private:
+    const ChunkSource& next_;
+};
+
+}  // namespace
+
+std::size_t read_trace_stream(const ChunkSource& next_chunk, TraceSink& sink,
+                              std::size_t buffer_bytes) {
+    ChunkSourceBuf buf(next_chunk);
+    std::istream is(&buf);
+    return read_trace_stream(is, sink, buffer_bytes);
 }
 
 Trace read_trace(std::istream& is, par::ThreadPool* pool) {

@@ -24,9 +24,11 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "runtime/instance_registry.hpp"
@@ -100,6 +102,23 @@ std::size_t read_trace_stream(std::istream& is, TraceSink& sink,
 std::size_t read_trace_stream_file(const std::string& path, TraceSink& sink,
                                    std::size_t buffer_bytes = 1u << 20);
 
+/// Pull-based byte source for read_trace_stream when the trace does not
+/// sit behind a std::istream: each call returns the next chunk of the
+/// trace byte stream, or an empty view at end of input.  The returned
+/// bytes must stay valid until the next call.  The serve layer's framed
+/// socket connections implement this (src/serve/), so a network-delivered
+/// trace flows through exactly the same prefix-carry streaming readers —
+/// CSV quote-state carry, DST1 chunk decode — as a file on disk.
+using ChunkSource = std::function<std::string_view()>;
+
+/// Stream a trace pulled from `next_chunk` through `sink` in bounded
+/// memory.  Chunk boundaries are arbitrary: they need not align to CSV
+/// records or DST1 chunks (the readers carry partial state across
+/// refills).  Same format auto-detection, validation, errors, and return
+/// value as the istream overload.
+std::size_t read_trace_stream(const ChunkSource& next_chunk, TraceSink& sink,
+                              std::size_t buffer_bytes = 1u << 20);
+
 /// Convenience: file-path overloads.  `write_trace_file` returns false if
 /// the file cannot be opened or the flushed stream reports a short write;
 /// `read_trace_file` throws std::runtime_error when the file cannot be
@@ -122,6 +141,13 @@ namespace detail {
 /// cross-format conversions produce identically ordered stores.
 std::vector<InstanceId> event_write_order(
     const std::vector<InstanceInfo>& instances, const ProfileStore& store);
+
+/// Emit one CSV instance/event record (including the trailing newline) in
+/// exactly the encoding write_trace produces.  Shared with the serve
+/// layer's SocketTraceSink, which streams records live over a socket: one
+/// encoder means a live stream and a written file parse identically.
+void write_csv_instance_record(std::ostream& os, const InstanceInfo& info);
+void write_csv_event_record(std::ostream& os, const AccessEvent& ev);
 
 }  // namespace detail
 

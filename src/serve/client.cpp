@@ -1,0 +1,199 @@
+#include "serve/client.hpp"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "serve/wire.hpp"
+
+namespace dsspy::serve {
+
+namespace {
+
+/// Read a server frame header; false + *error on anything unexpected.
+bool read_frame(Socket& socket, char* type, std::string* payload,
+                std::string* error) {
+    std::array<unsigned char, wire::kFrameHeaderBytes> hdr{};
+    if (socket.read_exact(hdr.data(), hdr.size()) != IoStatus::Ok) {
+        *error = "daemon closed the connection before answering";
+        return false;
+    }
+    *type = static_cast<char>(hdr[0]);
+    const std::uint32_t len = wire::get_u32(hdr.data() + 1);
+    payload->assign(len, '\0');
+    if (len > 0 &&
+        socket.read_exact(payload->data(), len) != IoStatus::Ok) {
+        *error = "daemon closed the connection mid-reply";
+        return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+Socket open_tenant_stream(const Address& address,
+                          const std::string& tenant_name,
+                          std::uint32_t* tenant_id, std::string* error) {
+    Socket socket = connect_to(address, error);
+    if (!socket.valid()) return Socket{};
+    if (!socket.write_all(wire::encode_hello(tenant_name))) {
+        *error = "handshake write failed";
+        return Socket{};
+    }
+    std::array<unsigned char, wire::kMagicBytes + 2> head{};
+    if (socket.read_exact(head.data(), head.size()) != IoStatus::Ok) {
+        *error = "daemon closed the connection during handshake";
+        return Socket{};
+    }
+    const std::string_view magic(reinterpret_cast<const char*>(head.data()),
+                                 wire::kMagicBytes);
+    if (magic == wire::kRejectMagic) {
+        const std::uint16_t rlen = wire::get_u16(head.data() + 4);
+        std::string reason(rlen, '\0');
+        if (rlen > 0)
+            (void)socket.read_exact(reason.data(), rlen);
+        *error = "daemon rejected the stream: " + reason;
+        return Socket{};
+    }
+    if (magic != wire::kAcceptMagic) {
+        *error = "daemon sent an unrecognized handshake reply";
+        return Socket{};
+    }
+    // DSOK: the 2 bytes after the magic are the version; 4 more carry the
+    // tenant id.
+    std::array<unsigned char, 4> id_bytes{};
+    if (socket.read_exact(id_bytes.data(), id_bytes.size()) != IoStatus::Ok) {
+        *error = "daemon closed the connection during handshake";
+        return Socket{};
+    }
+    *tenant_id = wire::get_u32(id_bytes.data());
+    return socket;
+}
+
+ClientResult read_stream_result(Socket& socket, std::uint32_t tenant_id) {
+    ClientResult result;
+    result.tenant_id = tenant_id;
+    if (!socket.write_all(
+            wire::encode_frame_header(wire::kFrameEnd, 0))) {
+        result.error = "end-of-stream write failed";
+        return result;
+    }
+    char type = 0;
+    std::string payload;
+    if (!read_frame(socket, &type, &payload, &result.error)) return result;
+    if (type == wire::kFrameResult) {
+        result.ok = true;
+        result.summary = std::move(payload);
+    } else if (type == wire::kFrameError) {
+        result.error = payload;
+    } else {
+        result.error = "daemon sent an unexpected frame type";
+    }
+    return result;
+}
+
+ClientResult push_trace_file(const Address& address,
+                             const std::string& trace_path,
+                             const std::string& tenant_name,
+                             std::size_t frame_bytes) {
+    ClientResult result;
+    std::ifstream in(trace_path, std::ios::binary);
+    if (!in) {
+        result.error = "cannot open trace file: " + trace_path;
+        return result;
+    }
+    std::string name = tenant_name;
+    if (name.empty()) {
+        const std::size_t slash = trace_path.find_last_of('/');
+        name = slash == std::string::npos ? trace_path
+                                          : trace_path.substr(slash + 1);
+    }
+    Socket socket =
+        open_tenant_stream(address, name, &result.tenant_id, &result.error);
+    if (!socket.valid()) return result;
+
+    if (frame_bytes == 0) frame_bytes = 1;
+    std::string chunk(frame_bytes, '\0');
+    for (;;) {
+        in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+        const std::size_t got = static_cast<std::size_t>(in.gcount());
+        if (got == 0) break;
+        if (!socket.write_all(wire::encode_frame_header(
+                wire::kFrameTrace, static_cast<std::uint32_t>(got))) ||
+            !socket.write_all(std::string_view(chunk.data(), got))) {
+            result.error = "trace write failed (daemon gone?)";
+            return result;
+        }
+    }
+    if (in.bad()) {
+        result.error = "read error on trace file: " + trace_path;
+        return result;
+    }
+    return read_stream_result(socket, result.tenant_id);
+}
+
+SocketTraceSink::SocketTraceSink(const Address& address,
+                                 const std::string& tenant_name,
+                                 std::size_t flush_bytes)
+    : flush_bytes_(flush_bytes == 0 ? 1 : flush_bytes) {
+    socket_ = open_tenant_stream(address, tenant_name, &tenant_id_, &error_);
+    connected_ = socket_.valid();
+}
+
+SocketTraceSink::~SocketTraceSink() = default;
+
+void SocketTraceSink::send_frame(std::string_view payload) {
+    if (!connected_ || payload.empty()) return;
+    if (!socket_.write_all(wire::encode_frame_header(
+            wire::kFrameTrace,
+            static_cast<std::uint32_t>(payload.size()))) ||
+        !socket_.write_all(payload)) {
+        connected_ = false;
+        error_ = "stream write failed (daemon gone?)";
+        socket_.close();
+    }
+}
+
+void SocketTraceSink::flush() {
+    send_frame(buffer_);
+    buffer_.clear();
+}
+
+void SocketTraceSink::on_instance(const runtime::InstanceInfo& info) {
+    if (!connected_) return;
+    std::ostringstream os;
+    runtime::detail::write_csv_instance_record(os, info);
+    buffer_ += os.str();
+    if (buffer_.size() >= flush_bytes_) flush();
+}
+
+void SocketTraceSink::on_events(
+    std::span<const runtime::AccessEvent> events) {
+    if (!connected_) return;
+    std::ostringstream os;
+    for (const runtime::AccessEvent& ev : events)
+        runtime::detail::write_csv_event_record(os, ev);
+    buffer_ += os.str();
+    if (buffer_.size() >= flush_bytes_) flush();
+}
+
+ClientResult SocketTraceSink::finish() {
+    ClientResult result;
+    result.tenant_id = tenant_id_;
+    if (!connected_) {
+        result.error = error_.empty() ? "not connected" : error_;
+        return result;
+    }
+    flush();
+    if (!connected_) {  // flush may have lost the daemon
+        result.error = error_;
+        return result;
+    }
+    result = read_stream_result(socket_, tenant_id_);
+    connected_ = false;
+    socket_.close();
+    return result;
+}
+
+}  // namespace dsspy::serve

@@ -1,0 +1,93 @@
+// Client side of the DSRV protocol (DESIGN.md §12, docs/SERVE.md).
+//
+// Two ways into the daemon:
+//
+//  * push_trace_file — what `dsspy push` runs: open a recorded trace
+//    (CSV or DST1), send its bytes verbatim as 'T' frames, wait for the
+//    daemon's result line.  The daemon auto-detects the format, so a
+//    push is exactly `dsspy analyze <trace>` executed remotely.
+//  * SocketTraceSink — a runtime::TraceSink an instrumented app (or a
+//    ProfilingSession streaming sink) can write into directly: instance
+//    and event records are encoded as CSV on the fly and flushed in
+//    framed batches, so a live process profiles into the daemon without
+//    ever materializing a trace file.  CSV (not DST1) because DST1's
+//    header carries instance/event counts that a live stream cannot know
+//    up front; the CSV grammar accepts records in arrival order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/trace_io.hpp"
+#include "serve/socket.hpp"
+
+namespace dsspy::serve {
+
+/// Outcome of one push/stream session.
+struct ClientResult {
+    bool ok = false;
+    std::uint32_t tenant_id = 0;
+    std::string summary;  ///< Daemon 'R' line on success.
+    std::string error;    ///< Connect/protocol/daemon 'X' text on failure.
+};
+
+/// Send a recorded trace file to a daemon; blocks until the daemon
+/// finalizes the tenant and answers.  `tenant_name` defaults (when empty)
+/// to the trace filename.  `frame_bytes` caps each 'T' frame and must not
+/// exceed the daemon's --max-frame-bytes.
+[[nodiscard]] ClientResult push_trace_file(const Address& address,
+                                           const std::string& trace_path,
+                                           const std::string& tenant_name,
+                                           std::size_t frame_bytes = 256
+                                                                     << 10);
+
+/// Streams instances/events into a daemon as framed CSV.  Not
+/// thread-safe; feed it from one thread (a collector, or behind the
+/// session's ordered-delivery stage).  Destruction without finish()
+/// drops the connection, which the daemon finalizes as an Aborted tenant
+/// — i.e. a crashing client degrades to a partial report by default.
+class SocketTraceSink final : public runtime::TraceSink {
+public:
+    /// Connects and performs the DSRV handshake.  Check ok() before use;
+    /// a failed sink swallows writes (so instrumented apps never crash
+    /// because the daemon is down).
+    SocketTraceSink(const Address& address, const std::string& tenant_name,
+                    std::size_t flush_bytes = 64 << 10);
+    ~SocketTraceSink() override;
+
+    [[nodiscard]] bool ok() const noexcept { return connected_; }
+    [[nodiscard]] std::uint32_t tenant_id() const noexcept {
+        return tenant_id_;
+    }
+    [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+    void on_instance(const runtime::InstanceInfo& info) override;
+    void on_events(std::span<const runtime::AccessEvent> events) override;
+
+    /// Flush, send end-of-stream, wait for the daemon's verdict.
+    [[nodiscard]] ClientResult finish();
+
+private:
+    void flush();
+    void send_frame(std::string_view payload);
+
+    Socket socket_;
+    bool connected_ = false;
+    std::uint32_t tenant_id_ = 0;
+    std::string error_;
+    std::string buffer_;
+    const std::size_t flush_bytes_;
+};
+
+/// Shared handshake: connect, hello, parse DSOK/DSNO.  Used by both
+/// clients; exposed for tests.
+[[nodiscard]] Socket open_tenant_stream(const Address& address,
+                                        const std::string& tenant_name,
+                                        std::uint32_t* tenant_id,
+                                        std::string* error);
+
+/// Shared epilogue: send 'E', read 'R'/'X'.  Exposed for tests.
+[[nodiscard]] ClientResult read_stream_result(Socket& socket,
+                                              std::uint32_t tenant_id);
+
+}  // namespace dsspy::serve

@@ -1,0 +1,123 @@
+// The multi-tenant profiling daemon behind `dsspy serve` (DESIGN.md §12).
+//
+// One Listener accepts every connection; the first four bytes decide the
+// protocol: "DSRV" starts a tenant trace stream (wire.hpp), "GET " serves
+// a status endpoint over minimal HTTP/1.1:
+//
+//   GET /healthz              — liveness ("ok")
+//   GET /tenants              — JSON array of tenant summaries
+//   GET /tenants/<id>/report  — Table V report (live or final)
+//   GET /metrics              — Prometheus exposition: the global obs
+//                               registry plus per-tenant labeled series
+//
+// Concurrency model: one accept thread, one thread per connection.  Each
+// stream connection folds synchronously into its tenant's analyzer, so
+// backpressure is the kernel socket buffer — a slow daemon slows the
+// client's sends instead of dropping events, mirroring the capture
+// layer's blocking-backpressure policy.  Per-tenant memory is bounded by
+// the analyzer's O(instances x threads) state plus the instance-table cap;
+// per-connection transient memory by `max_frame_bytes`.
+//
+// Failure isolation: a malformed handshake, oversized frame, or trace
+// parse error aborts only the offending connection (its tenant finalizes
+// as Aborted); every other tenant keeps streaming.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/detector_config.hpp"
+#include "serve/socket.hpp"
+#include "serve/tenant.hpp"
+
+namespace dsspy::serve {
+
+struct DaemonOptions {
+    std::string listen = "unix:dsspy.sock";
+    std::size_t max_tenants = 64;        ///< Concurrent streaming tenants.
+    std::size_t max_frame_bytes = 1u << 20;      ///< Per 'T' frame.
+    std::size_t max_tenant_instances = 1u << 16; ///< Instance-table cap.
+    int client_timeout_ms = 30000;  ///< Idle tenant connections abort.
+    core::DetectorConfig config;    ///< Detector thresholds for analysis.
+};
+
+/// Daemon-wide counters (tenant details live in TenantSummary).
+struct DaemonStats {
+    std::uint64_t connections = 0;    ///< Accepted connections, total.
+    std::uint64_t rejected = 0;       ///< DSNO rejections (busy/version).
+    std::uint64_t malformed = 0;      ///< Protocol/parse failures.
+    std::uint64_t http_requests = 0;  ///< Status-endpoint hits.
+    std::uint64_t streaming = 0;      ///< Tenants currently streaming.
+};
+
+class Daemon {
+public:
+    explicit Daemon(DaemonOptions options) : options_(std::move(options)) {}
+    ~Daemon() { stop(); }
+    Daemon(const Daemon&) = delete;
+    Daemon& operator=(const Daemon&) = delete;
+
+    /// Bind the listen address and start the accept thread.
+    [[nodiscard]] bool start(std::string* error);
+
+    /// Signal shutdown, close the listener, join every thread.  Streaming
+    /// tenants finalize as Aborted ("daemon stopped").  Idempotent.
+    void stop();
+
+    /// Resolved listen address (TCP port 0 becomes the kernel's choice).
+    [[nodiscard]] const Address& address() const noexcept {
+        return listener_.bound();
+    }
+
+    [[nodiscard]] std::vector<TenantSummary> tenants() const;
+    [[nodiscard]] std::optional<std::string> tenant_report(
+        std::uint32_t id) const;
+    [[nodiscard]] DaemonStats stats() const;
+
+private:
+    struct Connection {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+
+    void accept_loop();
+    void handle_connection(Socket sock);
+    void handle_stream(Socket& sock);
+    void handle_http(Socket& sock);
+    void write_http(Socket& sock, int status, const std::string& body,
+                    const char* content_type) const;
+    [[nodiscard]] std::string render_tenants_json() const;
+    [[nodiscard]] std::string render_metrics() const;
+
+    /// Admit a tenant if a slot is free; nullptr when at max_tenants.
+    std::shared_ptr<TenantSession> admit_tenant(std::string name);
+
+    /// Join finished connection threads (called from the accept loop).
+    void reap_connections();
+
+    DaemonOptions options_;
+    Listener listener_;
+    std::atomic<bool> stop_{false};
+    std::thread accept_thread_;
+
+    mutable std::mutex conns_mutex_;
+    std::vector<Connection> conns_;
+
+    mutable std::mutex tenants_mutex_;
+    std::map<std::uint32_t, std::shared_ptr<TenantSession>> tenants_;
+    std::uint32_t next_tenant_id_ = 1;
+
+    std::atomic<std::uint64_t> connections_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> malformed_{0};
+    std::atomic<std::uint64_t> http_requests_{0};
+};
+
+}  // namespace dsspy::serve

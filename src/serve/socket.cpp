@@ -1,0 +1,320 @@
+#include "serve/socket.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+namespace dsspy::serve {
+
+namespace {
+
+/// Poll tick: reads wake this often to check the stop flag.  Matches the
+/// collector's idle-backoff ceiling (session.cpp) — the serve layer reuses
+/// the capture layer's backoff granularity rather than inventing one.
+constexpr int kPollTickMs = 100;
+
+std::string errno_message(const char* what) {
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// One poll round; true when the fd is readable.
+bool poll_readable(int fd, int timeout_ms) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    return ::poll(&pfd, 1, timeout_ms) > 0 &&
+           (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+}
+
+sockaddr_un make_unix_addr(const std::string& path, bool* ok) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    *ok = path.size() < sizeof(addr.sun_path);
+    if (*ok) std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+/// Resolve a tcp host to an IPv4 sockaddr_in.
+bool resolve_tcp(const Address& address, sockaddr_in* out,
+                 std::string* error) {
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const int rc = ::getaddrinfo(address.host.c_str(), nullptr, &hints, &res);
+    if (rc != 0 || res == nullptr) {
+        if (error != nullptr)
+            *error = "cannot resolve host '" + address.host +
+                     "': " + ::gai_strerror(rc);
+        return false;
+    }
+    *out = *reinterpret_cast<const sockaddr_in*>(res->ai_addr);
+    out->sin_port = htons(static_cast<std::uint16_t>(address.port));
+    ::freeaddrinfo(res);
+    return true;
+}
+
+}  // namespace
+
+std::string Address::to_string() const {
+    if (kind == Kind::Unix) return "unix:" + path;
+    return "tcp://" + host + ":" + std::to_string(port);
+}
+
+std::optional<Address> parse_address(std::string_view spec,
+                                     std::string* error) {
+    Address out;
+    if (spec.rfind("unix:", 0) == 0) {
+        out.kind = Address::Kind::Unix;
+        out.path = std::string(spec.substr(5));
+        if (out.path.empty()) {
+            if (error != nullptr) *error = "unix: address needs a path";
+            return std::nullopt;
+        }
+        return out;
+    }
+    if (spec.rfind("tcp://", 0) == 0) {
+        out.kind = Address::Kind::Tcp;
+        const std::string_view rest = spec.substr(6);
+        const std::size_t colon = rest.rfind(':');
+        if (colon == std::string_view::npos || colon == 0) {
+            if (error != nullptr)
+                *error = "tcp:// address needs host:port";
+            return std::nullopt;
+        }
+        out.host = std::string(rest.substr(0, colon));
+        const std::string_view port_sv = rest.substr(colon + 1);
+        unsigned port = 0;
+        const auto [ptr, ec] = std::from_chars(
+            port_sv.data(), port_sv.data() + port_sv.size(), port);
+        if (ec != std::errc{} || ptr != port_sv.data() + port_sv.size() ||
+            port > 65535) {
+            if (error != nullptr)
+                *error = "bad tcp port '" + std::string(port_sv) + "'";
+            return std::nullopt;
+        }
+        out.port = port;
+        return out;
+    }
+    if (error != nullptr)
+        *error = "address must be unix:PATH or tcp://host:port (got '" +
+                 std::string(spec) + "')";
+    return std::nullopt;
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void Socket::close() noexcept {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+IoStatus Socket::read_some(void* buf, std::size_t n, std::size_t* got,
+                           const std::atomic<bool>* stop,
+                           int idle_timeout_ms) const {
+    *got = 0;
+    int idle_ms = 0;
+    for (;;) {
+        if (stop != nullptr && stop->load(std::memory_order_acquire))
+            return IoStatus::Stopped;
+        if (!poll_readable(fd_, kPollTickMs)) {
+            idle_ms += kPollTickMs;
+            if (idle_timeout_ms > 0 && idle_ms >= idle_timeout_ms)
+                return IoStatus::Timeout;
+            continue;
+        }
+        const ssize_t r = ::recv(fd_, buf, n, 0);
+        if (r > 0) {
+            *got = static_cast<std::size_t>(r);
+            return IoStatus::Ok;
+        }
+        if (r == 0) return IoStatus::Eof;
+        if (errno == EINTR || errno == EAGAIN) continue;
+        return IoStatus::Error;
+    }
+}
+
+IoStatus Socket::read_exact(void* buf, std::size_t n,
+                            const std::atomic<bool>* stop,
+                            int idle_timeout_ms) const {
+    auto* p = static_cast<char*>(buf);
+    std::size_t have = 0;
+    while (have < n) {
+        std::size_t got = 0;
+        const IoStatus st =
+            read_some(p + have, n - have, &got, stop, idle_timeout_ms);
+        if (st != IoStatus::Ok) return st;
+        have += got;
+    }
+    return IoStatus::Ok;
+}
+
+bool Socket::write_all(std::string_view data) const {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t r = ::send(fd_, data.data() + sent, data.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+Socket connect_to(const Address& address, std::string* error) {
+    if (address.kind == Address::Kind::Unix) {
+        bool ok = false;
+        const sockaddr_un addr = make_unix_addr(address.path, &ok);
+        if (!ok) {
+            if (error != nullptr)
+                *error = "unix socket path too long: " + address.path;
+            return Socket{};
+        }
+        Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+        if (!sock.valid()) {
+            if (error != nullptr) *error = errno_message("socket");
+            return Socket{};
+        }
+        if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) != 0) {
+            if (error != nullptr)
+                *error = errno_message(
+                    ("connect " + address.to_string()).c_str());
+            return Socket{};
+        }
+        return sock;
+    }
+    sockaddr_in addr{};
+    if (!resolve_tcp(address, &addr, error)) return Socket{};
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid()) {
+        if (error != nullptr) *error = errno_message("socket");
+        return Socket{};
+    }
+    if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        if (error != nullptr)
+            *error =
+                errno_message(("connect " + address.to_string()).c_str());
+        return Socket{};
+    }
+    return sock;
+}
+
+bool Listener::listen_on(const Address& address, std::string* error) {
+    close();
+    bound_ = address;
+    if (address.kind == Address::Kind::Unix) {
+        bool ok = false;
+        sockaddr_un addr = make_unix_addr(address.path, &ok);
+        if (!ok) {
+            if (error != nullptr)
+                *error = "unix socket path too long: " + address.path;
+            return false;
+        }
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd_ < 0) {
+            if (error != nullptr) *error = errno_message("socket");
+            return false;
+        }
+        if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) != 0) {
+            // A socket file left by a crashed daemon blocks bind with
+            // EADDRINUSE.  Probe it: if nobody answers, it is stale —
+            // unlink and retry; if a daemon answers, report it busy.
+            if (errno == EADDRINUSE) {
+                std::string probe_err;
+                Socket probe = connect_to(address, &probe_err);
+                if (!probe.valid()) {
+                    ::unlink(address.path.c_str());
+                    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                               sizeof(addr)) == 0) {
+                        if (::listen(fd_, SOMAXCONN) != 0) {
+                            if (error != nullptr)
+                                *error = errno_message("listen");
+                            close();
+                            return false;
+                        }
+                        return true;
+                    }
+                }
+            }
+            if (error != nullptr)
+                *error = errno_message(
+                    ("bind " + address.to_string()).c_str());
+            close();
+            return false;
+        }
+        if (::listen(fd_, SOMAXCONN) != 0) {
+            if (error != nullptr) *error = errno_message("listen");
+            close();
+            return false;
+        }
+        return true;
+    }
+
+    sockaddr_in addr{};
+    if (!resolve_tcp(address, &addr, error)) return false;
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        if (error != nullptr) *error = errno_message("socket");
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+            0 ||
+        ::listen(fd_, SOMAXCONN) != 0) {
+        if (error != nullptr)
+            *error = errno_message(("bind " + address.to_string()).c_str());
+        close();
+        return false;
+    }
+    // Port 0 asked the kernel to choose; report what it picked.
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&actual), &len) == 0)
+        bound_.port = ntohs(actual.sin_port);
+    return true;
+}
+
+Socket Listener::accept_next(const std::atomic<bool>& stop) const {
+    while (!stop.load(std::memory_order_acquire) && fd_ >= 0) {
+        if (!poll_readable(fd_, kPollTickMs)) continue;
+        const int client = ::accept(fd_, nullptr, nullptr);
+        if (client >= 0) return Socket(client);
+        if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED)
+            continue;
+        break;  // Listener closed under us or a hard error: give up.
+    }
+    return Socket{};
+}
+
+void Listener::close() noexcept {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+        if (bound_.kind == Address::Kind::Unix && !bound_.path.empty())
+            ::unlink(bound_.path.c_str());
+    }
+}
+
+}  // namespace dsspy::serve

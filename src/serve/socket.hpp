@@ -1,0 +1,119 @@
+// Minimal POSIX socket layer for the serve daemon (DESIGN.md §12).
+//
+// Two transports, one address grammar:
+//
+//   unix:PATH            — unix-domain stream socket (the default; no
+//                          network exposure, filesystem permissions apply)
+//   tcp://host:port      — TCP, for pushing traces across machines
+//                          (port 0 asks the kernel for a free port; the
+//                          listener reports the resolved address)
+//
+// Every read loops over poll() with a short tick so it can observe a stop
+// flag (daemon shutdown) and an idle timeout (hung clients must not pin a
+// tenant slot forever); writes use MSG_NOSIGNAL so a vanished peer surfaces
+// as an error return instead of SIGPIPE.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dsspy::serve {
+
+/// A parsed listen/connect address.
+struct Address {
+    enum class Kind { Unix, Tcp };
+    Kind kind = Kind::Unix;
+    std::string path;  ///< Unix: socket file path.
+    std::string host;  ///< TCP: numeric address or name.
+    unsigned port = 0; ///< TCP: 0 = kernel-chosen (listen only).
+
+    /// Canonical spec string ("unix:PATH" / "tcp://host:port").
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Parse "unix:PATH" or "tcp://host:port".  On failure returns nullopt and
+/// fills *error with a usage diagnostic.
+[[nodiscard]] std::optional<Address> parse_address(std::string_view spec,
+                                                   std::string* error);
+
+/// Why a read returned without delivering all requested bytes.
+enum class IoStatus {
+    Ok,       ///< All requested bytes delivered.
+    Eof,      ///< Peer closed before (or at) the requested count.
+    Error,    ///< Socket error (errno-level).
+    Stopped,  ///< The stop flag was raised mid-read.
+    Timeout,  ///< No bytes arrived within the idle timeout.
+};
+
+/// RAII wrapper over one connected stream socket.
+class Socket {
+public:
+    Socket() = default;
+    explicit Socket(int fd) noexcept : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Socket& operator=(Socket&& other) noexcept;
+    Socket(const Socket&) = delete;
+    Socket& operator=(const Socket&) = delete;
+
+    [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+    [[nodiscard]] int fd() const noexcept { return fd_; }
+    void close() noexcept;
+
+    /// Read exactly `n` bytes into `buf`.  Polls in short ticks so it can
+    /// react to `stop` (optional) and to `idle_timeout_ms` (<= 0 = no
+    /// timeout; the timer resets whenever bytes arrive).
+    [[nodiscard]] IoStatus read_exact(void* buf, std::size_t n,
+                                      const std::atomic<bool>* stop = nullptr,
+                                      int idle_timeout_ms = -1) const;
+
+    /// Read at most `n` bytes (returns after the first successful recv).
+    /// `*got` receives the byte count (0 on EOF/stop/timeout/error).
+    [[nodiscard]] IoStatus read_some(void* buf, std::size_t n,
+                                     std::size_t* got,
+                                     const std::atomic<bool>* stop = nullptr,
+                                     int idle_timeout_ms = -1) const;
+
+    /// Write all of `data`; false on any error (SIGPIPE suppressed).
+    [[nodiscard]] bool write_all(std::string_view data) const;
+
+private:
+    int fd_ = -1;
+};
+
+/// Blocking client connect; invalid socket + *error on failure.
+[[nodiscard]] Socket connect_to(const Address& address, std::string* error);
+
+/// Listening socket bound to an Address.
+class Listener {
+public:
+    Listener() = default;
+    ~Listener() { close(); }
+    Listener(const Listener&) = delete;
+    Listener& operator=(const Listener&) = delete;
+
+    /// Bind + listen.  A stale unix socket file (no daemon answering) is
+    /// replaced; a live one fails with "address in use".  After success,
+    /// bound() reports the resolved address (TCP port 0 becomes real).
+    [[nodiscard]] bool listen_on(const Address& address, std::string* error);
+
+    [[nodiscard]] const Address& bound() const noexcept { return bound_; }
+    [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+    /// Accept one connection, polling in short ticks until `stop` is
+    /// raised or the listener is closed; invalid Socket in those cases.
+    [[nodiscard]] Socket accept_next(const std::atomic<bool>& stop) const;
+
+    /// Close the listening fd (wakes accept_next) and unlink a unix path.
+    void close() noexcept;
+
+private:
+    int fd_ = -1;
+    Address bound_;
+};
+
+}  // namespace dsspy::serve

@@ -1,0 +1,137 @@
+#include "serve/tenant.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "core/report.hpp"
+#include "support/table.hpp"
+
+namespace dsspy::serve {
+
+namespace {
+
+/// The `--report` rendering: use-case report plus the search-space
+/// reduction footer, exactly as the CLI's report sink emits it — which
+/// is what keeps tenant reports byte-identical to `dsspy analyze`.
+void render_report(std::ostream& os, const core::StreamReport& report) {
+    core::print_use_case_report(os, report);
+    os << "Search space reduction: "
+       << support::Table::pct(report.search_space_reduction()) << " ("
+       << report.flagged_instances() << " of "
+       << report.list_array_instances()
+       << " list/array instances flagged)\n";
+}
+
+}  // namespace
+
+const char* tenant_state_name(TenantState state) {
+    switch (state) {
+        case TenantState::Streaming: return "streaming";
+        case TenantState::Finished: return "finished";
+        case TenantState::Aborted: return "aborted";
+    }
+    return "unknown";
+}
+
+TenantSession::TenantSession(std::uint32_t id, std::string name,
+                             core::DetectorConfig config,
+                             std::size_t max_instances)
+    : id_(id),
+      name_(std::move(name)),
+      max_instances_(max_instances),
+      analyzer_(config) {}
+
+void TenantSession::on_instance(const runtime::InstanceInfo& info) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (instances_.size() >= max_instances_)
+            throw TenantLimitError(
+                "tenant instance limit exceeded (" +
+                std::to_string(max_instances_) + ")");
+        instances_.push_back(info);
+    }
+    analyzer_.declare_instance(info);
+}
+
+void TenantSession::on_events(std::span<const runtime::AccessEvent> events) {
+    analyzer_.fold(events);
+}
+
+void TenantSession::add_frame(std::uint64_t bytes) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    frames_ += 1;
+    bytes_ += bytes;
+}
+
+std::uint64_t TenantSession::count_orphans(
+    const core::StreamReport& report) {
+    std::uint64_t declared = 0;
+    for (const core::StreamInstance& si : report.instances())
+        declared += si.stats.total;
+    const std::uint64_t total = report.total_events();
+    return total > declared ? total - declared : 0;
+}
+
+void TenantSession::fill_report_fields(const core::StreamReport& report) {
+    orphan_events_ = count_orphans(report);
+    flagged_ = report.flagged_instances();
+    std::ostringstream os;
+    render_report(os, report);
+    final_report_ = os.str();
+}
+
+void TenantSession::finish() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ != TenantState::Streaming) return;
+    fill_report_fields(analyzer_.finish(instances_));
+    state_ = TenantState::Finished;
+}
+
+void TenantSession::abort(std::string reason) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ != TenantState::Streaming) return;
+    // Finalize the received prefix: same reduction, partial input.  The
+    // report stays byte-identical to an offline analysis of those bytes.
+    fill_report_fields(analyzer_.finish(instances_));
+    state_ = TenantState::Aborted;
+    error_ = std::move(reason);
+}
+
+TenantSummary TenantSession::summary() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    TenantSummary out;
+    out.id = id_;
+    out.name = name_;
+    out.state = state_;
+    out.bytes = bytes_;
+    out.frames = frames_;
+    out.events = analyzer_.events_folded();
+    out.instances = instances_.size();
+    out.orphan_events = orphan_events_;
+    out.flagged = flagged_;
+    out.error = error_;
+    return out;
+}
+
+std::string TenantSession::report_text() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ != TenantState::Streaming) return final_report_;
+    // Live view: virtual flush on a copy, stream state undisturbed.
+    const core::StreamReport report = analyzer_.snapshot(instances_);
+    std::ostringstream os;
+    render_report(os, report);
+    return os.str();
+}
+
+std::string TenantSession::summary_line() const {
+    const TenantSummary s = summary();
+    std::ostringstream os;
+    os << "tenant " << s.id << " (" << s.name << "): "
+       << tenant_state_name(s.state) << ", " << s.events << " events, "
+       << s.instances << " instances, " << s.flagged << " flagged, "
+       << s.orphan_events << " orphan";
+    if (!s.error.empty()) os << " [" << s.error << "]";
+    return os.str();
+}
+
+}  // namespace dsspy::serve

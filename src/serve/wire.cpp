@@ -1,0 +1,58 @@
+#include "serve/wire.hpp"
+
+namespace dsspy::serve::wire {
+
+void put_u16(std::string& out, std::uint16_t v) {
+    out += static_cast<char>(v & 0xff);
+    out += static_cast<char>((v >> 8) & 0xff);
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8)
+        out += static_cast<char>((v >> shift) & 0xff);
+}
+
+std::uint16_t get_u16(const unsigned char* p) {
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::string encode_hello(std::string_view tenant_name) {
+    if (tenant_name.size() > kMaxTenantNameBytes)
+        tenant_name = tenant_name.substr(0, kMaxTenantNameBytes);
+    std::string out(kHelloMagic);
+    put_u16(out, kVersion);
+    put_u16(out, 0);  // flags, reserved
+    put_u16(out, static_cast<std::uint16_t>(tenant_name.size()));
+    out.append(tenant_name);
+    return out;
+}
+
+std::string encode_accept(std::uint32_t tenant_id) {
+    std::string out(kAcceptMagic);
+    put_u16(out, kVersion);
+    put_u32(out, tenant_id);
+    return out;
+}
+
+std::string encode_reject(std::string_view reason) {
+    if (reason.size() > 0xffff) reason = reason.substr(0, 0xffff);
+    std::string out(kRejectMagic);
+    put_u16(out, static_cast<std::uint16_t>(reason.size()));
+    out.append(reason);
+    return out;
+}
+
+std::string encode_frame_header(char type, std::uint32_t len) {
+    std::string out(1, type);
+    put_u32(out, len);
+    return out;
+}
+
+}  // namespace dsspy::serve::wire

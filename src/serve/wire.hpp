@@ -1,0 +1,60 @@
+// DSRV/1 wire protocol: framed DST1/CSV trace streams over a stream
+// socket (documented in docs/SERVE.md; layering in DESIGN.md §12).
+//
+// Connection lifetime:
+//
+//   client -> server   hello     "DSRV" ver:u16 flags:u16 nlen:u16 name
+//   server -> client   accept    "DSOK" ver:u16 tenant_id:u32
+//                  or  reject    "DSNO" rlen:u16 reason
+//   client -> server   frames    type:u8 len:u32  payload[len]
+//                                  'T'  trace bytes (len >= 1)
+//                                  'E'  end of stream (len == 0)
+//   server -> client   result    'R' len:u32 summary-line
+//                  or  error     'X' len:u32 message
+//
+// All integers are little-endian.  The concatenation of every 'T' payload
+// is ONE trace document in any format runtime::read_trace_stream accepts
+// (CSV or DST1, auto-detected); frame boundaries are arbitrary and carry
+// no meaning — the prefix-carry reader reassembles records across them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dsspy::serve::wire {
+
+inline constexpr std::string_view kHelloMagic = "DSRV";
+inline constexpr std::string_view kAcceptMagic = "DSOK";
+inline constexpr std::string_view kRejectMagic = "DSNO";
+inline constexpr std::uint16_t kVersion = 1;
+
+inline constexpr char kFrameTrace = 'T';
+inline constexpr char kFrameEnd = 'E';
+inline constexpr char kFrameResult = 'R';
+inline constexpr char kFrameError = 'X';
+
+inline constexpr std::size_t kMagicBytes = 4;
+inline constexpr std::size_t kFrameHeaderBytes = 5;  ///< type:u8 + len:u32.
+inline constexpr std::size_t kMaxTenantNameBytes = 255;
+
+void put_u16(std::string& out, std::uint16_t v);
+void put_u32(std::string& out, std::uint32_t v);
+[[nodiscard]] std::uint16_t get_u16(const unsigned char* p);
+[[nodiscard]] std::uint32_t get_u32(const unsigned char* p);
+
+/// Client hello.  Names longer than kMaxTenantNameBytes are truncated.
+[[nodiscard]] std::string encode_hello(std::string_view tenant_name);
+
+/// Server accept carrying the assigned tenant id.
+[[nodiscard]] std::string encode_accept(std::uint32_t tenant_id);
+
+/// Server rejection with a human-readable reason.
+[[nodiscard]] std::string encode_reject(std::string_view reason);
+
+/// Frame header for `type` with `len` payload bytes (payload sent
+/// separately so trace chunks need no copy into the header buffer).
+[[nodiscard]] std::string encode_frame_header(char type, std::uint32_t len);
+
+}  // namespace dsspy::serve::wire

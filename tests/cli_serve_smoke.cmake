@@ -1,0 +1,98 @@
+# Black-box smoke test for `dsspy serve` / `dsspy push` (docs/SERVE.md):
+# exit-code convention first, then a full daemon lifecycle — start on an
+# ephemeral TCP port, push a freshly recorded trace, poll a status
+# endpoint, and assert a clean SIGTERM shutdown.
+# Run as: cmake -DDSSPY_BIN=<dsspy> -DWORK_DIR=<scratch> -P cli_serve_smoke.cmake
+if(NOT DEFINED DSSPY_BIN)
+  message(FATAL_ERROR "pass -DDSSPY_BIN=<path to the dsspy binary>")
+endif()
+if(NOT DEFINED WORK_DIR)
+  set(WORK_DIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+function(expect_exit code)
+  execute_process(COMMAND ${DSSPY_BIN} ${ARGN}
+                  RESULT_VARIABLE actual
+                  OUTPUT_QUIET ERROR_QUIET)
+  if(NOT actual EQUAL ${code})
+    string(JOIN " " shown ${ARGN})
+    message(FATAL_ERROR
+      "dsspy ${shown}: expected exit ${code}, got ${actual}")
+  endif()
+endfunction()
+
+# Usage errors (exit 2): malformed specs and missing operands.
+expect_exit(2 serve --listen smoke-signal)
+expect_exit(2 serve --listen tcp://127.0.0.1:notaport)
+expect_exit(2 serve --max-tenants=0)
+expect_exit(2 push)
+expect_exit(2 push trace.csv --connect carrier-pigeon:coop)
+expect_exit(2 push trace.csv --frame-bytes=0)
+
+# Runtime failures (exit 1): missing trace file, daemon not running.
+expect_exit(1 push ${WORK_DIR}/no_such_trace.csv
+            --connect unix:${WORK_DIR}/no_daemon.sock)
+expect_exit(1 serve --listen unix:/proc/definitely/not/writable.sock)
+
+# The daemon lifecycle needs job control; drive it from a shell.
+find_program(BASH_BIN bash)
+if(NOT BASH_BIN)
+  message(STATUS "bash not found; skipping the daemon lifecycle smoke")
+  return()
+endif()
+
+file(WRITE ${WORK_DIR}/serve_smoke.sh [=[
+set -eu
+DSSPY="$1"; WORK="$2"
+log="$WORK/serve_smoke.log"
+trace="$WORK/serve_smoke_trace.csv"
+rm -f "$log"
+
+"$DSSPY" demo WordWheelSolver --summary --trace "$trace" --format=csv \
+    > /dev/null
+
+"$DSSPY" serve --listen tcp://127.0.0.1:0 --max-tenants=8 > "$log" 2>&1 &
+pid=$!
+trap 'kill -9 $pid 2> /dev/null || true' EXIT
+
+# The daemon prints the kernel-resolved port once it is listening.
+port=""
+for _ in $(seq 1 100); do
+    port=$(sed -n 's/.*listening on tcp:\/\/127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+           "$log" 2> /dev/null || true)
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+[ -n "$port" ] || { echo "daemon never started:"; cat "$log"; exit 1; }
+
+# Push the recorded trace; the daemon's verdict names a finished tenant.
+"$DSSPY" push "$trace" --connect "tcp://127.0.0.1:$port" | grep -q finished
+
+# Poll a status endpoint over plain HTTP (bash /dev/tcp, no curl needed).
+exec 3<> "/dev/tcp/127.0.0.1/$port"
+printf 'GET /tenants HTTP/1.1\r\nHost: dsspy\r\n\r\n' >&3
+tenants=$(cat <&3)
+exec 3>&- || true
+echo "$tenants" | grep -q '"state": "finished"'
+
+# A second daemon on the same port must fail with a runtime error, and
+# must not disturb the first.
+"$DSSPY" serve --listen "tcp://127.0.0.1:$port" > /dev/null 2>&1 && exit 1
+rc=$?
+[ "$rc" -eq 1 ] || { echo "port-clash exit was $rc, want 1"; exit 1; }
+
+# Clean shutdown: SIGTERM -> exit 0 and a shutdown summary in the log.
+kill -TERM $pid
+rc=0; wait $pid || rc=$?
+trap - EXIT
+[ "$rc" -eq 0 ] || { echo "SIGTERM exit was $rc, want 0"; cat "$log"; exit 1; }
+grep -q "shut down after" "$log"
+grep -q "finished" "$log"
+]=])
+
+execute_process(COMMAND ${BASH_BIN} ${WORK_DIR}/serve_smoke.sh
+                        ${DSSPY_BIN} ${WORK_DIR}
+                RESULT_VARIABLE smoke_rc)
+if(NOT smoke_rc EQUAL 0)
+  message(FATAL_ERROR "serve lifecycle smoke failed (exit ${smoke_rc})")
+endif()

@@ -1,7 +1,8 @@
 // docs-check: keep the prose honest.
 //
-// Scans DESIGN.md, docs/USAGE.md, and README.md for inline-backtick
-// references and verifies each against the source of truth:
+// Scans DESIGN.md, docs/USAGE.md, docs/SERVE.md, and README.md for
+// inline-backtick references and verifies each against the source of
+// truth:
 //
 //   * `--flag` tokens must appear as string literals in dsspy_cli.cpp
 //     or the pipeline layer sources (src/pipeline/) the CLI parses into
@@ -234,6 +235,7 @@ int main(int argc, char** argv) {
 
     const std::vector<fs::path> docs = {root / "DESIGN.md",
                                         root / "docs" / "USAGE.md",
+                                        root / "docs" / "SERVE.md",
                                         root / "README.md"};
     for (const fs::path& doc : docs) {
         const std::string text = read_file(doc);

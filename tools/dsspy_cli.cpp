@@ -34,6 +34,16 @@
 //       Run an app instrumented with self-telemetry enabled and print the
 //       profiler's own metrics (Prometheus text by default, --json for the
 //       JSON document) including the self-overhead estimate.
+//   dsspy serve [--listen SPEC] [--max-tenants=N] [--set key=value ...]
+//       Host the multi-tenant profiling daemon (docs/SERVE.md, DESIGN.md
+//       §12) in the foreground until SIGINT/SIGTERM.  SPEC is unix:PATH
+//       (default unix:dsspy.sock) or tcp://host:port (port 0 lets the
+//       kernel choose; the resolved address is printed).  Clients stream
+//       framed traces over the DSRV protocol; status endpoints answer
+//       plain HTTP GETs on the same socket.
+//   dsspy push <trace> [--connect SPEC] [--tenant NAME]
+//       Send a recorded trace (CSV or DST1) to a running daemon and print
+//       the daemon's one-line verdict — `dsspy analyze` executed remotely.
 //   dsspy list
 //       List available demo apps and corpus programs.
 //   dsspy config
@@ -58,6 +68,8 @@
 // Exit codes: 0 success, 1 runtime failure (unknown app/program, missing
 // or unwritable file, failed job), 2 usage error (unknown command or flag,
 // conflicting options).
+#include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -77,6 +89,7 @@
 #include "pipeline/batch.hpp"
 #include "pipeline/run_plan.hpp"
 #include "pipeline/runner.hpp"
+#include "pipeline/serve_plan.hpp"
 
 namespace {
 
@@ -93,6 +106,8 @@ struct Options {
     bool incremental = false;  ///< Force the streaming engine.
     bool postmortem = false;   ///< Force the post-mortem engine.
     int interval_ms = 500;     ///< watch: snapshot period.
+    pipeline::ServePlan serve;  ///< serve: daemon configuration.
+    pipeline::PushPlan push;    ///< push: client configuration.
     std::string trace_path;
     std::string metrics_out;   ///< Write the metrics JSON snapshot here.
     unsigned threads = 0;      ///< --threads override (0 = hardware).
@@ -120,6 +135,14 @@ int usage(const char* argv0) {
         << "  metrics <app>         run an app and print the profiler's own\n"
         << "                        telemetry (Prometheus text; --json for\n"
         << "                        the JSON document)\n"
+        << "  serve                 host the multi-tenant profiling daemon\n"
+        << "                        (--listen unix:PATH|tcp://host:port,\n"
+        << "                        --max-tenants=N, --max-frame-bytes=N,\n"
+        << "                        --max-instances=N, --client-timeout-ms=N;\n"
+        << "                        docs/SERVE.md)\n"
+        << "  push <trace>          send a recorded trace to a daemon\n"
+        << "                        (--connect SPEC, --tenant NAME,\n"
+        << "                        --frame-bytes=N)\n"
         << "  list                  list demo apps and corpus programs\n"
         << "  config                print detector thresholds\n\n"
         << "Output: --report (default) --summary --plan --json --csv-usecases\n"
@@ -145,7 +168,7 @@ std::optional<Options> parse_args(int argc, char** argv) {
     if (opt.command == "analyze" || opt.command == "run" ||
         opt.command == "demo" || opt.command == "watch" ||
         opt.command == "corpus" || opt.command == "convert" ||
-        opt.command == "metrics") {
+        opt.command == "metrics" || opt.command == "push") {
         if (i >= argc || argv[i][0] == '-') return std::nullopt;
         opt.target = argv[i++];
     }
@@ -214,6 +237,51 @@ std::optional<Options> parse_args(int argc, char** argv) {
             }
         } else if (arg == "--set" && i + 1 < argc) {
             opt.overrides.emplace_back(argv[++i]);
+        } else if (arg == "--listen" && i + 1 < argc) {
+            opt.serve.listen = argv[++i];
+        } else if (arg == "--connect" && i + 1 < argc) {
+            opt.push.connect = argv[++i];
+        } else if (arg == "--tenant" && i + 1 < argc) {
+            opt.push.tenant_name = argv[++i];
+        } else if (arg.rfind("--max-tenants=", 0) == 0) {
+            const int n = std::atoi(arg.c_str() + std::strlen("--max-tenants="));
+            if (n <= 0) {
+                std::cerr << "--max-tenants needs a positive count\n";
+                return std::nullopt;
+            }
+            opt.serve.max_tenants = static_cast<std::size_t>(n);
+        } else if (arg.rfind("--max-frame-bytes=", 0) == 0) {
+            const long n =
+                std::atol(arg.c_str() + std::strlen("--max-frame-bytes="));
+            if (n <= 0) {
+                std::cerr << "--max-frame-bytes needs a positive size\n";
+                return std::nullopt;
+            }
+            opt.serve.max_frame_bytes = static_cast<std::size_t>(n);
+        } else if (arg.rfind("--max-instances=", 0) == 0) {
+            const long n =
+                std::atol(arg.c_str() + std::strlen("--max-instances="));
+            if (n <= 0) {
+                std::cerr << "--max-instances needs a positive count\n";
+                return std::nullopt;
+            }
+            opt.serve.max_tenant_instances = static_cast<std::size_t>(n);
+        } else if (arg.rfind("--frame-bytes=", 0) == 0) {
+            const long n =
+                std::atol(arg.c_str() + std::strlen("--frame-bytes="));
+            if (n <= 0) {
+                std::cerr << "--frame-bytes needs a positive size\n";
+                return std::nullopt;
+            }
+            opt.push.frame_bytes = static_cast<std::size_t>(n);
+        } else if (arg.rfind("--client-timeout-ms=", 0) == 0) {
+            const int n =
+                std::atoi(arg.c_str() + std::strlen("--client-timeout-ms="));
+            if (n <= 0) {
+                std::cerr << "--client-timeout-ms needs a positive period\n";
+                return std::nullopt;
+            }
+            opt.serve.client_timeout_ms = n;
         } else {
             std::cerr << "Unknown argument: " << arg << '\n';
             return std::nullopt;
@@ -225,7 +293,9 @@ std::optional<Options> parse_args(int argc, char** argv) {
     const bool analysis_command = opt.command != "metrics" &&
                                   opt.command != "convert" &&
                                   opt.command != "list" &&
-                                  opt.command != "config";
+                                  opt.command != "config" &&
+                                  opt.command != "serve" &&
+                                  opt.command != "push";
     if (opt.json && opt.command != "metrics") opt.outputs.json = true;
     if (analysis_command && !opt.outputs.any_analysis_output())
         opt.outputs.report = true;
@@ -360,6 +430,28 @@ int cmd_list() {
     return pipeline::kExitOk;
 }
 
+/// SIGINT/SIGTERM raise this; the serve loop polls it and shuts down
+/// cleanly (finalizing streaming tenants as aborted).
+std::atomic<bool> g_serve_stop{false};
+
+extern "C" void handle_serve_signal(int) {
+    g_serve_stop.store(true, std::memory_order_release);
+}
+
+int cmd_serve(const Options& opt, const core::DetectorConfig& config) {
+    pipeline::ServePlan plan = opt.serve;
+    plan.config = config;
+    std::signal(SIGINT, handle_serve_signal);
+    std::signal(SIGTERM, handle_serve_signal);
+    return pipeline::run_serve(plan, std::cout, std::cerr, g_serve_stop);
+}
+
+int cmd_push(const Options& opt) {
+    pipeline::PushPlan plan = opt.push;
+    plan.trace_path = opt.target;
+    return pipeline::run_push(plan, std::cout, std::cerr);
+}
+
 int cmd_config(const core::DetectorConfig& config) {
     std::cout << "Detector thresholds (override with --set key=value):\n";
     for (const std::string& line : core::config_to_strings(config))
@@ -400,6 +492,8 @@ int main(int argc, char** argv) {
     if (opt->command == "list") return cmd_list();
     if (opt->command == "config") return cmd_config(config);
     if (opt->command == "batch") return cmd_batch(*opt, config);
+    if (opt->command == "serve") return cmd_serve(*opt, config);
+    if (opt->command == "push") return cmd_push(*opt);
 
     pipeline::RunPlan plan = base_plan(*opt, config);
     plan.target = opt->target;
