@@ -21,6 +21,7 @@ int run_serve(const ServePlan& plan, std::ostream& out, std::ostream& err,
     serve::DaemonOptions options;
     options.listen = plan.listen;
     options.max_tenants = plan.max_tenants;
+    options.max_finished_tenants = plan.max_finished_tenants;
     options.max_frame_bytes = plan.max_frame_bytes;
     options.max_tenant_instances = plan.max_tenant_instances;
     options.client_timeout_ms = plan.client_timeout_ms;

@@ -21,6 +21,7 @@ namespace dsspy::pipeline {
 struct ServePlan {
     std::string listen = "unix:dsspy.sock";
     std::size_t max_tenants = 64;
+    std::size_t max_finished_tenants = 128;
     std::size_t max_frame_bytes = 1u << 20;
     std::size_t max_tenant_instances = 1u << 16;
     int client_timeout_ms = 30000;

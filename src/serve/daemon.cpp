@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <charconv>
 #include <cstdio>
-#include <cstdlib>
 #include <sstream>
 #include <utility>
 
@@ -164,6 +164,25 @@ std::shared_ptr<TenantSession> Daemon::admit_tenant(std::string name) {
     return session;
 }
 
+void Daemon::evict_finished() {
+    const std::lock_guard<std::mutex> lock(tenants_mutex_);
+    std::size_t terminal = 0;
+    for (const auto& [id, session] : tenants_)
+        if (session->summary().state != TenantState::Streaming) ++terminal;
+    // The map is id-ordered and ids are monotonic, so a front-to-back
+    // sweep evicts oldest-first.
+    auto it = tenants_.begin();
+    while (terminal > options_.max_finished_tenants &&
+           it != tenants_.end()) {
+        if (it->second->summary().state != TenantState::Streaming) {
+            it = tenants_.erase(it);
+            --terminal;
+        } else {
+            ++it;
+        }
+    }
+}
+
 void Daemon::handle_connection(Socket sock) {
     // Protocol dispatch on the first four bytes.
     std::array<char, wire::kMagicBytes> magic{};
@@ -202,6 +221,12 @@ void Daemon::handle_stream(Socket& sock) {
         bump(serve_metrics().malformed);
         return;
     }
+    // The spec caps tenant names at 255 bytes; the reference client
+    // truncates, but the daemon must not trust that — a hand-rolled
+    // client's oversized name would otherwise flow into /tenants JSON
+    // and Prometheus labels.
+    if (name.size() > wire::kMaxTenantNameBytes)
+        name.resize(wire::kMaxTenantNameBytes);
     if (version != wire::kVersion) {
         rejected_.fetch_add(1, std::memory_order_relaxed);
         bump(serve_metrics().rejected);
@@ -221,6 +246,7 @@ void Daemon::handle_stream(Socket& sock) {
     if (!sock.write_all(wire::encode_accept(session->id()))) {
         session->abort("client disconnected during handshake");
         bump(serve_metrics().tenants_aborted);
+        evict_finished();
         return;
     }
 
@@ -286,6 +312,7 @@ void Daemon::handle_stream(Socket& sock) {
     if (parse_error.empty() && conn_error.empty() && saw_end) {
         session->finish();
         bump(serve_metrics().tenants_finished);
+        evict_finished();
         const std::string line = session->summary_line();
         (void)sock.write_all(wire::encode_frame_header(
             wire::kFrameResult, static_cast<std::uint32_t>(line.size())));
@@ -304,6 +331,7 @@ void Daemon::handle_stream(Socket& sock) {
     }
     session->abort(reason);
     bump(serve_metrics().tenants_aborted);
+    evict_finished();
     // Best effort: a crashed peer will never read this.
     (void)sock.write_all(wire::encode_frame_header(
         wire::kFrameError, static_cast<std::uint32_t>(reason.size())));
@@ -362,11 +390,14 @@ void Daemon::handle_http(Socket& sock) {
                        kSuffix) == 0) {
         const std::string id_str = target.substr(
             kPrefix.size(), target.size() - kPrefix.size() - kSuffix.size());
-        char* end = nullptr;
-        const unsigned long id = std::strtoul(id_str.c_str(), &end, 10);
-        if (end != nullptr && *end == '\0' && !id_str.empty()) {
-            const std::optional<std::string> report =
-                tenant_report(static_cast<std::uint32_t>(id));
+        // from_chars into the id's own width: ids past UINT32_MAX are a
+        // range error (404), never an aliased truncation.
+        std::uint32_t id = 0;
+        const auto [ptr, ec] = std::from_chars(
+            id_str.data(), id_str.data() + id_str.size(), id);
+        if (ec == std::errc{} && ptr == id_str.data() + id_str.size() &&
+            !id_str.empty()) {
+            const std::optional<std::string> report = tenant_report(id);
             if (report.has_value()) {
                 write_http(sock, 200, *report,
                            "text/plain; charset=utf-8");

@@ -16,7 +16,10 @@
 // client's sends instead of dropping events, mirroring the capture
 // layer's blocking-backpressure policy.  Per-tenant memory is bounded by
 // the analyzer's O(instances x threads) state plus the instance-table cap;
-// per-connection transient memory by `max_frame_bytes`.
+// per-connection transient memory by `max_frame_bytes`.  Terminal
+// (finished/aborted) sessions stay queryable via /tenants until more than
+// `max_finished_tenants` of them accumulate, then the oldest are evicted
+// — connection churn cannot grow the tenant table without bound.
 //
 // Failure isolation: a malformed handshake, oversized frame, or trace
 // parse error aborts only the offending connection (its tenant finalizes
@@ -42,6 +45,7 @@ namespace dsspy::serve {
 struct DaemonOptions {
     std::string listen = "unix:dsspy.sock";
     std::size_t max_tenants = 64;        ///< Concurrent streaming tenants.
+    std::size_t max_finished_tenants = 128;  ///< Retained terminal sessions.
     std::size_t max_frame_bytes = 1u << 20;      ///< Per 'T' frame.
     std::size_t max_tenant_instances = 1u << 16; ///< Instance-table cap.
     int client_timeout_ms = 30000;  ///< Idle tenant connections abort.
@@ -98,6 +102,11 @@ private:
 
     /// Admit a tenant if a slot is free; nullptr when at max_tenants.
     std::shared_ptr<TenantSession> admit_tenant(std::string name);
+
+    /// Drop the oldest finished/aborted sessions past max_finished_tenants,
+    /// so connection churn cannot grow tenants_ without bound.  Called
+    /// after every finalization; streaming tenants are never evicted.
+    void evict_finished();
 
     /// Join finished connection threads (called from the accept loop).
     void reap_connections();

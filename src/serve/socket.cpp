@@ -247,6 +247,7 @@ bool Listener::listen_on(const Address& address, std::string* error) {
                     ::unlink(address.path.c_str());
                     if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr),
                                sizeof(addr)) == 0) {
+                        owns_path_ = true;
                         if (::listen(fd_, SOMAXCONN) != 0) {
                             if (error != nullptr)
                                 *error = errno_message("listen");
@@ -263,6 +264,7 @@ bool Listener::listen_on(const Address& address, std::string* error) {
             close();
             return false;
         }
+        owns_path_ = true;
         if (::listen(fd_, SOMAXCONN) != 0) {
             if (error != nullptr) *error = errno_message("listen");
             close();
@@ -312,9 +314,13 @@ void Listener::close() noexcept {
     if (fd_ >= 0) {
         ::close(fd_);
         fd_ = -1;
-        if (bound_.kind == Address::Kind::Unix && !bound_.path.empty())
+        // Unlink only a path WE bound: when bind fails with EADDRINUSE
+        // because a live daemon answers, its socket file must survive.
+        if (owns_path_ && bound_.kind == Address::Kind::Unix &&
+            !bound_.path.empty())
             ::unlink(bound_.path.c_str());
     }
+    owns_path_ = false;
 }
 
 }  // namespace dsspy::serve

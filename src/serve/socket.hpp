@@ -108,11 +108,14 @@ public:
     /// raised or the listener is closed; invalid Socket in those cases.
     [[nodiscard]] Socket accept_next(const std::atomic<bool>& stop) const;
 
-    /// Close the listening fd (wakes accept_next) and unlink a unix path.
+    /// Close the listening fd (wakes accept_next); unlinks the unix path
+    /// only when this listener bound it — a failed listen_on never deletes
+    /// another daemon's live socket file.
     void close() noexcept;
 
 private:
     int fd_ = -1;
+    bool owns_path_ = false;  ///< We bound bound_.path (unix only).
     Address bound_;
 };
 

@@ -530,6 +530,121 @@ TEST(ServeDaemon, UnixSocketRoundTripAndStaleReplacement) {
     daemon.stop();
 }
 
+TEST(ServeDaemon, FailedBindNeverUnlinksALiveDaemonsSocket) {
+    const std::string sock_path =
+        testing::TempDir() + "dsspy_test_live.sock";
+    serve::DaemonOptions options;
+    options.listen = "unix:" + sock_path;
+    serve::Daemon first(options);
+    std::string error;
+    ASSERT_TRUE(first.start(&error)) << error;
+
+    // A second daemon on the same path must fail to bind (the probe
+    // finds the first one alive) — and its failure path must leave the
+    // first daemon's socket file alone.
+    {
+        serve::Daemon second(options);
+        std::string second_error;
+        EXPECT_FALSE(second.start(&second_error));
+        EXPECT_NE(second_error.find("bind"), std::string::npos)
+            << second_error;
+    }
+
+    // The first daemon is still reachable through the same socket file.
+    const std::string csv = make_trace(2, 100, 6);
+    const std::string path = write_temp_trace("live", csv);
+    const serve::ClientResult result =
+        serve::push_trace_file(first.address(), path, "live");
+    ASSERT_TRUE(result.ok) << result.error;
+    const auto report = first.tenant_report(result.tenant_id);
+    ASSERT_TRUE(report.has_value());
+    EXPECT_EQ(*report, offline_report(csv));
+    first.stop();
+}
+
+TEST(ServeDaemon, TerminalTenantsAreEvictedBeyondRetentionCap) {
+    serve::DaemonOptions options = loopback_options();
+    options.max_finished_tenants = 2;
+    serve::Daemon daemon(options);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    std::vector<std::uint32_t> ids;
+    for (unsigned t = 0; t < 5; ++t) {
+        const std::string csv = make_trace(2, 80, t);
+        const std::string path =
+            write_temp_trace("evict" + std::to_string(t), csv);
+        const serve::ClientResult result = serve::push_trace_file(
+            daemon.address(), path, "evict-" + std::to_string(t));
+        ASSERT_TRUE(result.ok) << result.error;
+        ids.push_back(result.tenant_id);
+    }
+
+    // Only the last max_finished_tenants terminal sessions survive;
+    // older ones are gone from /tenants and their reports 404.
+    EXPECT_EQ(daemon.tenants().size(), 2u);
+    EXPECT_FALSE(daemon.tenant_report(ids[0]).has_value());
+    EXPECT_FALSE(daemon.tenant_report(ids[2]).has_value());
+    EXPECT_TRUE(daemon.tenant_report(ids[3]).has_value());
+    EXPECT_TRUE(daemon.tenant_report(ids[4]).has_value());
+    daemon.stop();
+}
+
+TEST(ServeDaemon, OversizedHelloNameIsTruncatedServerSide) {
+    serve::Daemon daemon(loopback_options());
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    // Hand-rolled hello claiming a 300-byte name: the reference client
+    // truncates before sending, so bypass it to prove the daemon
+    // enforces the 255-byte cap itself.
+    serve::Socket sock = serve::connect_to(daemon.address(), &error);
+    ASSERT_TRUE(sock.valid()) << error;
+    std::string hello(serve::wire::kHelloMagic);
+    serve::wire::put_u16(hello, serve::wire::kVersion);
+    serve::wire::put_u16(hello, 0);
+    serve::wire::put_u16(hello, 300);
+    hello.append(300, 'n');
+    ASSERT_TRUE(sock.write_all(hello));
+
+    std::array<unsigned char, 10> accept{};  // DSOK ver:u16 id:u32
+    ASSERT_EQ(sock.read_exact(accept.data(), accept.size()),
+              serve::IoStatus::Ok);
+    ASSERT_EQ(std::string(reinterpret_cast<const char*>(accept.data()), 4),
+              serve::wire::kAcceptMagic);
+    const std::uint32_t id = serve::wire::get_u32(accept.data() + 6);
+    ASSERT_TRUE(
+        sock.write_all(serve::wire::encode_frame_header(serve::wire::kFrameEnd, 0)));
+
+    const serve::TenantSummary s = wait_terminal(daemon, id);
+    EXPECT_EQ(s.state, serve::TenantState::Finished);
+    EXPECT_EQ(s.name, std::string(serve::wire::kMaxTenantNameBytes, 'n'));
+    daemon.stop();
+}
+
+TEST(ServeDaemon, ReportIdBeyondUint32Is404NotAliased) {
+    serve::Daemon daemon(loopback_options());
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    const std::string csv = make_trace(2, 80, 7);
+    const std::string path = write_temp_trace("overflow", csv);
+    const serve::ClientResult result =
+        serve::push_trace_file(daemon.address(), path, "overflow");
+    ASSERT_TRUE(result.ok) << result.error;
+    ASSERT_EQ(result.tenant_id, 1u);
+
+    // 4294967297 == 2^32 + 1 truncates to 1; it must 404, not alias
+    // tenant 1's report.
+    const std::string aliased =
+        http_get(daemon.address(), "/tenants/4294967297/report");
+    EXPECT_NE(aliased.find("404"), std::string::npos) << aliased;
+    const std::string real =
+        http_get(daemon.address(), "/tenants/1/report");
+    EXPECT_NE(real.find("200 OK"), std::string::npos) << real;
+    daemon.stop();
+}
+
 TEST(ServePlan, RunServeHonorsStopAndRunPushRoundTrips) {
     const std::string sock_path = "/tmp/dsspy_test_plan.sock";
     pipeline::ServePlan plan;

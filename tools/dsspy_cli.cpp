@@ -137,9 +137,9 @@ int usage(const char* argv0) {
         << "                        the JSON document)\n"
         << "  serve                 host the multi-tenant profiling daemon\n"
         << "                        (--listen unix:PATH|tcp://host:port,\n"
-        << "                        --max-tenants=N, --max-frame-bytes=N,\n"
-        << "                        --max-instances=N, --client-timeout-ms=N;\n"
-        << "                        docs/SERVE.md)\n"
+        << "                        --max-tenants=N, --max-finished-tenants=N,\n"
+        << "                        --max-frame-bytes=N, --max-instances=N,\n"
+        << "                        --client-timeout-ms=N; docs/SERVE.md)\n"
         << "  push <trace>          send a recorded trace to a daemon\n"
         << "                        (--connect SPEC, --tenant NAME,\n"
         << "                        --frame-bytes=N)\n"
@@ -250,6 +250,14 @@ std::optional<Options> parse_args(int argc, char** argv) {
                 return std::nullopt;
             }
             opt.serve.max_tenants = static_cast<std::size_t>(n);
+        } else if (arg.rfind("--max-finished-tenants=", 0) == 0) {
+            const int n = std::atoi(
+                arg.c_str() + std::strlen("--max-finished-tenants="));
+            if (n < 0) {
+                std::cerr << "--max-finished-tenants needs a count >= 0\n";
+                return std::nullopt;
+            }
+            opt.serve.max_finished_tenants = static_cast<std::size_t>(n);
         } else if (arg.rfind("--max-frame-bytes=", 0) == 0) {
             const long n =
                 std::atol(arg.c_str() + std::strlen("--max-frame-bytes="));
