@@ -12,7 +12,13 @@
 // BENCH_obs.json — the acceptance bound is that enabling telemetry stays
 // within single-digit percent of the uninstrumented capture path.
 //
+// A third pass measures the span-tracing recorder the same way: record()
+// with TraceRecorder off vs on, written as BENCH_trace_obs.json — the
+// acceptance bound is <=2% on the hot path (spans only ride cold
+// branches, so the delta should be indistinguishable from noise).
+//
 // Usage: capture_overhead [output.json] [rounds] [obs_output.json]
+//                         [trace_output.json]
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -23,6 +29,7 @@
 
 #include "ds/profiled_list.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/session.hpp"
 
 namespace {
@@ -179,11 +186,57 @@ ObsDelta bench_obs_delta(runtime::CaptureMode mode, const char* name,
     return delta;
 }
 
+/// Span-recorder on/off delta for one capture mode.  The metrics registry
+/// stays enabled on both sides so the measured difference is the trace
+/// recorder alone, on top of a realistically instrumented capture path.
+ObsDelta bench_trace_delta(runtime::CaptureMode mode, const char* name,
+                           int rounds) {
+    auto& reg = obs::MetricsRegistry::global();
+    auto& tracer = obs::TraceRecorder::global();
+    reg.set_enabled(true);
+    ObsDelta delta;
+    delta.name = name;
+    delta.off_ns = 1e100;
+    delta.on_ns = 1e100;
+    for (int r = 0; r < rounds; ++r) {
+        const bool on_first = (r & 1) != 0;
+        tracer.set_enabled(on_first);
+        const double first = bench_record(mode, 1);
+        tracer.set_enabled(!on_first);
+        const double second = bench_record(mode, 1);
+        delta.off_ns = std::min(delta.off_ns, on_first ? second : first);
+        delta.on_ns = std::min(delta.on_ns, on_first ? first : second);
+        // Drop the spans the on-side buffered so every round starts from
+        // the same recorder and allocator state; without this, chunk
+        // allocations accumulate across rounds and read as phantom
+        // capture-path overhead on the off side too.
+        tracer.set_enabled(false);
+        tracer.reset();
+    }
+    tracer.set_enabled(false);
+    reg.set_enabled(false);
+    reg.reset();
+    return delta;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     const std::string out_path = argc > 1 ? argv[1] : "BENCH_capture.json";
     const int rounds = argc > 2 ? std::atoi(argv[2]) : 9;
+
+    // Measure the trace-recorder delta FIRST, in a pristine process: the
+    // other sections churn gigabytes through the allocator, and on small
+    // machines the resulting heap/page layout biases the buffered-mode
+    // loop by several percent — dwarfing the sub-1% effect under
+    // measurement.  (The delta loop itself still interleaves off/on
+    // rounds, so ambient drift cancels.)  Output files keep their order.
+    std::vector<ObsDelta> trace_deltas;
+    trace_deltas.push_back(bench_trace_delta(runtime::CaptureMode::Buffered,
+                                             "record_buffered", rounds));
+    trace_deltas.push_back(bench_trace_delta(runtime::CaptureMode::Streaming,
+                                             "record_streaming", rounds));
+    obs::TraceRecorder::global().reset();
 
     std::vector<Result> results;
     const double plain = bench_plain_list(rounds);
@@ -277,5 +330,38 @@ int main(int argc, char** argv) {
         std::printf("%-24s off %8.2f  on %8.2f ns/op  (%+.2f%%)\n",
                     d.name.c_str(), d.off_ns, d.on_ns, d.overhead_pct());
     std::printf("wrote %s\n", obs_path.c_str());
+
+    // Span-tracing cost: record() with the trace recorder off vs on
+    // (measured at the top of main, see the comment there).  The hot
+    // path gains no tracing code at all (spans ride the cold seq-refill
+    // and drain branches only), so the acceptance bound is <=2%.
+    const std::string trace_path = argc > 4 ? argv[4] : "BENCH_trace_obs.json";
+    std::FILE* ft = std::fopen(trace_path.c_str(), "w");
+    if (ft == nullptr) {
+        std::perror("capture_overhead: fopen");
+        return 1;
+    }
+    std::fprintf(ft, "{\n  \"benchmark\": \"trace_obs_overhead\",\n");
+    std::fprintf(ft, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(ft, "  \"ops_per_round\": %zu,\n", kOpsPerRound);
+    std::fprintf(ft, "  \"rounds\": %d,\n", rounds);
+    std::fprintf(ft, "  \"acceptance_bound_pct\": 2.0,\n");
+    std::fprintf(ft, "  \"results\": [\n");
+    for (std::size_t i = 0; i < trace_deltas.size(); ++i) {
+        const ObsDelta& d = trace_deltas[i];
+        std::fprintf(ft,
+                     "    {\"name\": \"%s\", \"ns_per_op_off\": %.2f, "
+                     "\"ns_per_op_on\": %.2f, \"overhead_pct\": %.2f}%s\n",
+                     d.name.c_str(), d.off_ns, d.on_ns, d.overhead_pct(),
+                     i + 1 < trace_deltas.size() ? "," : "");
+    }
+    std::fprintf(ft, "  ]\n}\n");
+    std::fclose(ft);
+
+    for (const ObsDelta& d : trace_deltas)
+        std::printf("%-24s off %8.2f  on %8.2f ns/op  (%+.2f%%)\n",
+                    d.name.c_str(), d.off_ns, d.on_ns, d.overhead_pct());
+    std::printf("wrote %s\n", trace_path.c_str());
     return 0;
 }

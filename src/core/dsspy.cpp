@@ -6,7 +6,7 @@
 #include "core/column_analysis.hpp"
 #include "core/detector_kernels.hpp"
 #include "obs/metrics.hpp"
-#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "support/stopwatch.hpp"
 
@@ -69,7 +69,7 @@ AnalysisResult Dsspy::analyze_columns_impl(
     const runtime::ColumnStore& columns,
     const runtime::ProfileStore* aos_store, par::ThreadPool* pool,
     std::size_t total_events) const {
-    DSSPY_SPAN("analyze.total");
+    DSSPY_TRACE_SPAN("analyze.total");
     AnalysisResult result;
     result.total_instances_ = instances.size();
     result.total_events_ = total_events;
@@ -144,9 +144,13 @@ AnalysisResult Dsspy::analyze_columns_impl(
             bounds.push_back(std::clamp(idx, bounds.back(), count));
         }
         bounds.push_back(count);
+        // Shard spans parent under analyze.total explicitly: pool threads
+        // have no TLS context of their own.
+        const obs::TraceContext analyze_ctx = obs::current_trace_context();
         par::parallel_for_chunks(
             *pool, 0, bounds.size() - 1,
             [&](std::size_t lo, std::size_t hi) {
+                DSSPY_TRACE_SPAN_UNDER("analyze.shard", analyze_ctx);
                 for (std::size_t s = lo; s < hi; ++s)
                     analyze_range(bounds[s], bounds[s + 1]);
             });
@@ -159,7 +163,7 @@ AnalysisResult Dsspy::analyze_columns_impl(
 AnalysisResult Dsspy::analyze_reference(
     const std::vector<runtime::InstanceInfo>& instances,
     const runtime::ProfileStore& store, par::ThreadPool* pool) const {
-    DSSPY_SPAN("analyze.total");
+    DSSPY_TRACE_SPAN("analyze.total");
     AnalysisResult result;
     result.total_instances_ = instances.size();
     result.total_events_ = store.total_events();
@@ -189,7 +193,13 @@ AnalysisResult Dsspy::analyze_reference(
         }
     };
     if (pool != nullptr && instances.size() > 1) {
-        par::parallel_for_chunks(*pool, 0, instances.size(), analyze_range);
+        const obs::TraceContext analyze_ctx = obs::current_trace_context();
+        par::parallel_for_chunks(
+            *pool, 0, instances.size(),
+            [&](std::size_t lo, std::size_t hi) {
+                DSSPY_TRACE_SPAN_UNDER("analyze.shard", analyze_ctx);
+                analyze_range(lo, hi);
+            });
     } else {
         analyze_range(0, instances.size());
     }

@@ -4,7 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
-#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "runtime/session.hpp"
 
 // Sort-After-Insert, streamed
@@ -322,7 +322,7 @@ StreamReport IncrementalAnalyzer::report_from(
 
 StreamReport IncrementalAnalyzer::snapshot(
     const std::vector<runtime::InstanceInfo>& instances) const {
-    DSSPY_SPAN("incremental.snapshot");
+    DSSPY_TRACE_SPAN("incremental.snapshot");
     std::vector<State> copy;
     {
         const std::lock_guard<std::mutex> lock(mutex_);
@@ -333,7 +333,7 @@ StreamReport IncrementalAnalyzer::snapshot(
 
 StreamReport IncrementalAnalyzer::finish(
     const std::vector<runtime::InstanceInfo>& instances) {
-    DSSPY_SPAN("incremental.finish");
+    DSSPY_TRACE_SPAN("incremental.finish");
     const std::lock_guard<std::mutex> lock(mutex_);
     return report_from(std::move(states_), instances);
 }

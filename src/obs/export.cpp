@@ -29,6 +29,23 @@ std::string prom_name(std::string_view name) {
     return out;
 }
 
+/// Prometheus label names allow [a-zA-Z_][a-zA-Z0-9_]* and nothing else
+/// — and unlike values they have no escape syntax, so invalid characters
+/// map to '_' (and a leading digit gets a '_' prefix).  Returns "" for an
+/// empty input; the caller drops such labels entirely.
+std::string prom_label_name(std::string_view name) {
+    std::string out;
+    out.reserve(name.size());
+    for (const char ch : name) {
+        const bool alpha = (ch >= 'a' && ch <= 'z') ||
+                           (ch >= 'A' && ch <= 'Z') || ch == '_';
+        const bool digit = ch >= '0' && ch <= '9';
+        if (out.empty() && digit) out += '_';
+        out += (alpha || digit) ? ch : '_';
+    }
+    return out;
+}
+
 /// Prometheus label-value escaping: backslash, double quote, newline.
 std::string prom_label_value(std::string_view value) {
     std::string out;
@@ -150,15 +167,20 @@ void write_prometheus_sample(std::ostream& os, std::string_view name,
                              std::span<const PromLabel> labels,
                              std::uint64_t value) {
     os << prom_name(name);
-    if (!labels.empty()) {
-        os << '{';
-        for (std::size_t i = 0; i < labels.size(); ++i) {
-            if (i > 0) os << ',';
-            os << labels[i].first << "=\"" << prom_label_value(labels[i].second)
-               << '"';
-        }
-        os << '}';
+    // Label names cannot be escaped (the exposition format has no escape
+    // inside the name position), so anything outside
+    // [a-zA-Z_][a-zA-Z0-9_]* is sanitized to '_' — a hostile label name
+    // must not be able to break out of the brace block or smuggle a
+    // second sample line into the exposition.
+    bool wrote_label = false;
+    for (const PromLabel& label : labels) {
+        const std::string safe = prom_label_name(label.first);
+        if (safe.empty()) continue;
+        os << (wrote_label ? ',' : '{') << safe << "=\""
+           << prom_label_value(label.second) << '"';
+        wrote_label = true;
     }
+    if (wrote_label) os << '}';
     os << ' ' << value << '\n';
 }
 

@@ -42,9 +42,12 @@ using MetricId = std::uint32_t;
 /// re-registered with a different kind); every operation on it is a no-op.
 inline constexpr MetricId kInvalidMetric = ~MetricId{0};
 
-/// Histogram bucket count.  Bucket 0 counts values in [0, 2); bucket i>0
-/// counts [2^i, 2^(i+1)); the last bucket absorbs everything above.  With
-/// 32 buckets, nanosecond observations resolve from 1 ns to ~4 s.
+/// Histogram bucket count (a histogram occupies kHistogramBuckets + 2 =
+/// 34 cells per shard: count, sum, then the buckets).  Bucket 0 counts
+/// values in [0, 2); bucket i>0 counts [2^i, 2^(i+1)); the last bucket,
+/// [2^31, inf), absorbs everything above.  Nanosecond observations thus
+/// resolve distinctly from 1 ns up to 2^31 ns ≈ 2.1 s; anything slower
+/// lands in the final catch-all bucket.
 inline constexpr std::size_t kHistogramBuckets = 32;
 
 enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };

@@ -1,0 +1,58 @@
+// Exporters for recorded span trees (DESIGN.md §13).
+//
+// Two renderings over one TraceRecorder::snapshot():
+//
+//  * Chrome trace-event JSON — loads directly in Perfetto and
+//    chrome://tracing: one "X" (complete) event per span with ts/dur in
+//    microseconds, pid 1, tid = the recording thread's index (so each
+//    thread renders as its own track), and args carrying the span id,
+//    parent id, root id, and annotations.  Thread-name metadata events
+//    label the tracks.  `--trace-spans-out=FILE` writes this document.
+//  * Text summary — top-N slowest spans, per-name aggregates, and a
+//    per-root critical-path estimate (the wall time the tree would still
+//    cost if every parallel sibling group were collapsed to its longest
+//    member — serial time plus the longest shard).
+//
+// Both render a snapshot deterministically: equal span vectors export
+// byte-identical documents.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace dsspy::obs {
+
+/// Chrome trace-event / Perfetto JSON for `spans` (typically a
+/// TraceRecorder::snapshot()).  Timestamps are rebased to the earliest
+/// span start so ts stays small.
+void write_trace_json(std::ostream& os, const std::vector<SpanRecord>& spans);
+
+/// File convenience; false when the file cannot be opened or the flushed
+/// stream reports a short write.
+bool write_trace_json_file(const std::string& path,
+                           const std::vector<SpanRecord>& spans);
+
+/// Compact text summary: span/thread counts, top-N slowest spans,
+/// per-name aggregates, and per-root critical-path estimates.
+void write_trace_summary(std::ostream& os,
+                         const std::vector<SpanRecord>& spans,
+                         std::size_t top_n = 10);
+
+/// The subset of `spans` belonging to root `root`'s tree, order kept.
+[[nodiscard]] std::vector<SpanRecord> spans_for_root(
+    const std::vector<SpanRecord>& spans, SpanId root);
+
+/// Critical-path estimate through root `root`'s tree: recursively, a
+/// span's critical path is its duration outside any child, plus — for
+/// each group of time-overlapping children (a parallel fan-out) — the
+/// longest child critical path in the group.  Sequential children
+/// contribute fully; parallel shards collapse to the slowest one.
+/// Returns 0 when the root span is absent from `spans`.
+[[nodiscard]] std::uint64_t critical_path_ns(
+    const std::vector<SpanRecord>& spans, SpanId root);
+
+}  // namespace dsspy::obs

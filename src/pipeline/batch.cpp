@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/stopwatch.hpp"
 
@@ -31,10 +32,21 @@ std::vector<BatchJobResult> run_batch_jobs(const PipelineRunner& runner,
         plans.size()));
     par::ThreadPool driver_pool(std::max(1u, width));
 
+    // One batch root span; each job opens a sibling child on its driver
+    // thread (explicit parent: pool threads carry no TLS context), and the
+    // job's own "run" root nests under that child.  The span stays open
+    // until wait_idle() returns, covering every job.
+    static const obs::MetricId batch_metric = obs::span_metric("batch");
+    const obs::ScopedSpan batch_span("batch", batch_metric);
+    const obs::TraceContext batch_ctx = obs::current_trace_context();
+    static const obs::MetricId job_metric = obs::span_metric("batch.job");
+
     std::atomic<std::size_t> running{0};
     std::atomic<std::size_t> peak{0};
     for (std::size_t i = 0; i < plans.size(); ++i) {
         driver_pool.submit([&, i] {
+            obs::ScopedSpan job_span("batch.job", batch_ctx, job_metric);
+            job_span.annotate("target", plans[i].display_name());
             const std::size_t now =
                 running.fetch_add(1, std::memory_order_acq_rel) + 1;
             std::size_t seen = peak.load(std::memory_order_relaxed);

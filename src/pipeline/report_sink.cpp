@@ -8,6 +8,8 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/self_overhead.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "support/table.hpp"
 #include "viz/html_report.hpp"
 
@@ -248,6 +250,18 @@ bool emit_reports(const OutputSelection& outputs, const RunOutcome& outcome,
         ok = sink->emit(outcome, out, err) && ok;
     }
     return ok;
+}
+
+bool write_trace_spans(const std::string& path, std::ostream& err) {
+    if (path.empty()) return true;
+    const std::vector<obs::SpanRecord> spans =
+        obs::TraceRecorder::global().snapshot();
+    if (obs::write_trace_json_file(path, spans)) {
+        err << "Wrote trace spans to " << path << '\n';
+        return true;
+    }
+    err << "Failed to write trace spans to " << path << '\n';
+    return false;
 }
 
 }  // namespace dsspy::pipeline

@@ -55,4 +55,11 @@ public:
 bool emit_reports(const OutputSelection& outputs, const RunOutcome& outcome,
                   std::ostream& out, std::ostream& err);
 
+/// Write the global TraceRecorder's span snapshot to `path` as Chrome
+/// trace-event JSON ("Wrote trace spans to PATH" on `err`).  Call AFTER
+/// the job's root span has closed so the tree is complete.  Returns false
+/// (and notes the failure on `err`) when the file cannot be written; a
+/// no-op returning true when `path` is empty.
+bool write_trace_spans(const std::string& path, std::ostream& err);
+
 }  // namespace dsspy::pipeline

@@ -10,6 +10,7 @@
 #include "apps/app_registry.hpp"
 #include "corpus/program_model.hpp"
 #include "corpus/workload.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "pipeline/report_sink.hpp"
 #include "support/stopwatch.hpp"
@@ -107,9 +108,19 @@ RunOutcome PipelineRunner::run(const RunPlan& plan, std::ostream& out,
         outcome.error = std::move(problem);
         return outcome;
     }
-    outcome = plan.input == InputKind::TraceFile
-                  ? run_trace(plan, out, err)
-                  : run_live(plan, out, err, on_tick);
+    {
+        // One root span per run; every capture/trace-IO/analysis span
+        // below nests under it (pool shards via explicit contexts).  The
+        // scope closes before the span file is written so the exported
+        // tree is complete.
+        static const obs::MetricId run_metric = obs::span_metric("run");
+        obs::ScopedSpan run_span("run", run_metric);
+        run_span.annotate("target", plan.display_name());
+        outcome = plan.input == InputKind::TraceFile
+                      ? run_trace(plan, out, err)
+                      : run_live(plan, out, err, on_tick);
+    }
+    write_trace_spans(plan.outputs.trace_spans_out, err);
     outcome.wall_ns = support::now_ns() - start_ns;
     return outcome;
 }

@@ -4,6 +4,7 @@
 #include <ostream>
 #include <thread>
 
+#include "pipeline/report_sink.hpp"
 #include "pipeline/run_plan.hpp"
 #include "serve/client.hpp"
 #include "serve/daemon.hpp"
@@ -25,6 +26,7 @@ int run_serve(const ServePlan& plan, std::ostream& out, std::ostream& err,
     options.max_frame_bytes = plan.max_frame_bytes;
     options.max_tenant_instances = plan.max_tenant_instances;
     options.client_timeout_ms = plan.client_timeout_ms;
+    options.slow_op_ms = plan.slow_op_ms;
     options.config = plan.config;
     serve::Daemon daemon(options);
     if (!daemon.start(&error)) {
@@ -46,6 +48,9 @@ int run_serve(const ServePlan& plan, std::ostream& out, std::ostream& err,
             << serve::tenant_state_name(tenant.state) << ", "
             << tenant.events << " events, " << tenant.flagged
             << " flagged, " << tenant.orphan_events << " orphan\n";
+    // After stop() every connection thread has joined, so the snapshot is
+    // complete and every tenant root span has ended.
+    write_trace_spans(plan.trace_spans_out, err);
     return kExitOk;
 }
 

@@ -25,6 +25,8 @@ struct ServePlan {
     std::size_t max_frame_bytes = 1u << 20;
     std::size_t max_tenant_instances = 1u << 16;
     int client_timeout_ms = 30000;
+    int slow_op_ms = 0;           ///< [slow-op] log threshold; 0 = off.
+    std::string trace_spans_out;  ///< Span JSON written after shutdown.
     core::DetectorConfig config;  ///< Thresholds for every tenant.
 };
 

@@ -9,7 +9,7 @@
 #include <span>
 
 #include "obs/metrics.hpp"
-#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/stopwatch.hpp"
 
@@ -113,6 +113,7 @@ ProfilingSession::ProfilingSession(CaptureMode mode, std::size_t ring_capacity,
       ring_capacity_(ring_capacity),
       analysis_(analysis),
       token_(next_session_token()),
+      trace_ctx_(obs::current_trace_context()),
       start_ns_(support::now_ns()) {
     if (mode_ == CaptureMode::Streaming) {
         collector_ = std::jthread(
@@ -195,12 +196,15 @@ void ProfilingSession::record(InstanceId instance, OpKind op,
 
     AccessEvent ev;
     if (chan.next_seq == chan.seq_block_end) {
+        // Telemetry rides the cold refill branch (once per kSeqBlockSize
+        // events); the per-event path stays untouched.  The span parents
+        // under the session creator's context so refills show up inside
+        // the run's tree rather than as orphan roots.
+        DSSPY_TRACE_SPAN_UNDER("capture.seq_refill", trace_ctx_);
         const std::uint64_t base =
             seq_alloc_.fetch_add(kSeqBlockSize, std::memory_order_relaxed);
         chan.next_seq = base;
         chan.seq_block_end = base + kSeqBlockSize;
-        // Telemetry rides the cold refill branch (once per kSeqBlockSize
-        // events); the per-event path stays untouched.
         if (obs::enabled())
             obs::MetricsRegistry::global().add(
                 capture_metrics().seq_block_refills);
@@ -305,6 +309,10 @@ void ProfilingSession::collector_loop(const std::stop_token& st) {
             std::this_thread::sleep_for(std::chrono::microseconds(1u << log2));
         }
     }
+    // Final drain only: spanning every collector round would flood the
+    // trace with millions of idle-loop spans; the steady-state drains are
+    // already covered by the drain_batch histogram.
+    DSSPY_TRACE_SPAN_UNDER("capture.drain", trace_ctx_);
     drain_all_rings();
     if (has_sink_.load(std::memory_order_acquire)) {
         // All producers have quiesced: no bound can rise any more, so
@@ -480,7 +488,7 @@ void ProfilingSession::stop() {
                                             std::memory_order_acq_rel))
         return;  // already stopped
     stop_ns_ = support::now_ns();
-    DSSPY_SPAN("capture.stop");
+    DSSPY_TRACE_SPAN("capture.stop");
 
     if (mode_ == CaptureMode::Streaming) {
         if (collector_.joinable()) {
@@ -515,7 +523,7 @@ void ProfilingSession::stop() {
         }
     }
     {
-        DSSPY_SPAN("capture.finalize");
+        DSSPY_TRACE_SPAN("capture.finalize");
         store_.finalize(store_.total_events() >= kParallelFinalizeThreshold
                             ? &par::ThreadPool::default_pool()
                             : nullptr);

@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "runtime/access_event.hpp"
 #include "runtime/instance_registry.hpp"
 #include "runtime/profile_store.hpp"
@@ -215,6 +216,10 @@ private:
     const std::size_t ring_capacity_;
     const AnalysisMode analysis_;
     const std::uint64_t token_;  ///< Unique id for thread-local caching.
+    /// Trace context of the thread that constructed the session: collector
+    /// and stop()-time spans parent here so capture work nests under the
+    /// pipeline's root span even though it runs on other threads.
+    const obs::TraceContext trace_ctx_;
 
     InstanceRegistry registry_;
     ProfileStore store_;

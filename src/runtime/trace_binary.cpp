@@ -11,6 +11,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 #include "runtime/trace_codec.hpp"
@@ -387,6 +388,10 @@ Trace read_trace_binary(std::string_view bytes, par::ThreadPool* pool) {
     if (cur.ptr != cur.end) fail("trailing bytes after final chunk");
 
     std::vector<std::vector<AccessEvent>> decoded(chunks.size());
+    DSSPY_TRACE_SPAN("trace.chunk_decode");
+    // Pool shards parent under the decode span explicitly — they run on
+    // pool threads whose TLS context is empty.
+    const obs::TraceContext decode_ctx = obs::current_trace_context();
     const auto decode_range = [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i)
             decode_chunk(chunks[i].payload, chunks[i].count, decoded[i]);
@@ -399,6 +404,7 @@ Trace read_trace_binary(std::string_view bytes, par::ThreadPool* pool) {
         std::exception_ptr error;
         par::parallel_for_chunks(
             *pool, 0, chunks.size(), [&](std::size_t lo, std::size_t hi) {
+                DSSPY_TRACE_SPAN_UNDER("trace.decode_shard", decode_ctx);
                 try {
                     decode_range(lo, hi);
                 } catch (...) {

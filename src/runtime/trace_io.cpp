@@ -11,7 +11,7 @@
 #include <string_view>
 
 #include "obs/metrics.hpp"
-#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "runtime/trace_binary.hpp"
 
 namespace dsspy::runtime {
@@ -323,7 +323,7 @@ void write_csv_event_record(std::ostream& os, const AccessEvent& ev) {
 std::size_t write_trace(std::ostream& os,
                         const std::vector<InstanceInfo>& instances,
                         const ProfileStore& store, TraceFormat format) {
-    DSSPY_SPAN("trace.write");
+    DSSPY_TRACE_SPAN("trace.write");
     const std::streampos before = obs::enabled() ? os.tellp()
                                                  : std::streampos{-1};
     const std::size_t events = format == TraceFormat::Binary
@@ -349,7 +349,7 @@ std::size_t write_trace(std::ostream& os, const ProfilingSession& session,
 
 std::size_t read_trace_stream(std::istream& is, TraceSink& sink,
                               std::size_t buffer_bytes) {
-    DSSPY_SPAN("trace.read");
+    DSSPY_TRACE_SPAN("trace.read");
     const std::size_t cap = std::max<std::size_t>(buffer_bytes, 64);
     // Probe one buffer to sniff the format, then hand the consumed prefix
     // to the chosen reader so no byte is parsed twice.
@@ -408,7 +408,7 @@ std::size_t read_trace_stream(const ChunkSource& next_chunk, TraceSink& sink,
 }
 
 Trace read_trace(std::istream& is, par::ThreadPool* pool) {
-    DSSPY_SPAN("trace.read");
+    DSSPY_TRACE_SPAN("trace.read");
     // Slurp the stream once and dispatch on the magic: binary decode needs
     // random access for the chunk index, and CSV record extraction is
     // simpler over a contiguous buffer than across getline boundaries.

@@ -19,6 +19,7 @@
 #endif
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 #include "runtime/trace_binary.hpp"
@@ -246,6 +247,8 @@ ColumnTrace read_trace_columns(std::string_view bytes,
 
     // Chunks write disjoint row ranges, so the decode parallelizes without
     // synchronization and lands bit-identical to a sequential pass.
+    DSSPY_TRACE_SPAN("trace.column_decode");
+    const obs::TraceContext decode_ctx = obs::current_trace_context();
     const auto decode_range = [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i)
             decode_chunk_columns(chunks[i].payload, chunks[i].count,
@@ -257,6 +260,7 @@ ColumnTrace read_trace_columns(std::string_view bytes,
         std::exception_ptr error;
         par::parallel_for_chunks(
             *pool, 0, chunks.size(), [&](std::size_t lo, std::size_t hi) {
+                DSSPY_TRACE_SPAN_UNDER("trace.decode_shard", decode_ctx);
                 try {
                     decode_range(lo, hi);
                 } catch (...) {
@@ -301,6 +305,7 @@ ColumnTrace read_trace_columns_file(const std::string& path,
 #if defined(__linux__)
         ::madvise(base, size, MADV_SEQUENTIAL);
 #endif
+        DSSPY_TRACE_SPAN("trace.mmap_read");
         try {
             ColumnTrace trace = read_trace_columns(
                 std::string_view(static_cast<const char*>(base), size),

@@ -9,6 +9,8 @@
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "runtime/trace_io.hpp"
 #include "serve/wire.hpp"
 
@@ -91,7 +93,14 @@ bool Daemon::start(std::string* error) {
     if (!listener_.listen_on(*addr, error)) return false;
     // A daemon that exports /metrics wants its own telemetry on; this is
     // the serve-process equivalent of the CLI's --metrics-out opt-in.
+    // Span tracing likewise: /tenants/<id>/trace serves live timelines,
+    // so the recorder is always on in the daemon process.
     obs::MetricsRegistry::global().set_enabled(true);
+    obs::TraceRecorder::global().set_enabled(true);
+    obs::TraceRecorder::global().set_slow_op_threshold_ns(
+        options_.slow_op_ms > 0
+            ? static_cast<std::uint64_t>(options_.slow_op_ms) * 1000000u
+            : 0);
     stop_.store(false, std::memory_order_release);
     accept_thread_ = std::thread([this] { accept_loop(); });
     return true;
@@ -287,6 +296,10 @@ void Daemon::handle_stream(Socket& sock) {
                              std::to_string(options_.max_frame_bytes) + ")";
                 return {};
             }
+            // Spans the payload read + bookkeeping of one 'T' frame (the
+            // idle wait for the header stays outside); decode and fold
+            // time shows up as serve.fold siblings from on_events.
+            DSSPY_TRACE_SPAN_UNDER("serve.frame", session->trace_context());
             frame_buf.resize(len);
             const IoStatus pst =
                 sock.read_exact(frame_buf.data(), len, &stop_,
@@ -382,25 +395,45 @@ void Daemon::handle_http(Socket& sock) {
         write_http(sock, 200, render_tenants_json(), "application/json");
         return;
     }
-    // /tenants/<id>/report
+    // /tenants/<id>/report and /tenants/<id>/trace
     constexpr std::string_view kPrefix = "/tenants/";
-    constexpr std::string_view kSuffix = "/report";
-    if (target.rfind(kPrefix, 0) == 0 && target.size() > kPrefix.size() &&
-        target.compare(target.size() - kSuffix.size(), kSuffix.size(),
-                       kSuffix) == 0) {
+    const auto route = [&](std::string_view suffix) {
+        return target.rfind(kPrefix, 0) == 0 &&
+               target.size() > kPrefix.size() &&
+               target.size() >= kPrefix.size() + suffix.size() &&
+               target.compare(target.size() - suffix.size(), suffix.size(),
+                              suffix) == 0;
+    };
+    const auto parse_id = [&](std::string_view suffix, std::uint32_t* id) {
         const std::string id_str = target.substr(
-            kPrefix.size(), target.size() - kPrefix.size() - kSuffix.size());
+            kPrefix.size(), target.size() - kPrefix.size() - suffix.size());
         // from_chars into the id's own width: ids past UINT32_MAX are a
         // range error (404), never an aliased truncation.
-        std::uint32_t id = 0;
         const auto [ptr, ec] = std::from_chars(
-            id_str.data(), id_str.data() + id_str.size(), id);
-        if (ec == std::errc{} && ptr == id_str.data() + id_str.size() &&
-            !id_str.empty()) {
+            id_str.data(), id_str.data() + id_str.size(), *id);
+        return ec == std::errc{} &&
+               ptr == id_str.data() + id_str.size() && !id_str.empty();
+    };
+    if (route("/report")) {
+        std::uint32_t id = 0;
+        if (parse_id("/report", &id)) {
             const std::optional<std::string> report = tenant_report(id);
             if (report.has_value()) {
                 write_http(sock, 200, *report,
                            "text/plain; charset=utf-8");
+                return;
+            }
+        }
+        write_http(sock, 404, "no such tenant\n",
+                   "text/plain; charset=utf-8");
+        return;
+    }
+    if (route("/trace")) {
+        std::uint32_t id = 0;
+        if (parse_id("/trace", &id)) {
+            const std::optional<std::string> trace = tenant_trace(id);
+            if (trace.has_value()) {
+                write_http(sock, 200, *trace, "application/json");
                 return;
             }
         }
@@ -447,6 +480,25 @@ std::optional<std::string> Daemon::tenant_report(std::uint32_t id) const {
         session = it->second;
     }
     return session->report_text();
+}
+
+std::optional<std::string> Daemon::tenant_trace(std::uint32_t id) const {
+    std::shared_ptr<TenantSession> session;
+    {
+        const std::lock_guard<std::mutex> lock(tenants_mutex_);
+        const auto it = tenants_.find(id);
+        if (it == tenants_.end()) return std::nullopt;
+        session = it->second;
+    }
+    // Live timelines are legal: snapshot() returns every span published
+    // so far, and a streaming tenant's children are already tagged with
+    // its root id (the still-open root itself joins once it ends).
+    const std::vector<obs::SpanRecord> tree = obs::spans_for_root(
+        obs::TraceRecorder::global().snapshot(),
+        session->trace_context().root_id);
+    std::ostringstream os;
+    obs::write_trace_json(os, tree);
+    return os.str();
 }
 
 DaemonStats Daemon::stats() const {

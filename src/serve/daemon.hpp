@@ -49,6 +49,9 @@ struct DaemonOptions {
     std::size_t max_frame_bytes = 1u << 20;      ///< Per 'T' frame.
     std::size_t max_tenant_instances = 1u << 16; ///< Instance-table cap.
     int client_timeout_ms = 30000;  ///< Idle tenant connections abort.
+    /// Spans at least this long log one [slow-op] line to stderr when
+    /// they end (`--slow-op-ms=N`); 0 disables the log.
+    int slow_op_ms = 0;
     core::DetectorConfig config;    ///< Detector thresholds for analysis.
 };
 
@@ -82,6 +85,12 @@ public:
 
     [[nodiscard]] std::vector<TenantSummary> tenants() const;
     [[nodiscard]] std::optional<std::string> tenant_report(
+        std::uint32_t id) const;
+    /// The tenant's live span timeline as Chrome trace-event JSON
+    /// (`GET /tenants/<id>/trace`): the global recorder's snapshot
+    /// filtered to the tenant's root-span tree.  Empty trace when span
+    /// tracing is off; nullopt for unknown ids.
+    [[nodiscard]] std::optional<std::string> tenant_trace(
         std::uint32_t id) const;
     [[nodiscard]] DaemonStats stats() const;
 

@@ -39,7 +39,17 @@ TenantSession::TenantSession(std::uint32_t id, std::string name,
     : id_(id),
       name_(std::move(name)),
       max_instances_(max_instances),
-      analyzer_(config) {}
+      analyzer_(config),
+      root_span_(obs::TraceRecorder::global().begin_span("serve.tenant")) {}
+
+TenantSession::~TenantSession() {
+    // Evicted or dropped without finalization: close the root span so the
+    // tree it anchors still exports.  finish()/abort() already ended it
+    // for every other path.
+    if (state_ == TenantState::Streaming)
+        obs::TraceRecorder::global().end_span(
+            root_span_, "tenant=" + name_ + " state=dropped");
+}
 
 void TenantSession::on_instance(const runtime::InstanceInfo& info) {
     {
@@ -54,6 +64,7 @@ void TenantSession::on_instance(const runtime::InstanceInfo& info) {
 }
 
 void TenantSession::on_events(std::span<const runtime::AccessEvent> events) {
+    DSSPY_TRACE_SPAN_UNDER("serve.fold", root_span_.ctx);
     analyzer_.fold(events);
 }
 
@@ -83,8 +94,13 @@ void TenantSession::fill_report_fields(const core::StreamReport& report) {
 void TenantSession::finish() {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (state_ != TenantState::Streaming) return;
-    fill_report_fields(analyzer_.finish(instances_));
+    {
+        DSSPY_TRACE_SPAN_UNDER("serve.finalize", root_span_.ctx);
+        fill_report_fields(analyzer_.finish(instances_));
+    }
     state_ = TenantState::Finished;
+    obs::TraceRecorder::global().end_span(
+        root_span_, "tenant=" + name_ + " state=finished");
 }
 
 void TenantSession::abort(std::string reason) {
@@ -92,9 +108,14 @@ void TenantSession::abort(std::string reason) {
     if (state_ != TenantState::Streaming) return;
     // Finalize the received prefix: same reduction, partial input.  The
     // report stays byte-identical to an offline analysis of those bytes.
-    fill_report_fields(analyzer_.finish(instances_));
+    {
+        DSSPY_TRACE_SPAN_UNDER("serve.finalize", root_span_.ctx);
+        fill_report_fields(analyzer_.finish(instances_));
+    }
     state_ = TenantState::Aborted;
     error_ = std::move(reason);
+    obs::TraceRecorder::global().end_span(
+        root_span_, "tenant=" + name_ + " state=aborted");
 }
 
 TenantSummary TenantSession::summary() const {

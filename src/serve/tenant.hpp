@@ -25,6 +25,7 @@
 
 #include "core/detector_config.hpp"
 #include "core/incremental.hpp"
+#include "obs/trace.hpp"
 #include "runtime/instance_registry.hpp"
 #include "runtime/trace_io.hpp"
 
@@ -67,6 +68,9 @@ public:
     TenantSession(std::uint32_t id, std::string name,
                   core::DetectorConfig config, std::size_t max_instances);
 
+    /// Ends the session's root span if the tenant was never finalized.
+    ~TenantSession() override;
+
     // TraceSink: called by runtime::read_trace_stream on the connection
     // thread.  on_instance throws TenantLimitError past `max_instances`.
     void on_instance(const runtime::InstanceInfo& info) override;
@@ -95,6 +99,13 @@ public:
     /// One-line result for the DSRV 'R' frame and the push client.
     [[nodiscard]] std::string summary_line() const;
 
+    /// The session's root-span context: frame/fold spans parent here, and
+    /// `GET /tenants/<id>/trace` selects the tenant's tree by its root id.
+    /// Invalid when tracing was off at construction.
+    [[nodiscard]] obs::TraceContext trace_context() const noexcept {
+        return root_span_.ctx;
+    }
+
 private:
     /// Orphans = folded events minus events attributed to declared
     /// instances (the same subtraction ProfileStore does post-mortem).
@@ -105,6 +116,11 @@ private:
     const std::string name_;
     const std::size_t max_instances_;
     core::IncrementalAnalyzer analyzer_;
+    /// Root span covering the whole session, begun on the connection
+    /// thread and ended wherever finalization happens (finish, abort, or
+    /// daemon shutdown) — the manual begin/end pair exists exactly for
+    /// spans whose ends change threads.
+    obs::ManualSpan root_span_;
 
     mutable std::mutex mutex_;  ///< Guards everything below.
     std::vector<runtime::InstanceInfo> instances_;

@@ -1,0 +1,154 @@
+// A real (if minimal) JSON syntax validator shared by test suites that
+// assert on JSON documents the code under test emits (the span-trace
+// exporter, the serve daemon's /tenants and /tenants/<id>/trace
+// endpoints).  The exporters' contract is "loads in Perfetto / any JSON
+// consumer", and every consumer starts with a parse — so structural
+// tests run a full syntactic parse instead of trusting substring luck.
+//
+// Validation only: no DOM is built.  RFC 8259 grammar with the usual
+// escape set (\" \\ \/ \b \f \n \r \t \uXXXX); unescaped control
+// characters inside strings are rejected.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string_view>
+
+namespace dsspy_test {
+
+class JsonParser {
+public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    bool parse() {
+        skip_ws();
+        if (!value()) return false;
+        skip_ws();
+        return pos_ == text_.size();
+    }
+
+private:
+    bool value() {
+        if (pos_ >= text_.size()) return false;
+        switch (text_[pos_]) {
+            case '{': return object();
+            case '[': return array();
+            case '"': return string();
+            case 't': return literal("true");
+            case 'f': return literal("false");
+            case 'n': return literal("null");
+            default: return number();
+        }
+    }
+
+    bool object() {
+        ++pos_;  // '{'
+        skip_ws();
+        if (peek() == '}') { ++pos_; return true; }
+        for (;;) {
+            skip_ws();
+            if (!string()) return false;
+            skip_ws();
+            if (peek() != ':') return false;
+            ++pos_;
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == '}') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool array() {
+        ++pos_;  // '['
+        skip_ws();
+        if (peek() == ']') { ++pos_; return true; }
+        for (;;) {
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == ']') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool string() {
+        if (peek() != '"') return false;
+        ++pos_;
+        while (pos_ < text_.size()) {
+            const char ch = text_[pos_];
+            if (static_cast<unsigned char>(ch) < 0x20) return false;
+            if (ch == '"') { ++pos_; return true; }
+            if (ch == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size()) return false;
+                const char esc = text_[pos_];
+                if (esc == 'u') {
+                    if (pos_ + 4 >= text_.size()) return false;
+                    for (int i = 1; i <= 4; ++i)
+                        if (std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_ + i])) == 0)
+                            return false;
+                    pos_ += 4;
+                } else if (std::string_view("\"\\/bfnrt").find(esc) ==
+                           std::string_view::npos) {
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        return false;
+    }
+
+    bool number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        if (!digits()) return false;
+        if (peek() == '.') {
+            ++pos_;
+            if (!digits()) return false;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-') ++pos_;
+            if (!digits()) return false;
+        }
+        return pos_ > start;
+    }
+
+    bool digits() {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    [[nodiscard]] char peek() const {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+inline bool json_valid(std::string_view text) {
+    return JsonParser(text).parse();
+}
+
+}  // namespace dsspy_test

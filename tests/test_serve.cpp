@@ -11,6 +11,7 @@
 
 #include <array>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -21,6 +22,9 @@
 
 #include "core/incremental.hpp"
 #include "core/report.hpp"
+#include "json_check.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/run_plan.hpp"
 #include "pipeline/serve_plan.hpp"
 #include "runtime/trace_io.hpp"
@@ -500,6 +504,179 @@ TEST(ServeDaemon, HttpStatusEndpoints) {
     const std::string missing = http_get(daemon.address(), "/nope");
     EXPECT_NE(missing.find("404"), std::string::npos);
     daemon.stop();
+}
+
+/// The response body (everything after the blank line); whole response
+/// when no header separator is found.
+std::string http_body(const std::string& response) {
+    const std::size_t sep = response.find("\r\n\r\n");
+    return sep == std::string::npos ? response : response.substr(sep + 4);
+}
+
+/// Quotes that start or end a label value (i.e. not preceded by an
+/// escaping backslash); an even count means no value broke out.
+std::size_t count_unescaped_quotes(const std::string& line) {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == '\\') {
+            ++i;  // skip the escaped character
+        } else if (line[i] == '"') {
+            ++count;
+        }
+    }
+    return count;
+}
+
+/// Open a tenant stream under `name`, end it cleanly, and wait for the
+/// finished state.  Returns the tenant id (0 on failure).
+std::uint32_t finish_named_tenant(const serve::Daemon& daemon,
+                                  const std::string& name) {
+    std::string error;
+    std::uint32_t id = 0;
+    serve::Socket sock =
+        serve::open_tenant_stream(daemon.address(), name, &id, &error);
+    EXPECT_TRUE(sock.valid()) << error;
+    if (!sock.valid()) return 0;
+    EXPECT_TRUE(sock.write_all(
+        serve::wire::encode_frame_header(serve::wire::kFrameEnd, 0)));
+    wait_terminal(daemon, id);
+    return id;
+}
+
+TEST(ServeDaemon, HostileTenantNamesAreEscapedInJsonAndMetrics) {
+    serve::Daemon daemon(loopback_options());
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    // Quotes, backslashes, a newline, braces, and multi-byte UTF-8 — a
+    // tenant name is client-controlled and must not be able to corrupt
+    // either exposition document.
+    const std::string hostile = "evil\"name\\with\nnewline{}";
+    const std::string utf8 = "tenant-\xc3\xbc";
+    const std::uint32_t hostile_id = finish_named_tenant(daemon, hostile);
+    const std::uint32_t utf8_id = finish_named_tenant(daemon, utf8);
+    ASSERT_NE(hostile_id, 0u);
+    ASSERT_NE(utf8_id, 0u);
+
+    // /tenants stays parseable JSON with the name escaped, not raw.
+    const std::string tenants =
+        http_body(http_get(daemon.address(), "/tenants"));
+    EXPECT_TRUE(dsspy_test::json_valid(tenants)) << tenants;
+    EXPECT_NE(
+        tenants.find("\"name\": \"evil\\\"name\\\\with\\u000anewline{}\""),
+        std::string::npos)
+        << tenants;
+    EXPECT_NE(tenants.find("\"name\": \"" + utf8 + "\""),
+              std::string::npos);
+
+    // /metrics escapes the label value per the Prometheus exposition
+    // format (backslash, quote, newline) and keeps one sample per line.
+    const std::string metrics =
+        http_body(http_get(daemon.address(), "/metrics"));
+    EXPECT_NE(
+        metrics.find("dsspy_serve_tenant_events{tenant=\"" +
+                     std::to_string(hostile_id) +
+                     "\",name=\"evil\\\"name\\\\with\\nnewline{}\","
+                     "state=\"finished\"}"),
+        std::string::npos)
+        << metrics;
+    std::istringstream lines(metrics);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.find("{tenant=") == std::string::npos) continue;
+        // Well-formed sample: an even number of quotes, the brace block
+        // closed, and a numeric value after it — a raw newline or quote
+        // in the name would have split or unbalanced the line.
+        EXPECT_EQ(count_unescaped_quotes(line) % 2, 0u) << line;
+        const std::size_t close = line.rfind("} ");
+        ASSERT_NE(close, std::string::npos) << line;
+        for (std::size_t i = close + 2; i < line.size(); ++i)
+            EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(line[i])))
+                << line;
+    }
+    daemon.stop();
+}
+
+TEST(ServeExport, PrometheusSampleSanitizesHostileLabelNames) {
+    // Label names have no escape syntax in the exposition format, so the
+    // writer must sanitize them: invalid characters map to '_', a
+    // leading digit gets a '_' prefix, and empty names drop the label.
+    std::ostringstream os;
+    const std::array<obs::PromLabel, 4> labels = {{
+        {"bad name\"}\n", "v1"},
+        {"9lead", "v2"},
+        {"", "dropped"},
+        {"ok_name", "v3"},
+    }};
+    obs::write_prometheus_sample(os, "serve.test_series", labels, 7);
+    EXPECT_EQ(os.str(),
+              "dsspy_serve_test_series{bad_name___=\"v1\",_9lead=\"v2\","
+              "ok_name=\"v3\"} 7\n");
+
+    // All labels dropped: no empty brace block.
+    std::ostringstream bare;
+    const std::array<obs::PromLabel, 1> none = {{{"", "x"}}};
+    obs::write_prometheus_sample(bare, "serve.test_series", none, 1);
+    EXPECT_EQ(bare.str(), "dsspy_serve_test_series 1\n");
+}
+
+TEST(ServeDaemon, TenantTraceEndpointServesPerTenantTimelines) {
+    serve::Daemon daemon(loopback_options());
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+    // start() turns the global span recorder on so live timelines work
+    // without any CLI flag.
+    EXPECT_TRUE(obs::trace_enabled());
+
+    const std::string csv_a = make_trace(3, 200, 21);
+    const std::string csv_b = make_trace(2, 150, 22);
+    const serve::ClientResult a = serve::push_trace_file(
+        daemon.address(), write_temp_trace("trace_a", csv_a), "trace-a");
+    const serve::ClientResult b = serve::push_trace_file(
+        daemon.address(), write_temp_trace("trace_b", csv_b), "trace-b");
+    ASSERT_TRUE(a.ok) << a.error;
+    ASSERT_TRUE(b.ok) << b.error;
+
+    const std::string trace_a = http_get(
+        daemon.address(),
+        "/tenants/" + std::to_string(a.tenant_id) + "/trace");
+    EXPECT_NE(trace_a.find("200 OK"), std::string::npos) << trace_a;
+    const std::string body_a = http_body(trace_a);
+    EXPECT_TRUE(dsspy_test::json_valid(body_a)) << body_a;
+    // The tenant's session renders as one tree: the root span plus
+    // frame/fold/finalize children, annotated with the terminal state.
+    EXPECT_NE(body_a.find("\"name\": \"serve.tenant\""), std::string::npos)
+        << body_a;
+    EXPECT_NE(body_a.find("\"name\": \"serve.fold\""), std::string::npos);
+    EXPECT_NE(body_a.find("\"name\": \"serve.finalize\""),
+              std::string::npos);
+    EXPECT_NE(body_a.find("tenant=trace-a state=finished"),
+              std::string::npos)
+        << body_a;
+
+    // The second tenant gets its own tree, not a copy of the first.
+    const std::string body_b = http_body(http_get(
+        daemon.address(),
+        "/tenants/" + std::to_string(b.tenant_id) + "/trace"));
+    EXPECT_TRUE(dsspy_test::json_valid(body_b));
+    EXPECT_NE(body_b.find("tenant=trace-b state=finished"),
+              std::string::npos);
+    EXPECT_EQ(body_b.find("tenant=trace-a"), std::string::npos);
+    EXPECT_NE(body_a, body_b);
+
+    // The HTTP endpoint serves exactly what the API returns.
+    const auto api_a = daemon.tenant_trace(a.tenant_id);
+    ASSERT_TRUE(api_a.has_value());
+    EXPECT_EQ(*api_a, body_a);
+    EXPECT_FALSE(daemon.tenant_trace(999).has_value());
+    const std::string missing =
+        http_get(daemon.address(), "/tenants/999/trace");
+    EXPECT_NE(missing.find("404"), std::string::npos) << missing;
+    daemon.stop();
+
+    // Leave the global recorder the way non-serve tests expect it.
+    obs::TraceRecorder::global().set_enabled(false);
+    obs::TraceRecorder::global().reset();
 }
 
 // --- unix transport & plan layer ----------------------------------------

@@ -65,6 +65,12 @@
 // command additionally enables the metrics registry and writes its JSON
 // snapshot to FILE when the command finishes.
 //
+// Span tracing (DESIGN.md §13): `--trace-spans-out=FILE` on any pipeline
+// command (and `dsspy serve`) enables the span recorder and writes the
+// recorded span trees as Chrome trace-event / Perfetto JSON to FILE when
+// the command finishes; `--slow-op-ms=N` additionally logs a [slow-op]
+// stderr line for every span at least N ms long.
+//
 // Exit codes: 0 success, 1 runtime failure (unknown app/program, missing
 // or unwritable file, failed job), 2 usage error (unknown command or flag,
 // conflicting options).
@@ -85,8 +91,10 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/self_overhead.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "pipeline/batch.hpp"
+#include "pipeline/report_sink.hpp"
 #include "pipeline/run_plan.hpp"
 #include "pipeline/runner.hpp"
 #include "pipeline/serve_plan.hpp"
@@ -110,6 +118,8 @@ struct Options {
     pipeline::PushPlan push;    ///< push: client configuration.
     std::string trace_path;
     std::string metrics_out;   ///< Write the metrics JSON snapshot here.
+    std::string trace_spans_out;  ///< Write the span-tree JSON here.
+    int slow_op_ms = 0;        ///< [slow-op] log threshold (0 = off).
     unsigned threads = 0;      ///< --threads override (0 = hardware).
     std::vector<std::string> overrides;
 };
@@ -139,7 +149,8 @@ int usage(const char* argv0) {
         << "                        (--listen unix:PATH|tcp://host:port,\n"
         << "                        --max-tenants=N, --max-finished-tenants=N,\n"
         << "                        --max-frame-bytes=N, --max-instances=N,\n"
-        << "                        --client-timeout-ms=N; docs/SERVE.md)\n"
+        << "                        --client-timeout-ms=N, --slow-op-ms=N,\n"
+        << "                        --trace-spans-out=FILE; docs/SERVE.md)\n"
         << "  push <trace>          send a recorded trace to a daemon\n"
         << "                        (--connect SPEC, --tenant NAME,\n"
         << "                        --frame-bytes=N)\n"
@@ -155,6 +166,10 @@ int usage(const char* argv0) {
         << "        hardware concurrency — `dsspy config` prints it)\n"
         << "        --metrics-out=FILE (enable self-telemetry; write the\n"
         << "        metrics JSON snapshot to FILE on exit)\n"
+        << "        --trace-spans-out=FILE (enable span tracing; write the\n"
+        << "        span trees as Chrome trace-event / Perfetto JSON)\n"
+        << "        --slow-op-ms=N (log a [slow-op] stderr line for every\n"
+        << "        span at least N ms long)\n"
         << "        --set key=value (threshold override, repeatable)\n"
         << "Exit codes: 0 success, 1 runtime failure, 2 usage error\n";
     return pipeline::kExitUsageError;
@@ -235,6 +250,21 @@ std::optional<Options> parse_args(int argc, char** argv) {
                 std::cerr << "--metrics-out needs a file path\n";
                 return std::nullopt;
             }
+        } else if (arg.rfind("--trace-spans-out=", 0) == 0) {
+            opt.trace_spans_out =
+                arg.substr(std::strlen("--trace-spans-out="));
+            if (opt.trace_spans_out.empty()) {
+                std::cerr << "--trace-spans-out needs a file path\n";
+                return std::nullopt;
+            }
+        } else if (arg.rfind("--slow-op-ms=", 0) == 0) {
+            const int n =
+                std::atoi(arg.c_str() + std::strlen("--slow-op-ms="));
+            if (n <= 0) {
+                std::cerr << "--slow-op-ms needs a positive threshold\n";
+                return std::nullopt;
+            }
+            opt.slow_op_ms = n;
         } else if (arg == "--set" && i + 1 < argc) {
             opt.overrides.emplace_back(argv[++i]);
         } else if (arg == "--listen" && i + 1 < argc) {
@@ -317,6 +347,7 @@ pipeline::RunPlan base_plan(const Options& opt,
     plan.config = config;
     plan.outputs = opt.outputs;
     plan.outputs.metrics_out = opt.metrics_out;
+    plan.outputs.trace_spans_out = opt.trace_spans_out;
     if (opt.incremental) plan.engine = pipeline::EngineChoice::Incremental;
     if (opt.postmortem) plan.engine = pipeline::EngineChoice::Postmortem;
     plan.trace_out = opt.trace_path;
@@ -378,7 +409,16 @@ void print_watch_tick(const Options& opt, const pipeline::WatchTick& tick) {
         reg.gauge_max(lag_metric, lag);
         std::cout << "[metrics] captured " << tick.events_captured
                   << ", watermark lag " << lag << " events, peak rss "
-                  << obs::sample_peak_rss_bytes() / 1024 << " KiB\n";
+                  << obs::sample_peak_rss_bytes() / 1024 << " KiB";
+        if (obs::trace_enabled()) {
+            // Live span view: how deep the busiest thread is nested and
+            // which open span has been running longest.
+            const obs::OpenSpanInfo open =
+                obs::TraceRecorder::global().slowest_open_span();
+            std::cout << ", span depth " << open.depth << ", slowest open "
+                      << (open.name != nullptr ? open.name : "-");
+        }
+        std::cout << '\n';
     }
     if (opt.outputs.summary) {
         core::print_instance_summary(std::cout, tick.snapshot);
@@ -400,6 +440,7 @@ int cmd_batch(const Options& opt, const core::DetectorConfig& config) {
         // The combined snapshot is written once after the batch, not once
         // per job.
         plan.outputs.metrics_out.clear();
+        plan.outputs.trace_spans_out.clear();
         resolve_batch_target(target, plan);
         if (const std::string problem =
                 pipeline::PipelineRunner::validate(plan);
@@ -412,6 +453,9 @@ int cmd_batch(const Options& opt, const core::DetectorConfig& config) {
     const pipeline::PipelineRunner runner;
     const pipeline::BatchSummary summary = pipeline::run_batch(
         runner, plans, opt.threads, std::cout, std::cerr);
+    // One combined span file after every job finished: the batch root and
+    // each job's tree export together.
+    pipeline::write_trace_spans(opt.trace_spans_out, std::cerr);
     if (!opt.metrics_out.empty() && obs::enabled()) {
         const std::vector<obs::MetricValue> metrics =
             obs::MetricsRegistry::global().collect();
@@ -449,6 +493,8 @@ extern "C" void handle_serve_signal(int) {
 int cmd_serve(const Options& opt, const core::DetectorConfig& config) {
     pipeline::ServePlan plan = opt.serve;
     plan.config = config;
+    plan.slow_op_ms = opt.slow_op_ms;
+    plan.trace_spans_out = opt.trace_spans_out;
     std::signal(SIGINT, handle_serve_signal);
     std::signal(SIGTERM, handle_serve_signal);
     return pipeline::run_serve(plan, std::cout, std::cerr, g_serve_stop);
@@ -496,6 +542,16 @@ int main(int argc, char** argv) {
     // instrumentation site costs one predicted branch) unless asked for.
     if (!opt->metrics_out.empty() || opt->command == "metrics")
         obs::MetricsRegistry::global().set_enabled(true);
+
+    // Span tracing likewise; --slow-op-ms implies it (the slow-op check
+    // runs where spans are recorded).  `dsspy serve` enables both in
+    // Daemon::start instead, so in-process daemon embedding gets them too.
+    if (!opt->trace_spans_out.empty() || opt->slow_op_ms > 0) {
+        obs::TraceRecorder::global().set_enabled(true);
+        if (opt->slow_op_ms > 0)
+            obs::TraceRecorder::global().set_slow_op_threshold_ns(
+                static_cast<std::uint64_t>(opt->slow_op_ms) * 1000000u);
+    }
 
     if (opt->command == "list") return cmd_list();
     if (opt->command == "config") return cmd_config(config);
