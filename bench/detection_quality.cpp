@@ -161,7 +161,7 @@ std::array<Counts, core::kUseCaseKindCount> evaluate(
             const Label& expected = it->second;
             Label detected;
             for (const core::UseCase& uc : ia.use_cases)
-                if (uc.parallel_potential) detected.insert(uc.kind);
+                if (uc.parallel_potential()) detected.insert(uc.kind);
             for (std::size_t k = 0; k < core::kUseCaseKindCount; ++k) {
                 const auto kind = static_cast<UseCaseKind>(k);
                 const bool want = expected.contains(kind);

@@ -39,7 +39,7 @@ int main() {
         for (const core::InstanceAnalysis& ia : analysis.instances()) {
             if (!ia.patterns.empty()) ++regularities;
             for (const core::UseCase& uc : ia.use_cases)
-                if (uc.parallel_potential) ++parallel_ucs;
+                if (uc.parallel_potential()) ++parallel_ucs;
         }
 
         table.add_row({program->name,

@@ -98,7 +98,7 @@ int main() {
                 instances = analysis.list_array_instances();
                 flagged = analysis.flagged_instances();
                 for (const core::UseCase& uc : analysis.all_use_cases())
-                    if (uc.parallel_potential) ++use_cases;
+                    if (uc.parallel_potential()) ++use_cases;
             }
 
             const apps::RunResult parallel = app.run_parallel(pool);

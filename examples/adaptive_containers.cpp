@@ -1,0 +1,100 @@
+// Self-adapting containers (DESIGN.md §15): the closed loop in ~80
+// lines.  An AdaptiveList and an AdaptiveDictionary profile their own
+// access streams, reclassify with the same detectors `dsspy analyze`
+// runs offline, and migrate their backing when a verdict holds:
+//
+//   Frequent-Search  -> Indexed     (value -> index dictionary)
+//   Implement-Queue  -> DequeBacked (O(1) front traffic)
+//   Frequent-Long-Read / Long-Insert -> Parallel (pool traversal)
+//
+// No session, no trace file, no separate analysis step — the container
+// IS the profiler and the remedy.
+//
+// Build: cmake --build build --target adaptive_containers
+// Run:   ./build/examples/adaptive_containers
+#include <iostream>
+#include <optional>
+
+#include "adapt/adaptive_dictionary.hpp"
+#include "adapt/adaptive_list.hpp"
+#include "core/use_cases.hpp"
+
+using namespace dsspy;
+
+namespace {
+
+template <typename Container>
+void show(const char* label, const Container& c) {
+    std::cout << label << ": strategy=" << strategy_name(c.strategy())
+              << ", switches=" << c.switch_count()
+              << ", suppressed=" << c.suppressed_count() << ", verdicts=[";
+    bool first = true;
+    for (const core::UseCase& uc : c.verdicts()) {
+        std::cout << (first ? "" : ", ") << use_case_name(uc.kind);
+        first = false;
+    }
+    std::cout << "]\n";
+}
+
+}  // namespace
+
+int main() {
+    // --- a list that learns it is being searched -------------------------
+    // Load a phone book, then look numbers up by value.  After enough
+    // IndexOf traffic the Frequent-Search verdict fires and the list
+    // swaps in a value -> index dictionary: O(n) scans become O(1).
+    adapt::AdaptiveList<long> phone_book;
+    for (long i = 0; i < 4096; ++i) {
+        phone_book.add(i * 7 + 1);
+        if (i % 64 == 63)  // interleaved reads, as a UI would issue
+            (void)phone_book.get(static_cast<std::size_t>(i));
+    }
+    long hits = 0;
+    for (int round = 0; round < 20; ++round) {
+        for (int k = 0; k < 100; ++k)  // sequential directory reads
+            (void)phone_book.get(
+                static_cast<std::size_t>((round * 113 + k) % 4096));
+        for (int k = 0; k < 100; ++k)  // point searches
+            if (phone_book.index_of(((round * 53 + k * 97) % 4096) * 7 + 1) >=
+                0)
+                ++hits;
+    }
+    show("phone_book", phone_book);
+    std::cout << "  " << hits << " lookups answered\n";
+
+    // --- a list that learns it is a queue --------------------------------
+    // Append at the back, consume at the front.  Implement-Queue flips
+    // the backing to a deque; the O(n) front removals disappear.
+    adapt::AdaptiveList<long> mailbox;
+    for (long i = 0; i < 2048; ++i) mailbox.add(i);
+    long delivered = 0;
+    for (int i = 0; i < 6000; ++i) {
+        mailbox.add(2048 + i);
+        delivered += mailbox.get(0) >= 0 ? 1 : 0;
+        mailbox.remove_at(0);
+    }
+    show("mailbox", mailbox);
+    std::cout << "  " << delivered << " messages delivered\n";
+
+    // --- a dictionary that learns to answer reverse lookups --------------
+    // Key -> score gets plus score -> key searches; Frequent-Search on
+    // the dense entry view builds the value -> key reverse index.
+    adapt::AdaptiveDictionary<long, long> scores;
+    for (long i = 0; i < 2048; ++i) {
+        scores.set(i, i * 11 + 5);
+        if (i % 64 == 63) (void)scores.get(i - 1);
+    }
+    long found = 0;
+    for (int round = 0; round < 12; ++round) {
+        for (int k = 0; k < 200; ++k)
+            (void)scores.get((round * 113 + k) % 2048);
+        for (int k = 0; k < 200; ++k) {
+            const std::optional<long> key =
+                scores.find_key(((round * 53 + k * 97) % 2048) * 11 + 5);
+            if (key) ++found;
+        }
+    }
+    show("scores", scores);
+    std::cout << "  " << found << " reverse lookups answered\n";
+    return 0;
+}

@@ -32,7 +32,7 @@ int main() {
         viz::print_profile(std::cout, ia.profile, options);
         for (const core::UseCase& uc : ia.use_cases)
             std::cout << "  -> " << core::use_case_name(uc.kind) << ": "
-                      << uc.recommendation << '\n';
+                      << uc.recommendation() << '\n';
         std::cout << '\n';
     }
 

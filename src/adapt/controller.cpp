@@ -1,0 +1,106 @@
+#include "adapt/controller.hpp"
+
+#include <cstddef>
+
+namespace dsspy::adapt {
+
+HysteresisController::HysteresisController(ControllerConfig config)
+    : config_(config) {}
+
+Strategy HysteresisController::observe(const AdviceSignal* signals,
+                                       std::size_t signal_count,
+                                       std::size_t size,
+                                       std::size_t ops_delta) {
+    ops_since_switch_ += ops_delta;
+
+    // Decay every score, then reinforce the actions this
+    // reclassification reported.  An action that stops being reported
+    // fades toward zero instead of vanishing instantly.
+    const double keep = 1.0 - config_.ewma_alpha;
+    for (double& s : scores_) s *= keep;
+    for (std::size_t i = 0; i < signal_count; ++i) {
+        const AdviceSignal& sig = signals[i];
+        if (sig.action == core::AdviceAction::Count) continue;
+        scores_[static_cast<std::size_t>(sig.action)] +=
+            config_.ewma_alpha * sig.confidence;
+    }
+
+    // The challenger: the best-scored action with a container-side
+    // remedy.  Ties keep the first (enum order) — deterministic.
+    core::AdviceAction best = core::AdviceAction::Count;
+    double best_score = 0.0;
+    for (std::size_t i = 0; i < core::kAdviceActionCount; ++i) {
+        const auto action = static_cast<core::AdviceAction>(i);
+        if (strategy_for(action) == Strategy::Sequential) continue;
+        if (scores_[i] > best_score) {
+            best = action;
+            best_score = scores_[i];
+        }
+    }
+
+    // Desired next state, before damping.
+    Strategy desired = current_;
+    core::AdviceAction desired_action = incumbent_;
+    if (current_ == Strategy::Sequential) {
+        if (best != core::AdviceAction::Count &&
+            best_score >= config_.enter_threshold) {
+            desired = strategy_for(best);
+            desired_action = best;
+        }
+    } else {
+        const double incumbent_score =
+            incumbent_ == core::AdviceAction::Count
+                ? 0.0
+                : scores_[static_cast<std::size_t>(incumbent_)];
+        if (best != core::AdviceAction::Count &&
+            strategy_for(best) != current_ &&
+            best_score >= config_.enter_threshold &&
+            incumbent_score < config_.exit_threshold) {
+            // A different remedy clearly dominates and the incumbent
+            // justification has decayed away: move sideways.
+            desired = strategy_for(best);
+            desired_action = best;
+        } else if (incumbent_score < config_.exit_threshold &&
+                   (best == core::AdviceAction::Count ||
+                    best_score < config_.enter_threshold)) {
+            // Nothing justifies a special backing any more.
+            desired = Strategy::Sequential;
+            desired_action = core::AdviceAction::Count;
+        }
+    }
+
+    if (desired == current_) return current_;
+
+    // Damping gates: dwell first (never before the very first switch —
+    // a cold container should adopt its verdict as soon as it fires),
+    // then switch-cost amortization.
+    if (ever_switched_) {
+        // Escalating dwell: after k completed switches the next one
+        // requires min_dwell_ops × backoff^k operations since the last.
+        double dwell = static_cast<double>(config_.min_dwell_ops);
+        const double backoff = config_.dwell_backoff > 1.0
+                                   ? config_.dwell_backoff
+                                   : 1.0;
+        for (std::size_t k = 0; k < switches_ && k < 32; ++k)
+            dwell *= backoff;
+        if (static_cast<double>(ops_since_switch_) < dwell) {
+            ++suppressed_;
+            return current_;
+        }
+        const double cost_gate =
+            config_.switch_cost_factor * static_cast<double>(size);
+        if (static_cast<double>(ops_since_switch_) < cost_gate) {
+            ++suppressed_;
+            return current_;
+        }
+    }
+
+    current_ = desired;
+    incumbent_ = desired_action;
+    ops_since_switch_ = 0;
+    ever_switched_ = true;
+    ++switches_;
+    return current_;
+}
+
+}  // namespace dsspy::adapt

@@ -1,0 +1,119 @@
+#include "core/advice.hpp"
+
+#include "support/table.hpp"
+
+namespace dsspy::core {
+
+using support::Table;
+
+std::string_view advice_action_text(AdviceAction action) noexcept {
+    switch (action) {
+        case AdviceAction::ParallelInsert:
+            return "Parallelize the insert operation.";
+        case AdviceAction::ParallelContainer:
+            return "Employ a parallel queue as data container.";
+        case AdviceAction::ParallelPhases:
+            return "The insertion order is not important: parallelize both "
+                   "the insert and the search phases.";
+        case AdviceAction::BuildIndex:
+            return "Either employ a parallel data structure that is "
+                   "optimized for searches or parallelize the search "
+                   "operation by splitting the list into smaller chunks "
+                   "searched in parallel.";
+        case AdviceAction::ParallelForAll:
+            return "Check the origin of this access. If it contains a "
+                   "program loop that looks for a specific element, "
+                   "transform the operation into a parallel search.";
+        case AdviceAction::UseDeque:
+            return "Insert/delete traffic causes high copy overhead on a "
+                   "fixed-size array: a dynamic data structure like a list "
+                   "might be better suited.";
+        case AdviceAction::UseStack:
+            return "Insert and delete operations always access a common "
+                   "end: think about using a stack implementation.";
+        case AdviceAction::DropWrites:
+            return "The results of the trailing write accesses are never "
+                   "read; check whether these writes are necessary or can "
+                   "be left to deallocation/garbage collection.";
+        case AdviceAction::Count: break;
+    }
+    return "?";
+}
+
+std::string render_advice_reason(const Advice& advice,
+                                 runtime::DsKind ds_kind) {
+    const AdviceEvidence& e = advice.evidence;
+    switch (advice.action) {
+        case AdviceAction::ParallelPhases:
+            return "Sort follows an insertion phase of " +
+                   std::to_string(e.phase_length) + " events (" +
+                   Table::pct(e.share) +
+                   " of the profile is long insertions); the "
+                   "insertion order is obviously not important.";
+        case AdviceAction::ParallelInsert:
+            return "Insertion phases cover " + Table::pct(e.share) +
+                   " of the profile (threshold " +
+                   Table::pct(e.share_threshold) +
+                   "); longest consecutive insertion streak: " +
+                   std::to_string(e.phase_length) + " events from the " +
+                   (e.at_front ? "front." : "end.");
+        case AdviceAction::ParallelContainer:
+            return Table::pct(e.share) +
+                   " of all accesses affect two different ends of the "
+                   "list (" +
+                   std::to_string(e.ops) + " inserts at the " +
+                   (e.at_front ? "front" : "back") + ", " +
+                   std::to_string(e.aux_ops) + " reads/deletes at the " +
+                   (e.at_front ? "back" : "front") +
+                   "): the list is used like a queue.";
+        case AdviceAction::BuildIndex:
+            return std::to_string(e.ops) + " search operations (threshold " +
+                   std::to_string(e.ops_threshold) + "); " +
+                   Table::pct(e.share) +
+                   " of all access events are Read-Forward/Read-Backward "
+                   "patterns.";
+        case AdviceAction::ParallelForAll:
+            return std::to_string(e.ops) +
+                   " sequential read patterns each covering at least " +
+                   Table::pct(e.share_threshold) + " of the structure; " +
+                   Table::pct(e.share) +
+                   " of all access types are Read or Search — this looks "
+                   "like a disguised search operation.";
+        case AdviceAction::UseDeque:
+            if (ds_kind == runtime::DsKind::Array)
+                return std::to_string(e.ops) +
+                       " array reallocations: every resize copies all "
+                       "elements.";
+            return std::to_string(e.ops) + " front inserts and " +
+                   std::to_string(e.aux_ops) +
+                   " front deletes each shift the whole tail.";
+        case AdviceAction::UseStack:
+            return Table::pct(e.share) +
+                   " of all insert/delete operations access the " +
+                   (e.at_front ? "front" : "back") +
+                   " of the list: this is a stack implementation.";
+        case AdviceAction::DropWrites:
+            return "The profile ends with a write phase of " +
+                   std::to_string(e.phase_length) + " events covering " +
+                   Table::pct(e.share) +
+                   " of the structure whose results are never read.";
+        case AdviceAction::Count: break;
+    }
+    return "?";
+}
+
+std::string render_advice_recommendation(const Advice& advice) {
+    std::string text(advice_action_text(advice.action));
+    // DSspy captures thread ids so it can support multithreaded code: an
+    // instance that is already accessed concurrently needs a
+    // synchronization review before further parallelization.
+    if (advice.evidence.thread_count > 1 &&
+        advice_action_parallel(advice.action)) {
+        text += " Note: this instance is already accessed by " +
+                std::to_string(advice.evidence.thread_count) +
+                " threads; verify synchronization before transforming.";
+    }
+    return text;
+}
+
+}  // namespace dsspy::core

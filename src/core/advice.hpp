@@ -1,0 +1,136 @@
+// Structured advice: the machine-consumable form of a verdict.
+//
+// The paper stops at textual recommendations (Table V); DSspy turns each
+// verdict into a typed Advice value — an action enum, the quantified
+// evidence that used to be flattened into the reason string, and a
+// confidence — and renders the human-readable text *from* that structure
+// on demand.  Consumers that want to act on a verdict (the adaptive
+// container layer in src/adapt/, `dsspy advise --json`, external tools)
+// read the structure; default reports render the exact same bytes the
+// string-based pipeline produced.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "runtime/op.hpp"
+
+namespace dsspy::core {
+
+/// What a verdict tells the consumer to *do*.  One action per use case
+/// (the mapping is a bijection, see `advice_action_for` in
+/// use_cases.hpp), so the action doubles as a stable machine-readable
+/// verdict code.
+enum class AdviceAction : std::uint8_t {
+    ParallelInsert,     ///< Long-Insert: parallelize the insert phase.
+    ParallelContainer,  ///< Implement-Queue: use a parallel queue.
+    ParallelPhases,     ///< Sort-After-Insert: parallelize both phases.
+    BuildIndex,         ///< Frequent-Search: index or chunked search.
+    ParallelForAll,     ///< Frequent-Long-Read: parallel search/traverse.
+    UseDeque,           ///< Insert/Delete-Front: O(1)-front structure.
+    UseStack,           ///< Stack-Implementation: common-end accesses.
+    DropWrites,         ///< Write-Without-Read: trailing writes unread.
+    Count,
+};
+
+inline constexpr std::size_t kAdviceActionCount =
+    static_cast<std::size_t>(AdviceAction::Count);
+
+/// Stable identifier used in JSON exports and docs.
+[[nodiscard]] constexpr std::string_view advice_action_name(
+    AdviceAction action) noexcept {
+    switch (action) {
+        case AdviceAction::ParallelInsert: return "ParallelInsert";
+        case AdviceAction::ParallelContainer: return "ParallelContainer";
+        case AdviceAction::ParallelPhases: return "ParallelPhases";
+        case AdviceAction::BuildIndex: return "BuildIndex";
+        case AdviceAction::ParallelForAll: return "ParallelForAll";
+        case AdviceAction::UseDeque: return "UseDeque";
+        case AdviceAction::UseStack: return "UseStack";
+        case AdviceAction::DropWrites: return "DropWrites";
+        case AdviceAction::Count: break;
+    }
+    return "?";
+}
+
+/// True for the actions derived from the five parallel-potential use
+/// cases (paper Section III-B).
+[[nodiscard]] constexpr bool advice_action_parallel(
+    AdviceAction action) noexcept {
+    switch (action) {
+        case AdviceAction::ParallelInsert:
+        case AdviceAction::ParallelContainer:
+        case AdviceAction::ParallelPhases:
+        case AdviceAction::BuildIndex:
+        case AdviceAction::ParallelForAll:
+            return true;
+        default:
+            return false;
+    }
+}
+
+/// The measured numbers a rule fired on.  Field meaning depends on the
+/// action (documented per action below); unused fields stay zero.
+///
+///   ParallelInsert    share=insert share, share_threshold=config
+///                     threshold, phase_length=longest streak,
+///                     at_front=streak grows from the front
+///   ParallelContainer share=two-end share, ops=inserts at one end,
+///                     aux_ops=reads/deletes at the other,
+///                     at_front=inserts land at the front
+///   ParallelPhases    share=insert share, phase_length=insertion phase
+///                     preceding the Sort
+///   BuildIndex        ops=search operations, ops_threshold=config
+///                     threshold, share=read-pattern share
+///   ParallelForAll    ops=long read patterns, share=read share,
+///                     share_threshold=min per-pattern coverage
+///   UseDeque          Array: ops=reallocations.  List: ops=front
+///                     inserts, aux_ops=front deletes
+///   UseStack          share=common-end share, at_front=the common end
+///                     is the front
+///   DropWrites        phase_length=trailing write events,
+///                     share=fraction of the structure they cover
+struct AdviceEvidence {
+    double share = 0.0;            ///< Dominant measured ratio in [0, 1].
+    double share_threshold = 0.0;  ///< Config threshold for `share`.
+    std::size_t ops = 0;           ///< Primary operation count.
+    std::size_t ops_threshold = 0; ///< Config threshold for `ops`.
+    std::size_t aux_ops = 0;       ///< Secondary operation count.
+    std::size_t phase_length = 0;  ///< Length of the qualifying phase.
+    bool at_front = false;         ///< Front/back orientation of the rule.
+    std::size_t thread_count = 1;  ///< Threads already touching this
+                                   ///< instance during the profile.
+
+    friend bool operator==(const AdviceEvidence&,
+                           const AdviceEvidence&) = default;
+};
+
+/// One structured verdict: what to do, how sure, and why.
+struct Advice {
+    AdviceAction action = AdviceAction::ParallelInsert;
+    /// How far the evidence clears the rule's thresholds, in (0, 1]:
+    /// ~0.5 at the threshold, 1.0 at twice the threshold or beyond.
+    double confidence = 0.5;
+    AdviceEvidence evidence;
+
+    friend bool operator==(const Advice&, const Advice&) = default;
+};
+
+/// The paper's recommended-action text for an action (Table V wording).
+[[nodiscard]] std::string_view advice_action_text(
+    AdviceAction action) noexcept;
+
+/// Render the evidence sentence exactly as the string-based pipeline
+/// wrote it.  `ds_kind` selects the Array/List wording for UseDeque.
+[[nodiscard]] std::string render_advice_reason(const Advice& advice,
+                                               runtime::DsKind ds_kind);
+
+/// Render the recommendation text, including the multithread
+/// synchronization note when the instance was already accessed by more
+/// than one thread.
+[[nodiscard]] std::string render_advice_recommendation(
+    const Advice& advice);
+
+}  // namespace dsspy::core

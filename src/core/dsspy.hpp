@@ -35,7 +35,7 @@ struct InstanceAnalysis {
 
     [[nodiscard]] bool flagged_parallel() const noexcept {
         for (const UseCase& uc : use_cases)
-            if (uc.parallel_potential) return true;
+            if (uc.parallel_potential()) return true;
         return false;
     }
 };

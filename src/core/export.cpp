@@ -49,11 +49,49 @@ std::string fmt_double(double value) {
     return buf;
 }
 
+/// The structured verdict as a compact JSON object.  Shared by the full
+/// analysis document and the advice-only export so the two never drift.
+void write_advice_object(std::ostream& os, const Advice& advice) {
+    const AdviceEvidence& e = advice.evidence;
+    os << "{\"action\": \"" << advice_action_name(advice.action)
+       << "\", \"confidence\": " << fmt_double(advice.confidence)
+       << ", \"evidence\": {\"share\": " << fmt_double(e.share)
+       << ", \"share_threshold\": " << fmt_double(e.share_threshold)
+       << ", \"ops\": " << e.ops
+       << ", \"ops_threshold\": " << e.ops_threshold
+       << ", \"aux_ops\": " << e.aux_ops
+       << ", \"phase_length\": " << e.phase_length
+       << ", \"at_front\": " << (e.at_front ? "true" : "false")
+       << ", \"thread_count\": " << e.thread_count << "}}";
+}
+
+/// One verdict entry of the advice-only document.
+void write_advice_entry(std::ostream& os, const UseCase& uc) {
+    os << "    {\n";
+    os << "      \"class\": \""
+       << json_escape(uc.instance.location.class_name) << "\",\n";
+    os << "      \"method\": \"" << json_escape(uc.instance.location.method)
+       << "\",\n";
+    os << "      \"position\": " << uc.instance.location.position << ",\n";
+    os << "      \"type\": \"" << json_escape(uc.instance.type_name)
+       << "\",\n";
+    os << "      \"use_case\": \"" << use_case_name(uc.kind) << "\",\n";
+    os << "      \"code\": \"" << use_case_code(uc.kind) << "\",\n";
+    os << "      \"parallel\": "
+       << (uc.parallel_potential() ? "true" : "false") << ",\n";
+    os << "      \"advice\": ";
+    write_advice_object(os, uc.advice);
+    os << ",\n";
+    os << "      \"reason\": \"" << json_escape(uc.reason()) << "\",\n";
+    os << "      \"recommendation\": \"" << json_escape(uc.recommendation())
+       << "\"\n    }";
+}
+
 }  // namespace
 
 void write_use_cases_csv(std::ostream& os, const AnalysisResult& result) {
-    os << "class,method,position,type,use_case,code,parallel,reason,"
-          "recommendation\n";
+    os << "class,method,position,type,use_case,code,parallel,action,"
+          "confidence,reason,recommendation\n";
     for (const InstanceAnalysis& ia : result.instances()) {
         for (const UseCase& uc : ia.use_cases) {
             os << csv_escape(uc.instance.location.class_name) << ','
@@ -61,9 +99,11 @@ void write_use_cases_csv(std::ostream& os, const AnalysisResult& result) {
                << uc.instance.location.position << ','
                << csv_escape(uc.instance.type_name) << ','
                << use_case_name(uc.kind) << ',' << use_case_code(uc.kind)
-               << ',' << (uc.parallel_potential ? 1 : 0) << ','
-               << csv_escape(uc.reason) << ','
-               << csv_escape(uc.recommendation) << '\n';
+               << ',' << (uc.parallel_potential() ? 1 : 0) << ','
+               << advice_action_name(uc.advice.action) << ','
+               << fmt_double(uc.confidence()) << ','
+               << csv_escape(uc.reason()) << ','
+               << csv_escape(uc.recommendation()) << '\n';
         }
     }
 }
@@ -89,8 +129,8 @@ void write_instances_csv(std::ostream& os, const AnalysisResult& result) {
 }
 
 void write_use_cases_csv(std::ostream& os, const StreamReport& report) {
-    os << "class,method,position,type,use_case,code,parallel,reason,"
-          "recommendation\n";
+    os << "class,method,position,type,use_case,code,parallel,action,"
+          "confidence,reason,recommendation\n";
     for (const StreamInstance& si : report.instances()) {
         for (const UseCase& uc : si.use_cases) {
             os << csv_escape(uc.instance.location.class_name) << ','
@@ -98,9 +138,11 @@ void write_use_cases_csv(std::ostream& os, const StreamReport& report) {
                << uc.instance.location.position << ','
                << csv_escape(uc.instance.type_name) << ','
                << use_case_name(uc.kind) << ',' << use_case_code(uc.kind)
-               << ',' << (uc.parallel_potential ? 1 : 0) << ','
-               << csv_escape(uc.reason) << ','
-               << csv_escape(uc.recommendation) << '\n';
+               << ',' << (uc.parallel_potential() ? 1 : 0) << ','
+               << advice_action_name(uc.advice.action) << ','
+               << fmt_double(uc.confidence()) << ','
+               << csv_escape(uc.reason()) << ','
+               << csv_escape(uc.recommendation()) << '\n';
         }
     }
 }
@@ -189,14 +231,50 @@ void write_analysis_json(std::ostream& os, const AnalysisResult& result) {
             os << "{\"kind\": \"" << use_case_name(uc.kind)
                << "\", \"code\": \"" << use_case_code(uc.kind)
                << "\", \"parallel\": "
-               << (uc.parallel_potential ? "true" : "false")
-               << ", \"reason\": \"" << json_escape(uc.reason)
+               << (uc.parallel_potential() ? "true" : "false")
+               << ", \"advice\": ";
+            write_advice_object(os, uc.advice);
+            os << ", \"reason\": \"" << json_escape(uc.reason())
                << "\", \"recommendation\": \""
-               << json_escape(uc.recommendation) << "\"}";
+               << json_escape(uc.recommendation()) << "\"}";
         }
         os << "]\n    }";
     }
     os << "\n  ]\n}\n";
+}
+
+namespace {
+
+/// Shared frame of the advice-only document: summary counts plus one
+/// entry per verdict, ranked by report order.
+template <typename Result>
+void write_advice_document(std::ostream& os, const Result& result) {
+    os << "{\n";
+    os << "  \"advice_version\": 1,\n";
+    os << "  \"total_instances\": " << result.total_instances() << ",\n";
+    os << "  \"flagged_instances\": " << result.flagged_instances() << ",\n";
+    os << "  \"search_space_reduction\": "
+       << fmt_double(result.search_space_reduction()) << ",\n";
+    os << "  \"verdicts\": [\n";
+    bool first = true;
+    for (const auto& entry : result.instances()) {
+        for (const UseCase& uc : entry.use_cases) {
+            if (!first) os << ",\n";
+            first = false;
+            write_advice_entry(os, uc);
+        }
+    }
+    os << "\n  ]\n}\n";
+}
+
+}  // namespace
+
+void write_advice_json(std::ostream& os, const AnalysisResult& result) {
+    write_advice_document(os, result);
+}
+
+void write_advice_json(std::ostream& os, const StreamReport& report) {
+    write_advice_document(os, report);
 }
 
 }  // namespace dsspy::core

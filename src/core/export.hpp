@@ -13,7 +13,8 @@
 namespace dsspy::core {
 
 /// One CSV row per detected use case:
-/// class,method,position,type,kind,code,parallel,reason,recommendation
+/// class,method,position,type,kind,code,parallel,action,confidence,reason,
+/// recommendation
 void write_use_cases_csv(std::ostream& os, const AnalysisResult& result);
 
 /// One CSV row per instance with profile aggregates:
@@ -32,7 +33,14 @@ void write_instances_csv(std::ostream& os, const StreamReport& report);
 void write_patterns_csv(std::ostream& os, const AnalysisResult& result);
 
 /// Whole analysis as a single JSON document (instances with nested
-/// patterns and use cases, plus the search-space summary).
+/// patterns and use cases, plus the search-space summary).  Each use-case
+/// object carries a nested `advice` object with the structured verdict.
 void write_analysis_json(std::ostream& os, const AnalysisResult& result);
+
+/// Advice-only JSON document (`dsspy advise --json`): one entry per
+/// verdict with the structured action, confidence and evidence — the
+/// machine-consumable form of the report, without profiles or patterns.
+void write_advice_json(std::ostream& os, const AnalysisResult& result);
+void write_advice_json(std::ostream& os, const StreamReport& report);
 
 }  // namespace dsspy::core

@@ -52,7 +52,7 @@ struct StreamInstance {
 
     [[nodiscard]] bool flagged_parallel() const noexcept {
         for (const UseCase& uc : use_cases)
-            if (uc.parallel_potential) return true;
+            if (uc.parallel_potential()) return true;
         return false;
     }
 

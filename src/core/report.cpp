@@ -14,8 +14,8 @@ std::string format_use_case(const UseCase& use_case, std::size_t ordinal) {
     out += "  Data structure: " + use_case.instance.type_name + "\n";
     out += "  Use Case:       " + std::string(use_case_name(use_case.kind)) +
            "\n";
-    out += "  Reason:         " + use_case.reason + "\n";
-    out += "  Recommendation: " + use_case.recommendation + "\n";
+    out += "  Reason:         " + use_case.reason() + "\n";
+    out += "  Recommendation: " + use_case.recommendation() + "\n";
     return out;
 }
 
@@ -24,7 +24,7 @@ void print_use_case_report(std::ostream& os, const AnalysisResult& result,
     std::size_t ordinal = 0;
     for (const InstanceAnalysis& ia : result.instances()) {
         for (const UseCase& uc : ia.use_cases) {
-            if (parallel_only && !uc.parallel_potential) continue;
+            if (parallel_only && !uc.parallel_potential()) continue;
             os << format_use_case(uc, ++ordinal) << '\n';
         }
     }
@@ -55,7 +55,7 @@ void print_use_case_report(std::ostream& os, const StreamReport& report,
     std::size_t ordinal = 0;
     for (const StreamInstance& si : report.instances()) {
         for (const UseCase& uc : si.use_cases) {
-            if (parallel_only && !uc.parallel_potential) continue;
+            if (parallel_only && !uc.parallel_potential()) continue;
             os << format_use_case(uc, ++ordinal) << '\n';
         }
     }

@@ -84,16 +84,16 @@ TransformPlan plan_transformations(const AnalysisResult& result,
     TransformPlan plan;
     for (const InstanceAnalysis& ia : result.instances()) {
         for (const UseCase& uc : ia.use_cases) {
-            if (parallel_only && !uc.parallel_potential) continue;
+            if (parallel_only && !uc.parallel_potential()) continue;
             TransformStep step;
             step.action = action_for(uc.kind);
             step.source = uc.kind;
             step.instance = uc.instance;
-            step.confidence = uc.confidence;
+            step.confidence = uc.confidence();
             step.events = ia.profile.total_events();
             step.impact =
-                static_cast<double>(step.events) * uc.confidence;
-            step.parallel = uc.parallel_potential;
+                static_cast<double>(step.events) * uc.confidence();
+            step.parallel = uc.parallel_potential();
             step.code_hint = std::string(transform_code_hint(step.action));
             plan.steps.push_back(std::move(step));
         }

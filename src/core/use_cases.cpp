@@ -2,13 +2,9 @@
 
 #include <algorithm>
 
-#include "support/table.hpp"
-
 namespace dsspy::core {
 
 namespace {
-
-using support::Table;
 
 /// Linear data structures — the ones positional use cases apply to.
 bool is_linear(runtime::DsKind kind) noexcept {
@@ -27,37 +23,7 @@ bool is_linear(runtime::DsKind kind) noexcept {
 }  // namespace
 
 std::string_view recommended_action(UseCaseKind kind) noexcept {
-    switch (kind) {
-        case UseCaseKind::LongInsert:
-            return "Parallelize the insert operation.";
-        case UseCaseKind::ImplementQueue:
-            return "Employ a parallel queue as data container.";
-        case UseCaseKind::SortAfterInsert:
-            return "The insertion order is not important: parallelize both "
-                   "the insert and the search phases.";
-        case UseCaseKind::FrequentSearch:
-            return "Either employ a parallel data structure that is "
-                   "optimized for searches or parallelize the search "
-                   "operation by splitting the list into smaller chunks "
-                   "searched in parallel.";
-        case UseCaseKind::FrequentLongRead:
-            return "Check the origin of this access. If it contains a "
-                   "program loop that looks for a specific element, "
-                   "transform the operation into a parallel search.";
-        case UseCaseKind::InsertDeleteFront:
-            return "Insert/delete traffic causes high copy overhead on a "
-                   "fixed-size array: a dynamic data structure like a list "
-                   "might be better suited.";
-        case UseCaseKind::StackImplementation:
-            return "Insert and delete operations always access a common "
-                   "end: think about using a stack implementation.";
-        case UseCaseKind::WriteWithoutRead:
-            return "The results of the trailing write accesses are never "
-                   "read; check whether these writes are necessary or can "
-                   "be left to deallocation/garbage collection.";
-        case UseCaseKind::Count: break;
-    }
-    return "?";
+    return advice_action_text(advice_action_for(kind));
 }
 
 InstanceStats compute_instance_stats(const RuntimeProfile& profile,
@@ -154,23 +120,14 @@ std::vector<UseCase> UseCaseEngine::classify(const InstanceStats& s) const {
     };
 
     auto emit = [&out, &info, &s](UseCaseKind kind, double confidence,
-                                  std::string reason) {
+                                  AdviceEvidence evidence) {
         UseCase uc;
         uc.kind = kind;
         uc.instance = info;
-        uc.confidence = confidence;
-        uc.reason = std::move(reason);
-        uc.recommendation = std::string(recommended_action(kind));
-        uc.parallel_potential = has_parallel_potential(kind);
-        // DSspy captures thread ids so it can support multithreaded code:
-        // an instance that is already accessed concurrently needs a
-        // synchronization review before further parallelization.
-        if (s.thread_count > 1 && uc.parallel_potential) {
-            uc.recommendation +=
-                " Note: this instance is already accessed by " +
-                std::to_string(s.thread_count) +
-                " threads; verify synchronization before transforming.";
-        }
+        uc.advice.action = advice_action_for(kind);
+        uc.advice.confidence = confidence;
+        evidence.thread_count = s.thread_count;
+        uc.advice.evidence = evidence;
         out.push_back(std::move(uc));
     };
 
@@ -193,27 +150,24 @@ std::vector<UseCase> UseCaseEngine::classify(const InstanceStats& s) const {
     // ---- Sort-After-Insert: a Sort directly after a long insertion ------
     bool sai_fired = false;
     if (li_conditions && s.sai_match) {
+        AdviceEvidence e;
+        e.share = insert_share;
+        e.share_threshold = config_.sai_min_insert_share;
+        e.phase_length = s.sai_phase_length;
         emit(UseCaseKind::SortAfterInsert,
-             confidence_of(insert_share, config_.sai_min_insert_share),
-             "Sort follows an insertion phase of " +
-                 std::to_string(s.sai_phase_length) + " events (" +
-                 Table::pct(insert_share) +
-                 " of the profile is long insertions); the "
-                 "insertion order is obviously not important.");
+             confidence_of(insert_share, config_.sai_min_insert_share), e);
         sai_fired = true;
     }
 
     // ---- Long-Insert (suppressed when subsumed by Sort-After-Insert) ----
     if (li_conditions && !sai_fired) {
+        AdviceEvidence e;
+        e.share = insert_share;
+        e.share_threshold = config_.li_min_insert_share;
+        e.phase_length = s.longest_insert_length;
+        e.at_front = s.longest_insert_front;
         emit(UseCaseKind::LongInsert,
-             confidence_of(insert_share, config_.li_min_insert_share),
-             "Insertion phases cover " + Table::pct(insert_share) +
-                 " of the profile (threshold " +
-                 Table::pct(config_.li_min_insert_share) +
-                 "); longest consecutive insertion streak: " +
-                 std::to_string(s.longest_insert_length) +
-                 " events from the " +
-                 (s.longest_insert_front ? "front." : "end."));
+             confidence_of(insert_share, config_.li_min_insert_share), e);
     }
 
     // ---- Implement-Queue: two-end traffic on a list ----------------------
@@ -243,18 +197,16 @@ std::vector<UseCase> UseCaseEngine::classify(const InstanceStats& s) const {
         if (two_end_share > config_.iq_min_two_end_share &&
             balance >= config_.iq_min_per_end_share && insert_side > 0 &&
             consume_side > 0) {
+            AdviceEvidence e;
+            e.share = two_end_share;
+            e.share_threshold = config_.iq_min_two_end_share;
+            e.ops = insert_side;
+            e.aux_ops = consume_side;
+            e.at_front = !orientation1;
             emit(UseCaseKind::ImplementQueue,
                  confidence_of(two_end_share,
                                config_.iq_min_two_end_share),
-                 Table::pct(two_end_share) +
-                     " of all accesses affect two different ends of the "
-                     "list (" +
-                     std::to_string(insert_side) + " inserts at the " +
-                     (orientation1 ? "back" : "front") + ", " +
-                     std::to_string(consume_side) +
-                     " reads/deletes at the " +
-                     (orientation1 ? "front" : "back") +
-                     "): the list is used like a queue.");
+                 e);
         }
     }
 
@@ -266,16 +218,16 @@ std::vector<UseCase> UseCaseEngine::classify(const InstanceStats& s) const {
             static_cast<double>(s.read_pattern_events) /
             static_cast<double>(total);
         if (read_pattern_share >= config_.fs_min_read_pattern_share) {
+            AdviceEvidence e;
+            e.share = read_pattern_share;
+            e.share_threshold = config_.fs_min_read_pattern_share;
+            e.ops = search_ops;
+            e.ops_threshold = config_.fs_min_search_ops;
             emit(UseCaseKind::FrequentSearch,
                  confidence_of(static_cast<double>(search_ops),
                                static_cast<double>(
                                    config_.fs_min_search_ops)),
-                 std::to_string(search_ops) +
-                     " search operations (threshold " +
-                     std::to_string(config_.fs_min_search_ops) + "); " +
-                     Table::pct(read_pattern_share) +
-                     " of all access events are Read-Forward/Read-Backward "
-                     "patterns.");
+                 e);
         }
     }
 
@@ -286,42 +238,46 @@ std::vector<UseCase> UseCaseEngine::classify(const InstanceStats& s) const {
                                    : 0.0;
         if (s.long_read_patterns > config_.flr_min_read_patterns &&
             read_share >= config_.flr_min_read_share) {
+            AdviceEvidence e;
+            e.share = read_share;
+            e.share_threshold = config_.flr_min_coverage;
+            e.ops = s.long_read_patterns;
+            e.ops_threshold = config_.flr_min_read_patterns;
             emit(UseCaseKind::FrequentLongRead,
                  confidence_of(static_cast<double>(s.long_read_patterns),
                                static_cast<double>(
                                    config_.flr_min_read_patterns)),
-                 std::to_string(s.long_read_patterns) +
-                     " sequential read patterns each covering at least " +
-                     Table::pct(config_.flr_min_coverage) +
-                     " of the structure; " + Table::pct(read_share) +
-                     " of all access types are Read or Search — this looks "
-                     "like a disguised search operation.");
+                 e);
         }
     }
 
     // ---- Insert/Delete-Front (sequential) --------------------------------
     if (info.kind == runtime::DsKind::Array) {
         if (s.resizes >= config_.idf_min_resizes) {
+            AdviceEvidence e;
+            e.ops = s.resizes;
+            e.ops_threshold = config_.idf_min_resizes;
             emit(UseCaseKind::InsertDeleteFront,
                  confidence_of(static_cast<double>(s.resizes),
                                static_cast<double>(
                                    config_.idf_min_resizes)),
-                 std::to_string(s.resizes) +
-                     " array reallocations: every resize copies all "
-                     "elements.");
+                 e);
         }
     } else if (info.kind == runtime::DsKind::List) {
         const EndTraffic& t = s.edge_traffic;
         if (t.front_insert >= config_.idf_min_front_ops &&
             t.front_delete >= config_.idf_min_front_ops) {
+            AdviceEvidence e;
+            e.ops = t.front_insert;
+            e.aux_ops = t.front_delete;
+            e.ops_threshold = config_.idf_min_front_ops;
+            e.at_front = true;
             emit(UseCaseKind::InsertDeleteFront,
                  confidence_of(
                      static_cast<double>(
                          std::min(t.front_insert, t.front_delete)),
                      static_cast<double>(config_.idf_min_front_ops)),
-                 std::to_string(t.front_insert) + " front inserts and " +
-                     std::to_string(t.front_delete) +
-                     " front deletes each shift the whole tail.");
+                 e);
         }
     }
 
@@ -346,13 +302,15 @@ std::vector<UseCase> UseCaseEngine::classify(const InstanceStats& s) const {
                 static_cast<double>(all_muts);
             if (back_share >= config_.si_min_common_end_share ||
                 front_share >= config_.si_min_common_end_share) {
+                AdviceEvidence e;
+                e.share = std::max(back_share, front_share);
+                e.share_threshold = config_.si_min_common_end_share;
+                e.ops = all_muts;
+                e.at_front = back_share < front_share;
                 emit(UseCaseKind::StackImplementation,
                      confidence_of(std::max(back_share, front_share),
                                    config_.si_min_common_end_share),
-                     Table::pct(std::max(back_share, front_share)) +
-                         " of all insert/delete operations access the " +
-                         (back_share >= front_share ? "back" : "front") +
-                         " of the list: this is a stack implementation.");
+                     e);
             }
         }
     }
@@ -366,12 +324,13 @@ std::vector<UseCase> UseCaseEngine::classify(const InstanceStats& s) const {
         const double coverage =
             std::min(1.0, static_cast<double>(s.tail_length) / denom);
         if (coverage >= config_.wwr_min_coverage) {
+            AdviceEvidence e;
+            e.share = coverage;
+            e.share_threshold = config_.wwr_min_coverage;
+            e.phase_length = s.tail_length;
             emit(UseCaseKind::WriteWithoutRead,
                  confidence_of(coverage, config_.wwr_min_coverage),
-                 "The profile ends with a write phase of " +
-                     std::to_string(s.tail_length) +
-                     " events covering " + Table::pct(coverage) +
-                     " of the structure whose results are never read.");
+                 e);
         }
     }
 

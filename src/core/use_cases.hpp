@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/advice.hpp"
 #include "core/detector_config.hpp"
 #include "core/instance_stats.hpp"
 #include "core/patterns.hpp"
@@ -88,20 +89,57 @@ inline constexpr std::size_t kUseCaseKindCount =
     }
 }
 
+/// The structured action each use case maps to (a bijection; the action
+/// is the machine-readable verdict code).
+[[nodiscard]] constexpr AdviceAction advice_action_for(
+    UseCaseKind kind) noexcept {
+    switch (kind) {
+        case UseCaseKind::LongInsert: return AdviceAction::ParallelInsert;
+        case UseCaseKind::ImplementQueue:
+            return AdviceAction::ParallelContainer;
+        case UseCaseKind::SortAfterInsert:
+            return AdviceAction::ParallelPhases;
+        case UseCaseKind::FrequentSearch: return AdviceAction::BuildIndex;
+        case UseCaseKind::FrequentLongRead:
+            return AdviceAction::ParallelForAll;
+        case UseCaseKind::InsertDeleteFront: return AdviceAction::UseDeque;
+        case UseCaseKind::StackImplementation: return AdviceAction::UseStack;
+        case UseCaseKind::WriteWithoutRead: return AdviceAction::DropWrites;
+        case UseCaseKind::Count: break;
+    }
+    return AdviceAction::Count;
+}
+
 /// The recommended action the paper attaches to each use case.
 [[nodiscard]] std::string_view recommended_action(UseCaseKind kind) noexcept;
 
-/// One detected use case on one instance.
+/// One detected use case on one instance.  The verdict is stored as a
+/// structured Advice (action + evidence + confidence); the report text is
+/// rendered from the structure on demand, so a million flagged instances
+/// no longer each hold a copy of the static recommendation string.
 struct UseCase {
     UseCaseKind kind = UseCaseKind::LongInsert;
     runtime::InstanceInfo instance;  ///< Where it was found.
-    std::string reason;              ///< Measured evidence (numbers).
-    std::string recommendation;      ///< Recommended action text.
-    bool parallel_potential = false;
+    Advice advice;                   ///< Structured verdict.
+
+    /// Measured evidence (numbers), rendered from the structure.
+    [[nodiscard]] std::string reason() const {
+        return render_advice_reason(advice, instance.kind);
+    }
+    /// Recommended action text (plus the multithread note when the
+    /// instance was already accessed concurrently).
+    [[nodiscard]] std::string recommendation() const {
+        return render_advice_recommendation(advice);
+    }
+    [[nodiscard]] bool parallel_potential() const noexcept {
+        return has_parallel_potential(kind);
+    }
     /// How far the evidence clears the rule's thresholds, in (0, 1]:
     /// ~0.5 at the threshold, 1.0 at twice the threshold or beyond.
     /// Used to rank recommendations (most clear-cut first).
-    double confidence = 0.5;
+    [[nodiscard]] double confidence() const noexcept {
+        return advice.confidence;
+    }
 
     friend bool operator==(const UseCase&, const UseCase&) = default;
 };

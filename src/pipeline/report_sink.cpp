@@ -84,6 +84,25 @@ public:
     }
 };
 
+/// Structured advice as one JSON document (`dsspy advise`, `--advice`).
+/// Works on both engines: the advice entries render from the classified
+/// use cases, which both result types carry.
+class AdviceSink final : public ReportSink {
+public:
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "advice";
+    }
+    bool emit(const RunOutcome& outcome, std::ostream& out,
+              std::ostream&) override {
+        if (outcome.analysis) {
+            core::write_advice_json(out, *outcome.analysis);
+        } else if (outcome.stream) {
+            core::write_advice_json(out, *outcome.stream);
+        }
+        return true;
+    }
+};
+
 /// Full analysis as one JSON document (`--json`).
 class JsonSink final : public ReportSink {
 public:
@@ -227,6 +246,7 @@ std::vector<std::unique_ptr<ReportSink>> build_sinks(
     if (outputs.summary) sinks.push_back(std::make_unique<SummarySink>());
     if (outputs.report) sinks.push_back(std::make_unique<UseCaseReportSink>());
     if (outputs.plan) sinks.push_back(std::make_unique<TransformPlanSink>());
+    if (outputs.advice) sinks.push_back(std::make_unique<AdviceSink>());
     if (outputs.json) sinks.push_back(std::make_unique<JsonSink>());
     if (outputs.csv_usecases)
         sinks.push_back(std::make_unique<CsvUseCasesSink>());

@@ -44,8 +44,8 @@ public:
 };
 
 /// The sinks `outputs` requests, in canonical emission order (summary,
-/// report, plan, json, csv-usecases, csv-instances, csv-patterns, html,
-/// metrics) — the order the seed CLI emitted, so output stays
+/// report, plan, advice, json, csv-usecases, csv-instances, csv-patterns,
+/// html, metrics) — the order the seed CLI emitted, so output stays
 /// byte-identical.
 [[nodiscard]] std::vector<std::unique_ptr<ReportSink>> build_sinks(
     const OutputSelection& outputs);

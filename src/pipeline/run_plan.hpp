@@ -46,11 +46,13 @@ enum class MetricsDoc {
 };
 
 /// Which reports a job emits, in the fixed emission order: summary, report,
-/// plan, json, csv-usecases, csv-instances, csv-patterns, html, metrics.
+/// plan, advice, json, csv-usecases, csv-instances, csv-patterns, html,
+/// metrics.
 struct OutputSelection {
     bool summary = false;        ///< One-line-per-instance table.
     bool report = false;         ///< Table V style use-case report.
     bool plan = false;           ///< Transformation plan.
+    bool advice = false;         ///< Structured advice as JSON.
     bool json = false;           ///< Full analysis as JSON.
     bool csv_usecases = false;
     bool csv_instances = false;
@@ -72,8 +74,9 @@ struct OutputSelection {
 
     /// True when at least one analysis output (not metrics) is requested.
     [[nodiscard]] bool any_analysis_output() const noexcept {
-        return summary || report || plan || json || csv_usecases ||
-               csv_instances || csv_patterns || !html_path.empty();
+        return summary || report || plan || advice || json ||
+               csv_usecases || csv_instances || csv_patterns ||
+               !html_path.empty();
     }
 };
 

@@ -395,7 +395,7 @@ void Daemon::handle_http(Socket& sock) {
         write_http(sock, 200, render_tenants_json(), "application/json");
         return;
     }
-    // /tenants/<id>/report and /tenants/<id>/trace
+    // /tenants/<id>/report, /tenants/<id>/advice, and /tenants/<id>/trace
     constexpr std::string_view kPrefix = "/tenants/";
     const auto route = [&](std::string_view suffix) {
         return target.rfind(kPrefix, 0) == 0 &&
@@ -421,6 +421,19 @@ void Daemon::handle_http(Socket& sock) {
             if (report.has_value()) {
                 write_http(sock, 200, *report,
                            "text/plain; charset=utf-8");
+                return;
+            }
+        }
+        write_http(sock, 404, "no such tenant\n",
+                   "text/plain; charset=utf-8");
+        return;
+    }
+    if (route("/advice")) {
+        std::uint32_t id = 0;
+        if (parse_id("/advice", &id)) {
+            const std::optional<std::string> advice = tenant_advice(id);
+            if (advice.has_value()) {
+                write_http(sock, 200, *advice, "application/json");
                 return;
             }
         }
@@ -480,6 +493,17 @@ std::optional<std::string> Daemon::tenant_report(std::uint32_t id) const {
         session = it->second;
     }
     return session->report_text();
+}
+
+std::optional<std::string> Daemon::tenant_advice(std::uint32_t id) const {
+    std::shared_ptr<TenantSession> session;
+    {
+        const std::lock_guard<std::mutex> lock(tenants_mutex_);
+        const auto it = tenants_.find(id);
+        if (it == tenants_.end()) return std::nullopt;
+        session = it->second;
+    }
+    return session->advice_json();
 }
 
 std::optional<std::string> Daemon::tenant_trace(std::uint32_t id) const {

@@ -7,6 +7,8 @@
 //   GET /healthz              — liveness ("ok")
 //   GET /tenants              — JSON array of tenant summaries
 //   GET /tenants/<id>/report  — Table V report (live or final)
+//   GET /tenants/<id>/advice  — structured advice document (§14)
+//   GET /tenants/<id>/trace   — span timeline as Chrome trace JSON (§13)
 //   GET /metrics              — Prometheus exposition: the global obs
 //                               registry plus per-tenant labeled series
 //
@@ -85,6 +87,10 @@ public:
 
     [[nodiscard]] std::vector<TenantSummary> tenants() const;
     [[nodiscard]] std::optional<std::string> tenant_report(
+        std::uint32_t id) const;
+    /// The tenant's structured advice document as JSON
+    /// (`GET /tenants/<id>/advice`); nullopt for unknown ids.
+    [[nodiscard]] std::optional<std::string> tenant_advice(
         std::uint32_t id) const;
     /// The tenant's live span timeline as Chrome trace-event JSON
     /// (`GET /tenants/<id>/trace`): the global recorder's snapshot

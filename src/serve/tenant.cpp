@@ -3,6 +3,7 @@
 #include <sstream>
 #include <utility>
 
+#include "core/export.hpp"
 #include "core/report.hpp"
 #include "support/table.hpp"
 
@@ -89,6 +90,9 @@ void TenantSession::fill_report_fields(const core::StreamReport& report) {
     std::ostringstream os;
     render_report(os, report);
     final_report_ = os.str();
+    std::ostringstream advice_os;
+    core::write_advice_json(advice_os, report);
+    final_advice_ = advice_os.str();
 }
 
 void TenantSession::finish() {
@@ -141,6 +145,16 @@ std::string TenantSession::report_text() const {
     const core::StreamReport report = analyzer_.snapshot(instances_);
     std::ostringstream os;
     render_report(os, report);
+    return os.str();
+}
+
+std::string TenantSession::advice_json() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ != TenantState::Streaming) return final_advice_;
+    // Live view: virtual flush on a copy, stream state undisturbed.
+    const core::StreamReport report = analyzer_.snapshot(instances_);
+    std::ostringstream os;
+    core::write_advice_json(os, report);
     return os.str();
 }
 

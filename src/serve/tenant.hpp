@@ -96,6 +96,11 @@ public:
     /// snapshot while still streaming.
     [[nodiscard]] std::string report_text() const;
 
+    /// The structured advice document (JSON, advice_version 1).  Final
+    /// (and byte-identical to offline `dsspy advise` of the same bytes)
+    /// once finalized; a live snapshot while still streaming.
+    [[nodiscard]] std::string advice_json() const;
+
     /// One-line result for the DSRV 'R' frame and the push client.
     [[nodiscard]] std::string summary_line() const;
 
@@ -131,6 +136,7 @@ private:
     std::uint64_t flagged_ = 0;
     std::string error_;
     std::string final_report_;  ///< Rendered at finalize time.
+    std::string final_advice_;  ///< Advice JSON, rendered at finalize time.
 };
 
 }  // namespace dsspy::serve

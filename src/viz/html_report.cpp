@@ -135,15 +135,15 @@ void write_html_report(std::ostream& os, const core::AnalysisResult& result,
 
         for (const core::UseCase& uc : ia.use_cases) {
             os << "<div class=\"usecase"
-               << (uc.parallel_potential ? "" : " sequential") << "\">\n"
+               << (uc.parallel_potential() ? "" : " sequential") << "\">\n"
                << "<h4>" << core::use_case_name(uc.kind)
-               << (uc.parallel_potential ? " (parallel potential)"
+               << (uc.parallel_potential() ? " (parallel potential)"
                                          : " (sequential optimization)")
                << "</h4>\n"
-               << "<div class=\"reason\">" << html_escape(uc.reason)
+               << "<div class=\"reason\">" << html_escape(uc.reason())
                << "</div>\n"
                << "<div class=\"recommendation\">"
-               << html_escape(uc.recommendation) << "</div>\n</div>\n";
+               << html_escape(uc.recommendation()) << "</div>\n</div>\n";
         }
     }
     if (!any) os << "<p>No flagged locations.</p>\n";

@@ -24,6 +24,8 @@ expect_exit(0 config)
 expect_exit(0 config --threads=3)
 expect_exit(0 run Mandelbrot --summary)
 expect_exit(0 batch Mandelbrot WordWheelSolver --summary --threads=2)
+expect_exit(0 advise Mandelbrot)
+expect_exit(0 advise Mandelbrot --json)
 
 # Usage errors: bad command, bad flag, missing operand, conflicting
 # options, unsupported batch flags.
@@ -31,6 +33,7 @@ expect_exit(2)
 expect_exit(2 frobnicate)
 expect_exit(2 run Mandelbrot --no-such-flag)
 expect_exit(2 analyze)
+expect_exit(2 advise)
 expect_exit(2 batch)
 expect_exit(2 run Mandelbrot --threads=0)
 expect_exit(2 analyze trace.csv --incremental --postmortem)
@@ -42,6 +45,7 @@ expect_exit(2 batch Mandelbrot --html out.html)
 # Runtime failures: unknown targets, unreadable input, one failed batch
 # job, unwritable side outputs.
 expect_exit(1 run NoSuchApp)
+expect_exit(1 advise NoSuchTarget)
 expect_exit(1 corpus NoSuchProgram)
 expect_exit(1 analyze ${CMAKE_CURRENT_BINARY_DIR}/no_such_trace.dst)
 expect_exit(1 convert ${CMAKE_CURRENT_BINARY_DIR}/no_such_trace.dst out.dst)

@@ -1,0 +1,434 @@
+// The adaptive container layer: hysteresis controller damping, strategy
+// adoption, correctness differentials against the plain containers, zero
+// verdict divergence against offline analysis, and concurrent readers
+// racing a strategy migration (the adapt_tsan target).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adapt/adaptive_dictionary.hpp"
+#include "adapt/adaptive_list.hpp"
+#include "adapt/controller.hpp"
+#include "core/dsspy.hpp"
+#include "ds/list.hpp"
+#include "ds/profiled_list.hpp"
+#include "runtime/session.hpp"
+
+namespace {
+
+using dsspy::adapt::AdaptConfig;
+using dsspy::adapt::AdaptiveDictionary;
+using dsspy::adapt::AdaptiveList;
+using dsspy::adapt::AdviceSignal;
+using dsspy::adapt::ControllerConfig;
+using dsspy::adapt::HysteresisController;
+using dsspy::adapt::Strategy;
+using dsspy::adapt::strategy_for;
+using dsspy::core::AdviceAction;
+using dsspy::core::UseCaseKind;
+
+// --- controller unit tests ---------------------------------------------------
+
+TEST(AdaptController, StrategyVocabulary) {
+    EXPECT_EQ(strategy_for(AdviceAction::BuildIndex), Strategy::Indexed);
+    EXPECT_EQ(strategy_for(AdviceAction::ParallelForAll), Strategy::Parallel);
+    EXPECT_EQ(strategy_for(AdviceAction::ParallelInsert), Strategy::Parallel);
+    EXPECT_EQ(strategy_for(AdviceAction::ParallelPhases), Strategy::Parallel);
+    EXPECT_EQ(strategy_for(AdviceAction::UseDeque), Strategy::DequeBacked);
+    EXPECT_EQ(strategy_for(AdviceAction::ParallelContainer),
+              Strategy::DequeBacked);
+    // Source-level advice has no container-side remedy.
+    EXPECT_EQ(strategy_for(AdviceAction::UseStack), Strategy::Sequential);
+    EXPECT_EQ(strategy_for(AdviceAction::DropWrites), Strategy::Sequential);
+    EXPECT_EQ(dsspy::adapt::strategy_name(Strategy::Indexed), "Indexed");
+}
+
+TEST(AdaptController, ColdContainerAdoptsFirstVerdictQuickly) {
+    HysteresisController ctl;
+    const AdviceSignal fs{AdviceAction::BuildIndex, 0.9};
+    // One observation is below the enter threshold (EWMA), a couple more
+    // cross it; no dwell gate applies before the first switch.
+    Strategy s = Strategy::Sequential;
+    std::size_t rounds = 0;
+    while (s == Strategy::Sequential && rounds < 10) {
+        s = ctl.observe(&fs, 1, /*size=*/10'000, /*ops_delta=*/8);
+        ++rounds;
+    }
+    EXPECT_EQ(s, Strategy::Indexed);
+    EXPECT_LE(rounds, 3u);  // 0.4*0.9 = 0.36, then 0.576 >= 0.5.
+    EXPECT_EQ(ctl.switch_count(), 1u);
+}
+
+TEST(AdaptController, OneOutlierVerdictDoesNotFlip) {
+    HysteresisController ctl;
+    const AdviceSignal fs{AdviceAction::BuildIndex, 1.0};
+    for (int i = 0; i < 6; ++i) ctl.observe(&fs, 1, 100, 400);
+    ASSERT_EQ(ctl.current(), Strategy::Indexed);
+    // A single reclassification with no verdict at all: the incumbent
+    // score decays but stays above the exit band.
+    ctl.observe(nullptr, 0, 100, 400);
+    EXPECT_EQ(ctl.current(), Strategy::Indexed);
+    EXPECT_EQ(ctl.switch_count(), 1u);
+}
+
+TEST(AdaptController, FlappingVerdictsStayBounded) {
+    HysteresisController ctl;
+    const AdviceSignal fs{AdviceAction::BuildIndex, 0.8};
+    const AdviceSignal deque{AdviceAction::UseDeque, 0.8};
+    // 200 reclassifications alternating between two contradictory
+    // verdicts every round.  Raw acting would switch ~200 times; the EWMA
+    // keeps both scores in the middle band and the dual thresholds keep
+    // the incumbent.
+    for (int i = 0; i < 200; ++i)
+        ctl.observe(i % 2 == 0 ? &fs : &deque, 1, 1'000, 300);
+    EXPECT_LE(ctl.switch_count(), 3u);
+}
+
+TEST(AdaptController, PhaseChangeSwitchesAtMostThreeTimes) {
+    // The closed-loop bound: insert-heavy -> search-heavy -> insert-heavy
+    // -> search-heavy, 25 reclassifications × 40 ops per phase.  The
+    // escalating dwell (256, 512, 1024, 2048 ...) lets the controller
+    // follow the first phase changes but suppresses the last one: at most
+    // 3 switches for 4 phases instead of chasing every one.
+    ControllerConfig config;
+    config.switch_cost_factor = 0.0;  // Isolate the dwell escalation.
+    HysteresisController ctl(config);
+    const AdviceSignal li{AdviceAction::ParallelInsert, 0.9};
+    const AdviceSignal fs{AdviceAction::BuildIndex, 0.9};
+    for (int phase = 0; phase < 4; ++phase) {
+        const AdviceSignal& sig = phase % 2 == 0 ? li : fs;
+        for (int i = 0; i < 25; ++i) ctl.observe(&sig, 1, 5'000, 40);
+    }
+    EXPECT_GE(ctl.switch_count(), 1u);
+    EXPECT_LE(ctl.switch_count(), 3u);
+    EXPECT_GT(ctl.suppressed_count(), 0u);
+}
+
+TEST(AdaptController, DwellGateSuppressesEagerSecondSwitch) {
+    ControllerConfig config;
+    config.min_dwell_ops = 1'000;
+    HysteresisController ctl(config);
+    const AdviceSignal fs{AdviceAction::BuildIndex, 1.0};
+    for (int i = 0; i < 4; ++i) ctl.observe(&fs, 1, 10, 10);
+    ASSERT_EQ(ctl.current(), Strategy::Indexed);
+    // The verdict flips to deque traffic immediately; too few operations
+    // have passed to amortize another migration.
+    const AdviceSignal deque{AdviceAction::UseDeque, 1.0};
+    for (int i = 0; i < 8; ++i) ctl.observe(&deque, 1, 10, 10);
+    EXPECT_EQ(ctl.current(), Strategy::Indexed);
+    EXPECT_GT(ctl.suppressed_count(), 0u);
+    // After the dwell, the sideways switch is allowed.
+    for (int i = 0; i < 8; ++i) ctl.observe(&deque, 1, 10, 500);
+    EXPECT_EQ(ctl.current(), Strategy::DequeBacked);
+}
+
+TEST(AdaptController, RetreatsToSequentialWhenVerdictFades) {
+    HysteresisController ctl;
+    const AdviceSignal fs{AdviceAction::BuildIndex, 1.0};
+    for (int i = 0; i < 5; ++i) ctl.observe(&fs, 1, 100, 400);
+    ASSERT_EQ(ctl.current(), Strategy::Indexed);
+    for (int i = 0; i < 20; ++i) ctl.observe(nullptr, 0, 100, 400);
+    EXPECT_EQ(ctl.current(), Strategy::Sequential);
+    EXPECT_EQ(ctl.switch_count(), 2u);
+}
+
+// --- AdaptiveList: strategy adoption -----------------------------------------
+
+/// Small intervals/dwell so unit-test-sized workloads cross phases.
+AdaptConfig fast_config() {
+    AdaptConfig config;
+    config.reclassify_interval = 64;
+    config.controller.min_dwell_ops = 64;
+    config.controller.switch_cost_factor = 0.0;
+    return config;
+}
+
+TEST(AdaptList, SearchHeavyWorkloadAdoptsIndex) {
+    AdaptiveList<int> list(fast_config());
+    for (int i = 0; i < 200; ++i) list.add(i * 3);
+    // The Frequent-Search shape from the paper apps: sequential point
+    // reads (the Read-Forward patterns) interleaved with heavy index_of
+    // traffic (the search operations).
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_EQ(list.get(static_cast<std::size_t>(i)), i * 3);
+        for (int i = 0; i < 200; ++i)
+            ASSERT_EQ(list.index_of(i * 3), i);
+    }
+    EXPECT_EQ(list.strategy(), Strategy::Indexed);
+    // Index answers stay correct, including misses and duplicates.
+    EXPECT_EQ(list.index_of(1), -1);
+    list.add(0);  // Duplicate of the first element.
+    EXPECT_EQ(list.index_of(0), 0);  // First occurrence, like ds::List.
+}
+
+TEST(AdaptList, FrontTrafficAdoptsDeque) {
+    AdaptiveList<int> list(fast_config());
+    for (int i = 0; i < 600; ++i) {
+        list.insert(0, i);
+        if (i % 2 == 1) list.remove_at(list.count() - 1);
+    }
+    EXPECT_EQ(list.strategy(), Strategy::DequeBacked);
+    // Order must survive the migration: inserts at the front mean the
+    // newest odd-survivor ordering is descending from the front.
+    ASSERT_GT(list.count(), 0u);
+    EXPECT_EQ(list.get(0), 599);
+}
+
+TEST(AdaptList, WholeReadsAdoptParallelTraversal) {
+    AdaptiveList<std::int64_t> list(fast_config());
+    for (int i = 0; i < 4'096; ++i) list.add(i);
+    std::int64_t expected = 0;
+    for (int i = 0; i < 4'096; ++i) expected += i;
+    for (int round = 0; round < 40; ++round) {
+        std::atomic<std::int64_t> sum{0};
+        list.for_each([&sum](std::int64_t v) {
+            sum.fetch_add(v, std::memory_order_relaxed);
+        });
+        ASSERT_EQ(sum.load(), expected);
+    }
+    EXPECT_EQ(list.strategy(), Strategy::Parallel);
+}
+
+TEST(AdaptList, PhaseChangeWorkloadSwitchesAtMostThreeTimes) {
+    AdaptiveList<int> list(fast_config());
+    for (int phase = 0; phase < 4; ++phase) {
+        if (phase % 2 == 0) {
+            for (int i = 0; i < 2'000; ++i) list.add(phase * 10'000 + i);
+        } else {
+            for (int i = 0; i < 2'000; ++i)
+                (void)list.index_of(i % 977);
+        }
+    }
+    EXPECT_LE(list.switch_count(), 3u);
+}
+
+// --- AdaptiveList: correctness differential ----------------------------------
+
+TEST(AdaptList, DifferentialAgainstPlainListAcrossStrategies) {
+    AdaptiveList<int> adaptive(fast_config());
+    dsspy::ds::List<int> plain;
+    std::uint64_t rng = 0x2545F4914F6CDD1Dull;
+    auto next = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    for (int i = 0; i < 6'000; ++i) {
+        const auto r = next();
+        const int value = static_cast<int>(r % 997);
+        switch (r % 10) {
+            case 0:
+            case 1:
+            case 2:
+                adaptive.add(value);
+                plain.add(value);
+                break;
+            case 3:
+                adaptive.insert(0, value);
+                plain.insert(0, value);
+                break;
+            case 4:
+                if (plain.count() > 0) {
+                    const std::size_t idx = r % plain.count();
+                    adaptive.remove_at(idx);
+                    plain.remove_at(idx);
+                }
+                break;
+            case 5:
+                if (plain.count() > 0) {
+                    const std::size_t idx = r % plain.count();
+                    adaptive.set(idx, value);
+                    plain.set(idx, value);
+                }
+                break;
+            case 6:
+                ASSERT_EQ(adaptive.index_of(value), plain.index_of(value));
+                break;
+            case 7:
+                ASSERT_EQ(adaptive.remove(value), plain.remove(value));
+                break;
+            default:
+                if (plain.count() > 0) {
+                    const std::size_t idx = r % plain.count();
+                    ASSERT_EQ(adaptive.get(idx), plain.get(idx));
+                }
+                break;
+        }
+    }
+    ASSERT_EQ(adaptive.count(), plain.count());
+    for (std::size_t i = 0; i < plain.count(); ++i)
+        ASSERT_EQ(adaptive.get(i), plain.get(i));
+}
+
+// --- AdaptiveList: zero verdict divergence -----------------------------------
+
+/// One workload, one container API — driven identically against a
+/// ProfiledList (offline analysis) and an AdaptiveList (embedded
+/// analyzer).  Mixes inserts, point reads, searches, and traversals so
+/// several detectors are exercised.
+template <typename ListT>
+void drive_verdict_workload(ListT& list) {
+    for (int round = 0; round < 6; ++round) {
+        for (int i = 0; i < 300; ++i) list.add(round * 1'000 + i);
+        for (int i = 0; i < 400; ++i)
+            (void)list.index_of(i % 1'700);
+        long sum = 0;
+        list.for_each([&sum](long v) { sum += v; });
+        ASSERT_GT(sum, 0);
+    }
+}
+
+std::multiset<UseCaseKind> verdict_kinds(
+    const std::vector<dsspy::core::UseCase>& use_cases) {
+    std::multiset<UseCaseKind> kinds;
+    for (const auto& uc : use_cases) kinds.insert(uc.kind);
+    return kinds;
+}
+
+TEST(AdaptList, VerdictsMatchOfflineAnalysisOfSameStream) {
+    // Offline: the instrumented container records into a session, the
+    // post-mortem engine classifies afterwards.
+    dsspy::runtime::ProfilingSession session;
+    dsspy::ds::ProfiledList<long> profiled(&session, {"Adapt", "Drive", 1});
+    drive_verdict_workload(profiled);
+    session.stop();
+    const dsspy::core::AnalysisResult offline =
+        dsspy::core::Dsspy{}.analyze(session);
+    std::multiset<UseCaseKind> offline_kinds;
+    for (const auto& inst : offline.instances())
+        for (const auto& uc : inst.use_cases)
+            offline_kinds.insert(uc.kind);
+
+    // Closed loop: the adaptive container folds the same access stream
+    // into its embedded analyzer as it executes.
+    AdaptiveList<long> adaptive(fast_config());
+    drive_verdict_workload(adaptive);
+
+    EXPECT_EQ(verdict_kinds(adaptive.verdicts()), offline_kinds)
+        << "adaptive container verdicts diverged from offline analysis";
+    EXPECT_GT(adaptive.events_folded(), 0u);
+}
+
+// --- AdaptiveList: concurrent readers during switches (adapt_tsan) -----------
+
+TEST(AdaptConcurrency, ReadersRaceStrategyMigrations) {
+    AdaptConfig config = fast_config();
+    config.reclassify_interval = 32;  // Migrate as often as possible.
+    AdaptiveList<int> list(config);
+    for (int i = 0; i < 512; ++i) list.add(i);
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> reads{0};
+    std::vector<std::jthread> readers;
+    for (int t = 0; t < 3; ++t) {
+        readers.emplace_back([&list, &stop, &reads] {
+            std::uint64_t local = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                const std::size_t n = list.count();
+                if (n > 0) (void)list.get(local % n);
+                (void)list.index_of(static_cast<int>(local % 700));
+                long sum = 0;
+                list.for_each([&sum](int v) { sum += v; });
+                ++local;
+                reads.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    // The writer alternates phases to force migrations while the readers
+    // hammer the container; it keeps mutating until every reader has made
+    // real progress, so reads genuinely race migrations.
+    for (int phase = 0; reads.load(std::memory_order_relaxed) < 200 ||
+                        phase < 6; ++phase) {
+        if (phase % 2 == 0) {
+            for (int i = 0; i < 400; ++i) list.insert(0, 512 + i);
+        } else {
+            for (int i = 0; i < 400; ++i)
+                if (list.count() > 256) list.remove_at(0);
+        }
+    }
+    stop.store(true);
+    readers.clear();
+    EXPECT_GE(reads.load(), 200u);
+    EXPECT_GT(list.count(), 0u);
+}
+
+// --- AdaptiveDictionary ------------------------------------------------------
+
+TEST(AdaptDictionary, BasicMapSemantics) {
+    AdaptiveDictionary<std::string, int> dict;
+    dict.set("one", 1);
+    dict.set("two", 2);
+    dict.set("one", 10);  // Overwrite keeps the entry's position.
+    EXPECT_EQ(dict.count(), 2u);
+    EXPECT_EQ(dict.get("one"), 10);
+    int out = 0;
+    EXPECT_TRUE(dict.try_get("two", out));
+    EXPECT_EQ(out, 2);
+    EXPECT_FALSE(dict.try_get("three", out));
+    EXPECT_TRUE(dict.contains_key("one"));
+    EXPECT_THROW((void)dict.get("three"), std::out_of_range);
+    EXPECT_TRUE(dict.remove("one"));
+    EXPECT_FALSE(dict.remove("one"));
+    EXPECT_EQ(dict.count(), 1u);
+    dict.clear();
+    EXPECT_TRUE(dict.empty());
+}
+
+TEST(AdaptDictionary, ForEachPreservesInsertionOrderSequentially) {
+    AdaptiveDictionary<int, int> dict;
+    for (int i = 0; i < 50; ++i) dict.set(i, i * i);
+    std::vector<int> keys;
+    dict.for_each([&keys](int k, int) { keys.push_back(k); });
+    ASSERT_EQ(keys.size(), 50u);
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(keys[static_cast<size_t>(i)], i);
+}
+
+TEST(AdaptDictionary, ValueSearchHeavyWorkloadAdoptsReverseIndex) {
+    AdaptiveDictionary<int, int> dict(fast_config());
+    for (int i = 0; i < 300; ++i) dict.set(i, 100'000 + i);
+    // Insertion-order gets give the Read-Forward patterns, find_key gives
+    // the search operations — the Frequent-Search shape on the dense
+    // entry view.
+    for (int round = 0; round < 8; ++round) {
+        for (int i = 0; i < 300; ++i)
+            ASSERT_EQ(dict.get(i), 100'000 + i);
+        for (int i = 0; i < 300; ++i) {
+            const auto key = dict.find_key(100'000 + i);
+            ASSERT_TRUE(key.has_value());
+            ASSERT_EQ(*key, i);
+        }
+    }
+    EXPECT_EQ(dict.strategy(), Strategy::Indexed);
+    EXPECT_FALSE(dict.find_key(42).has_value());
+    // Mutations keep the reverse index honest.
+    dict.set(7, 999'999);
+    EXPECT_EQ(dict.find_key(999'999).value_or(-1), 7);
+    EXPECT_FALSE(dict.find_key(100'007).has_value());
+    dict.remove(7);
+    EXPECT_FALSE(dict.find_key(999'999).has_value());
+}
+
+TEST(AdaptDictionary, FindKeyReturnsFirstInsertedAmongDuplicateValues) {
+    AdaptiveDictionary<int, int> dict(fast_config());
+    for (int i = 0; i < 40; ++i) dict.set(i, i == 5 || i == 9 ? 77 : i);
+    // Sequential scan and reverse index must agree on first-key-wins.
+    EXPECT_EQ(dict.find_key(77).value_or(-1), 5);
+    // A few in-order scans give the read patterns, then search-dominated
+    // traffic drives Frequent-Search (not Frequent-Long-Read) so the
+    // reverse index is the strategy that wins.
+    for (int round = 0; round < 3; ++round)
+        for (int i = 0; i < 40; ++i) (void)dict.get(i);
+    for (int round = 0; round < 75; ++round)
+        for (int i = 0; i < 40; ++i) (void)dict.find_key(77);
+    ASSERT_EQ(dict.strategy(), Strategy::Indexed);
+    EXPECT_EQ(dict.find_key(77).value_or(-1), 5);
+}
+
+}  // namespace

@@ -336,8 +336,8 @@ std::string digest(const AnalysisResult& result) {
                << ' ' << pat.thread << ' ' << pat.synthetic << '\n';
         for (const UseCase& uc : ia.use_cases)
             os << "  U" << static_cast<int>(uc.kind) << ' '
-               << uc.parallel_potential << ' ' << uc.confidence << ' '
-               << uc.reason << " -> " << uc.recommendation << '\n';
+               << uc.parallel_potential() << ' ' << uc.confidence() << ' '
+               << uc.reason() << " -> " << uc.recommendation() << '\n';
     }
     return std::move(os).str();
 }

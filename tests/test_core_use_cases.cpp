@@ -147,9 +147,9 @@ TEST(LongInsert, FiresOnLongDominantInsertPhases) {
     const auto ucs = classify(profile);
     ASSERT_EQ(ucs.size(), 1u);
     EXPECT_EQ(ucs[0].kind, UseCaseKind::LongInsert);
-    EXPECT_TRUE(ucs[0].parallel_potential);
-    EXPECT_FALSE(ucs[0].reason.empty());
-    EXPECT_EQ(ucs[0].recommendation,
+    EXPECT_TRUE(ucs[0].parallel_potential());
+    EXPECT_FALSE(ucs[0].reason().empty());
+    EXPECT_EQ(ucs[0].recommendation(),
               std::string(recommended_action(UseCaseKind::LongInsert)));
 }
 
@@ -370,7 +370,7 @@ TEST(InsertDeleteFront, FiresOnRepeatedArrayResizes) {
     const auto ucs = classify(profile);
     EXPECT_TRUE(has(ucs, UseCaseKind::InsertDeleteFront));
     EXPECT_FALSE(ucs.empty());
-    EXPECT_FALSE(ucs[0].parallel_potential);
+    EXPECT_FALSE(ucs[0].parallel_potential());
 }
 
 TEST(InsertDeleteFront, FewResizesDoNotFire) {

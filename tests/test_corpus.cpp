@@ -252,7 +252,7 @@ TEST(Study15Workload, ReproducesRegularityAndUseCaseCounts) {
         for (const auto& ia : analysis.instances()) {
             if (!ia.patterns.empty()) ++regularities;
             for (const auto& uc : ia.use_cases)
-                if (uc.parallel_potential) ++parallel_ucs;
+                if (uc.parallel_potential()) ++parallel_ucs;
         }
         EXPECT_EQ(regularities, program->recurring_regularities)
             << program->name;

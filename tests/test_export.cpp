@@ -31,10 +31,11 @@ TEST(ExportCsv, UseCasesHaveHeaderAndRows) {
     write_use_cases_csv(os, analysis);
     const auto lines = support::split(os.str(), '\n');
     EXPECT_EQ(lines[0],
-              "class,method,position,type,use_case,code,parallel,reason,"
-              "recommendation");
+              "class,method,position,type,use_case,code,parallel,action,"
+              "confidence,reason,recommendation");
     // The hot list carries at least the Long-Insert use case.
     EXPECT_NE(os.str().find("Long-Insert"), std::string::npos);
+    EXPECT_NE(os.str().find(",ParallelInsert,"), std::string::npos);
     EXPECT_NE(os.str().find("Export.Test,Hot,1"), std::string::npos);
 }
 

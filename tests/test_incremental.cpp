@@ -83,13 +83,13 @@ void expect_reports_equal(const AnalysisResult& pm, const StreamReport& sr) {
         for (std::size_t u = 0; u < ia.use_cases.size(); ++u) {
             SCOPED_TRACE("use case " + std::to_string(u));
             EXPECT_EQ(ia.use_cases[u].kind, si.use_cases[u].kind);
-            EXPECT_EQ(ia.use_cases[u].reason, si.use_cases[u].reason);
-            EXPECT_EQ(ia.use_cases[u].recommendation,
-                      si.use_cases[u].recommendation);
-            EXPECT_EQ(ia.use_cases[u].parallel_potential,
-                      si.use_cases[u].parallel_potential);
-            EXPECT_DOUBLE_EQ(ia.use_cases[u].confidence,
-                             si.use_cases[u].confidence);
+            EXPECT_EQ(ia.use_cases[u].reason(), si.use_cases[u].reason());
+            EXPECT_EQ(ia.use_cases[u].recommendation(),
+                      si.use_cases[u].recommendation());
+            EXPECT_EQ(ia.use_cases[u].parallel_potential(),
+                      si.use_cases[u].parallel_potential());
+            EXPECT_DOUBLE_EQ(ia.use_cases[u].confidence(),
+                             si.use_cases[u].confidence());
             EXPECT_TRUE(ia.use_cases[u] == si.use_cases[u]);
         }
     }

@@ -111,8 +111,8 @@ TEST(AnalysisResult, UseCaseConfidenceIsExported) {
     const core::AnalysisResult analysis = core::Dsspy{}.analyze(session);
     const auto ucs = analysis.all_use_cases();
     ASSERT_EQ(ucs.size(), 1u);
-    EXPECT_GT(ucs[0].confidence, 0.0);
-    EXPECT_LE(ucs[0].confidence, 1.0);
+    EXPECT_GT(ucs[0].confidence(), 0.0);
+    EXPECT_LE(ucs[0].confidence(), 1.0);
 }
 
 TEST(Session, CaptureDurationGrowsWhileRunning) {

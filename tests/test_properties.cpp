@@ -150,10 +150,10 @@ TEST_P(PipelinePropertyTest, UseCasesAreConsistentlyLabeled) {
     std::size_t parallel_flagged = 0;
     for (const InstanceAnalysis& ia : analysis.instances()) {
         for (const core::UseCase& uc : ia.use_cases) {
-            EXPECT_EQ(uc.parallel_potential,
+            EXPECT_EQ(uc.parallel_potential(),
                       core::has_parallel_potential(uc.kind));
-            EXPECT_FALSE(uc.reason.empty());
-            EXPECT_FALSE(uc.recommendation.empty());
+            EXPECT_FALSE(uc.reason().empty());
+            EXPECT_FALSE(uc.recommendation().empty());
             EXPECT_EQ(uc.instance.id, ia.profile.info().id);
         }
         if (ia.flagged_parallel()) ++parallel_flagged;

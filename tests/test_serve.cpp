@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/export.hpp"
 #include "core/incremental.hpp"
 #include "core/report.hpp"
 #include "json_check.hpp"
@@ -108,6 +109,18 @@ std::string offline_report(const std::string& csv) {
     std::istringstream is(csv);
     runtime::read_trace_stream(is, sink);
     return render_report(analyzer.finish(sink.instances));
+}
+
+/// What `dsspy advise <trace>` prints for this CSV: the structured
+/// advice document.
+std::string offline_advice(const std::string& csv) {
+    core::IncrementalAnalyzer analyzer;
+    OfflineSink sink(analyzer);
+    std::istringstream is(csv);
+    runtime::read_trace_stream(is, sink);
+    std::ostringstream os;
+    core::write_advice_json(os, analyzer.finish(sink.instances));
+    return os.str();
 }
 
 // --- daemon fixture -----------------------------------------------------
@@ -502,6 +515,35 @@ TEST(ServeDaemon, HttpStatusEndpoints) {
         << metrics;
 
     const std::string missing = http_get(daemon.address(), "/nope");
+    EXPECT_NE(missing.find("404"), std::string::npos);
+    daemon.stop();
+}
+
+TEST(ServeDaemon, AdviceEndpointMatchesOfflineAdvise) {
+    serve::Daemon daemon(loopback_options());
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    const std::string csv = make_trace(3, 150, 9);
+    const std::string path = write_temp_trace("advice", csv);
+    const serve::ClientResult result =
+        serve::push_trace_file(daemon.address(), path, "advice-tenant");
+    ASSERT_TRUE(result.ok) << result.error;
+
+    const std::string response = http_get(
+        daemon.address(),
+        "/tenants/" + std::to_string(result.tenant_id) + "/advice");
+    EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+    EXPECT_NE(response.find("application/json"), std::string::npos);
+    const std::size_t sep = response.find("\r\n\r\n");
+    ASSERT_NE(sep, std::string::npos);
+    const std::string body = response.substr(sep + 4);
+    EXPECT_TRUE(dsspy_test::json_valid(body)) << body.substr(0, 400);
+    EXPECT_EQ(body, offline_advice(csv))
+        << "advice endpoint body diverged from offline dsspy advise";
+
+    const std::string missing =
+        http_get(daemon.address(), "/tenants/99999/advice");
     EXPECT_NE(missing.find("404"), std::string::npos);
     daemon.stop();
 }

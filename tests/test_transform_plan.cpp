@@ -106,7 +106,7 @@ TEST(Confidence, GrowsWithEvidenceMargin) {
         const AnalysisResult analysis = Dsspy{}.analyze(session);
         for (const auto& ia : analysis.instances())
             for (const auto& uc : ia.use_cases)
-                if (uc.kind == UseCaseKind::LongInsert) return uc.confidence;
+                if (uc.kind == UseCaseKind::LongInsert) return uc.confidence();
         return -1.0;
     };
 

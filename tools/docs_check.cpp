@@ -14,7 +14,10 @@
 //   * `bench/<name>` tokens must name a declared CMake target;
 //   * `§N` section references — in the docs and in every comment under
 //     src/, tools/, tests/ — must name an existing `## N.` DESIGN.md
-//     heading (so renumbering a section cannot strand stale pointers).
+//     heading (so renumbering a section cannot strand stale pointers);
+//   * `AdviceAction::Name` tokens must name an enumerator of the
+//     structured-advice enum in src/core/advice.hpp (so the advice
+//     vocabulary the docs advertise cannot drift from the code).
 //
 // Fenced code blocks are skipped (they show output and shell sessions,
 // not references).  Tokens containing spaces, globs, '<>', '::', or
@@ -142,6 +145,33 @@ bool contains_any(const std::string& token, const std::string& chars) {
     return token.find_first_of(chars) != std::string::npos;
 }
 
+/// Enumerator names of `enum class AdviceAction` in src/core/advice.hpp.
+std::set<std::string> advice_action_names(const std::string& source) {
+    std::set<std::string> out;
+    const std::size_t start = source.find("enum class AdviceAction");
+    if (start == std::string::npos) return out;
+    const std::size_t open = source.find('{', start);
+    const std::size_t close = source.find('}', open);
+    if (open == std::string::npos || close == std::string::npos) return out;
+    std::size_t i = open + 1;
+    while (i < close) {
+        while (i < close &&
+               !std::isalpha(static_cast<unsigned char>(source[i]))) {
+            if (source[i] == '/' && i + 1 < close && source[i + 1] == '/')
+                i = source.find('\n', i);  // skip the enumerator comment
+            if (i == std::string::npos || i >= close) return out;
+            ++i;
+        }
+        std::string name;
+        while (i < close &&
+               (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                source[i] == '_'))
+            name += source[i++];
+        if (!name.empty()) out.insert(name);
+    }
+    return out;
+}
+
 /// Section numbers with a `## N.` heading in DESIGN.md.
 std::set<int> design_sections(const std::string& design_text) {
     std::set<int> out;
@@ -225,6 +255,9 @@ int main(int argc, char** argv) {
         return false;
     };
 
+    const std::set<std::string> advice_actions = advice_action_names(
+        read_file(root / "src" / "core" / "advice.hpp"));
+
     int errors = 0;
     const auto fail = [&errors](const fs::path& doc, const std::string& token,
                                 const std::string& why) {
@@ -263,6 +296,18 @@ int main(int argc, char** argv) {
                 if (alpha && cli_literals.count(sub) == 0)
                     fail(doc, token,
                          "names a subcommand missing from dsspy_cli.cpp");
+                continue;
+            }
+
+            // Advice vocabulary: `AdviceAction::Name` must be an
+            // enumerator (checked before the prose filter below, which
+            // would skip any token containing "::").
+            if (token.rfind("AdviceAction::", 0) == 0) {
+                const std::string name = token.substr(14);
+                if (name != "Count" && advice_actions.count(name) == 0)
+                    fail(doc, token,
+                         "is not an AdviceAction enumerator in "
+                         "src/core/advice.hpp");
                 continue;
             }
 

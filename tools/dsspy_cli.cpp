@@ -154,6 +154,10 @@ int usage(const char* argv0) {
         << "  push <trace>          send a recorded trace to a daemon\n"
         << "                        (--connect SPEC, --tenant NAME,\n"
         << "                        --frame-bytes=N)\n"
+        << "  advise <target>       emit the structured advice document\n"
+        << "                        (machine-consumable verdicts: action,\n"
+        << "                        confidence, evidence) as JSON; targets\n"
+        << "                        resolve like batch targets\n"
         << "  list                  list demo apps and corpus programs\n"
         << "  config                print detector thresholds\n\n"
         << "Output: --report (default) --summary --plan --json --csv-usecases\n"
@@ -183,7 +187,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
     if (opt.command == "analyze" || opt.command == "run" ||
         opt.command == "demo" || opt.command == "watch" ||
         opt.command == "corpus" || opt.command == "convert" ||
-        opt.command == "metrics" || opt.command == "push") {
+        opt.command == "metrics" || opt.command == "push" ||
+        opt.command == "advise") {
         if (i >= argc || argv[i][0] == '-') return std::nullopt;
         opt.target = argv[i++];
     }
@@ -334,7 +339,14 @@ std::optional<Options> parse_args(int argc, char** argv) {
                                   opt.command != "config" &&
                                   opt.command != "serve" &&
                                   opt.command != "push";
-    if (opt.json && opt.command != "metrics") opt.outputs.json = true;
+    // `advise` emits the advice document whether or not --json is given
+    // (JSON is its native format); --json does not add the full analysis
+    // export on top.
+    if (opt.command == "advise") {
+        opt.outputs.advice = true;
+    } else if (opt.json && opt.command != "metrics") {
+        opt.outputs.json = true;
+    }
     if (analysis_command && !opt.outputs.any_analysis_output())
         opt.outputs.report = true;
     return opt;
@@ -580,6 +592,8 @@ int main(int argc, char** argv) {
         plan.watch = true;
     } else if (opt->command == "corpus") {
         plan.input = pipeline::InputKind::CorpusProgram;
+    } else if (opt->command == "advise") {
+        resolve_batch_target(opt->target, plan);
     } else if (opt->command == "metrics") {
         plan.input = pipeline::InputKind::App;
         plan.outputs.metrics_doc = opt->json ? pipeline::MetricsDoc::Json
