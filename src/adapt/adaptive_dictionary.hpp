@@ -22,7 +22,10 @@
 //
 // Threading matches AdaptiveList: std::shared_mutex, reads shared,
 // mutations and strategy migrations exclusive, the interval-crossing
-// operation upgrades itself to the write lock at a safe point.
+// operation upgrades itself to the write lock at a safe point, and seq
+// issue + analyzer fold share one serialization point so concurrent
+// shared-lock readers cannot violate the analyzer's per-instance
+// seq-order contract.
 #pragma once
 
 #include <atomic>
@@ -31,6 +34,7 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -85,16 +89,25 @@ public:
         if (pos_.try_get(key, idx)) {
             fold(runtime::OpKind::Set, static_cast<std::int64_t>(idx),
                  entries_.size());
-            entries_[idx].second = std::move(value);
-            if (reverse_) rebuild_reverse();
+            if (reverse_ && !(entries_[idx].second == value)) {
+                const V old = std::move(entries_[idx].second);
+                entries_[idx].second = std::move(value);
+                reverse_remove_occurrence(old, entries_[idx].first);
+                reverse_add(entries_[idx].second, entries_[idx].first, idx);
+            } else {
+                entries_[idx].second = std::move(value);
+            }
         } else {
             const std::size_t landing = entries_.size();
             entries_.emplace_back(key, std::move(value));
             pos_.set(std::move(key), landing);
             fold(runtime::OpKind::Add, static_cast<std::int64_t>(landing),
                  entries_.size());
-            if (reverse_ && !reverse_->contains_key(entries_.back().second))
-                reverse_->set(entries_.back().second, entries_.back().first);
+            // The landing entry is the newest: an existing canonical key
+            // for this value stays canonical (first-key-wins).
+            if (reverse_)
+                reverse_add(entries_.back().second, entries_.back().first,
+                            landing);
         }
         maybe_reclassify(lock);
     }
@@ -147,23 +160,29 @@ public:
         return find_key_locked(value);
     }
 
-    /// Remove `key`; true if it was present.  Recorded as RemoveAt at the
-    /// entry's dense position (order-preserving erase, like List).
+    /// Remove `key`; true if it was present.  A hit is recorded as
+    /// RemoveAt at the entry's dense position (order-preserving erase,
+    /// like List); a miss is a failed whole-container key lookup — the
+    /// try_get miss convention — never a synthetic front delete.
     bool remove(const K& key) {
         std::unique_lock lock(mutex_);
         std::size_t idx = 0;
         const bool present = pos_.try_get(key, idx);
         if (present) {
+            const V old = std::move(entries_[idx].second);
             entries_.erase(entries_.begin() +
                            static_cast<std::ptrdiff_t>(idx));
             pos_.remove(key);
             // Entries after the erased one shifted down by one.
             for (std::size_t i = idx; i < entries_.size(); ++i)
                 pos_.set(entries_[i].first, i);
-            if (reverse_) rebuild_reverse();
+            if (reverse_) reverse_remove_occurrence(old, key);
+            fold(runtime::OpKind::RemoveAt, static_cast<std::int64_t>(idx),
+                 entries_.size());
+        } else {
+            fold(runtime::OpKind::Get, runtime::kWholeContainer,
+                 entries_.size());
         }
-        fold(runtime::OpKind::RemoveAt, static_cast<std::int64_t>(idx),
-             entries_.size());
         maybe_reclassify(lock);
         return present;
     }
@@ -252,13 +271,13 @@ private:
 
     [[nodiscard]] std::optional<K> find_key_locked(const V& value) const {
         if (reverse_) {
-            K key;
-            if (reverse_->try_get(value, key)) {
+            const auto it = reverse_->find(value);
+            if (it != reverse_->end()) {
                 std::size_t idx = 0;
-                pos_.try_get(key, idx);
+                pos_.try_get(it->second.first_key, idx);
                 fold(runtime::OpKind::IndexOf,
                      static_cast<std::int64_t>(idx), entries_.size());
-                return key;
+                return it->second.first_key;
             }
             fold(runtime::OpKind::IndexOf, runtime::kWholeContainer,
                  entries_.size());
@@ -291,16 +310,20 @@ private:
         for (const auto& [key, value] : entries_) fn(key, value);
     }
 
+    /// Seq issue and fold share one lock: the analyzer requires
+    /// per-instance seq order, and two shared-lock readers must not
+    /// reorder between taking a seq and folding it.
     void fold(runtime::OpKind op, std::int64_t position,
               std::size_t size) const {
         runtime::AccessEvent ev;
-        ev.seq = seq_.fetch_add(1, std::memory_order_relaxed);
-        ev.time_ns = ev.seq;
         ev.position = position;
         ev.instance = info_.id;
         ev.size = static_cast<std::uint32_t>(size);
         ev.op = op;
         ev.thread = detail::thread_slot();
+        const std::lock_guard<std::mutex> guard(fold_mutex_);
+        ev.seq = seq_++;
+        ev.time_ns = ev.seq;
         analyzer_.fold(ev);
     }
 
@@ -364,12 +387,61 @@ private:
         // dictionary-side remedy (behaves like Sequential).
     }
 
-    /// First-key-wins value -> key reverse index (Indexed strategy only).
+    /// One more entry (`key` at dense index `idx`) now holds `value`.
+    /// O(1): first-key-wins resolved by comparing dense positions.
+    void reverse_add(const V& value, const K& key, std::size_t idx) const {
+        auto [it, fresh] = reverse_->try_emplace(value, RevEntry{key, 0});
+        ++it->second.count;
+        if (!fresh) {
+            std::size_t canonical = 0;
+            pos_.try_get(it->second.first_key, canonical);
+            // Dense order is insertion order (order-preserving erase), so
+            // the smaller index is the earlier-inserted key.
+            if (idx < canonical) it->second.first_key = key;
+        }
+    }
+
+    /// The entry under `key` no longer holds `value` (overwrite or
+    /// removal; entries_ already reflects the change).  O(1) unless the
+    /// canonical key of a duplicated value is hit, which re-derives
+    /// first-key-wins by a targeted scan.
+    void reverse_remove_occurrence(const V& value, const K& key) const {
+        const auto it = reverse_->find(value);
+        if (it == reverse_->end()) return;
+        if (it->second.count <= 1) {
+            reverse_->erase(it);
+            return;
+        }
+        --it->second.count;
+        if (it->second.first_key == key) {
+            for (const auto& [other_key, other_value] : entries_) {
+                if (other_value == value) {
+                    it->second.first_key = other_key;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Full rebuild of the value -> (first key, count) reverse index —
+    /// only when entering the Indexed strategy; point mutations maintain
+    /// it incrementally.  First-key-wins: insertion-order iteration with
+    /// try_emplace keeps the earliest key.
     void rebuild_reverse() const {
         reverse_->clear();
-        for (const auto& [key, value] : entries_)
-            if (!reverse_->contains_key(value)) reverse_->set(value, key);
+        for (const auto& [key, value] : entries_) {
+            auto [it, fresh] = reverse_->try_emplace(value, RevEntry{key, 0});
+            ++it->second.count;
+        }
     }
+
+    /// Reverse-index bookkeeping: the earliest-inserted key holding the
+    /// value plus its occurrence count, so point mutations update in O(1)
+    /// and only losing the canonical key of a duplicate needs a rescan.
+    struct RevEntry {
+        K first_key;
+        std::size_t count = 0;
+    };
 
     AdaptConfig config_;
     runtime::InstanceInfo info_;
@@ -379,12 +451,13 @@ private:
     mutable std::vector<std::pair<K, V>> entries_;
     /// Key -> dense index (the primary hash lookup).
     mutable ds::Dictionary<K, std::size_t, Hash> pos_;
-    /// Value -> first key (Indexed strategy only).
-    mutable std::optional<ds::Dictionary<V, K>> reverse_;
+    /// Value -> (first key, count) (Indexed strategy only).
+    mutable std::optional<std::unordered_map<V, RevEntry>> reverse_;
 
     mutable core::IncrementalAnalyzer analyzer_;
     mutable HysteresisController controller_;
-    mutable std::atomic<std::uint64_t> seq_{0};
+    mutable std::mutex fold_mutex_;
+    mutable std::uint64_t seq_ = 0;
     mutable std::atomic<std::uint64_t> ops_{0};
     mutable std::uint64_t last_observed_ops_ = 0;
 };

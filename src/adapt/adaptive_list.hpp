@@ -25,7 +25,11 @@
 // is the one that crosses the reclassification interval is decided by an
 // atomic counter *before* locking, so a read-only phase still
 // reclassifies (that op upgrades itself to the exclusive lock) and a
-// migration can never run under a shared lock.  Read methods are const
+// migration can never run under a shared lock.  Event folding has its own
+// serialization point (fold_mutex_) because IncrementalAnalyzer requires
+// per-instance seq order: two readers under the shared lock must not be
+// able to fold out of the order their seqs were issued in, so seq
+// assignment and the fold happen under one lock.  Read methods are const
 // but may adapt the internal representation — mutable members, the
 // self-organizing-container idiom.
 #pragma once
@@ -36,11 +40,11 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <unordered_map>
 #include <utility>
 
 #include "adapt/controller.hpp"
 #include "core/incremental.hpp"
-#include "ds/dictionary.hpp"
 #include "ds/list.hpp"
 #include "ds/type_names.hpp"
 #include "obs/metrics.hpp"
@@ -128,12 +132,17 @@ public:
         std::unique_lock lock(mutex_);
         fold(runtime::OpKind::Set, static_cast<std::int64_t>(index),
              backing_count());
+        std::optional<T> old;
+        if (index_) old = backing_get(index);
         if (deque_) {
             (*deque_)[index] = std::move(value);
         } else {
             list_.set(index, std::move(value));
         }
-        if (index_) rebuild_index();
+        if (index_ && !(*old == backing_get(index))) {
+            index_remove_occurrence(*old, index);
+            index_add(backing_get(index), index);
+        }
         maybe_reclassify(lock);
     }
 
@@ -158,15 +167,19 @@ public:
         }
         fold(runtime::OpKind::Add, static_cast<std::int64_t>(landing),
              backing_count());
-        // First-occurrence index stays valid on appends.
-        if (index_ && !index_->contains_key(value))
-            index_->set(std::move(value), landing);
+        // Appends shift nothing: a single occurrence bump keeps the index
+        // exact.
+        if (index_) index_add(value, landing);
         maybe_reclassify(lock);
     }
 
     /// Positional insert; recorded as InsertAt.
     void insert(std::size_t index, T value) {
         std::unique_lock lock(mutex_);
+        if (index_) {
+            index_shift_up(index);
+            index_add(value, index);
+        }
         if (deque_) {
             deque_->insert(deque_->begin() +
                                static_cast<std::ptrdiff_t>(index),
@@ -176,31 +189,35 @@ public:
         }
         fold(runtime::OpKind::InsertAt, static_cast<std::int64_t>(index),
              backing_count());
-        if (index_) rebuild_index();
         maybe_reclassify(lock);
     }
 
     /// Positional removal; recorded as RemoveAt.
     void remove_at(std::size_t index) {
         std::unique_lock lock(mutex_);
-        if (deque_) {
-            deque_->erase(deque_->begin() +
-                          static_cast<std::ptrdiff_t>(index));
-        } else {
-            list_.remove_at(index);
-        }
+        erase_at(index);
         fold(runtime::OpKind::RemoveAt, static_cast<std::int64_t>(index),
              backing_count());
-        if (index_) rebuild_index();
         maybe_reclassify(lock);
     }
 
     /// Remove first equal element; search + removal both recorded (the
-    /// ProfiledList convention).
+    /// ProfiledList convention), both inside one exclusive critical
+    /// section — the found index must not go stale under a concurrent
+    /// mutation between the search and the erase.
     bool remove(const T& value) {
-        const std::ptrdiff_t idx = index_of(value);
+        std::unique_lock lock(mutex_);
+        const std::ptrdiff_t idx = backing_index_of(value);
+        fold(runtime::OpKind::IndexOf,
+             idx >= 0 ? idx : runtime::kWholeContainer, backing_count());
+        // The search counts as one operation; a reclassification here may
+        // migrate the backing, which preserves element order, so idx
+        // stays valid.
+        maybe_reclassify(lock);
         if (idx < 0) return false;
-        remove_at(static_cast<std::size_t>(idx));
+        erase_at(static_cast<std::size_t>(idx));
+        fold(runtime::OpKind::RemoveAt, idx, backing_count());
+        maybe_reclassify(lock);
         return true;
     }
 
@@ -322,10 +339,10 @@ private:
 
     [[nodiscard]] std::ptrdiff_t backing_index_of(const T& value) const {
         if (index_) {
-            std::size_t hit = 0;
-            if (index_->try_get(value, hit))
-                return static_cast<std::ptrdiff_t>(hit);
-            return -1;
+            const auto it = index_->find(value);
+            return it != index_->end()
+                       ? static_cast<std::ptrdiff_t>(it->second.first)
+                       : -1;
         }
         if (deque_) {
             for (std::size_t i = 0; i < deque_->size(); ++i)
@@ -379,21 +396,99 @@ private:
         list_.for_each([&fn](const T& v) { fn(v); });
     }
 
+    // --- erase + index maintenance (callers hold the exclusive lock) ------
+
+    /// Erase the element at `index`, keeping the search index (when the
+    /// Indexed strategy holds one) exact.
+    void erase_at(std::size_t index) {
+        std::optional<T> old;
+        if (index_) old = backing_get(index);
+        if (deque_) {
+            deque_->erase(deque_->begin() +
+                          static_cast<std::ptrdiff_t>(index));
+        } else {
+            list_.remove_at(index);
+        }
+        if (index_) index_erase_at(*old, index);
+    }
+
+    /// One more occurrence of `value` now lives at `index` (no positions
+    /// shifted).  O(1).
+    void index_add(const T& value, std::size_t index) const {
+        auto [it, fresh] = index_->try_emplace(value, IndexEntry{index, 0});
+        ++it->second.count;
+        if (index < it->second.first) it->second.first = index;
+    }
+
+    /// The occurrence of `value` at `index` was overwritten in place (no
+    /// positions shifted).  O(1) unless the canonical occurrence of a
+    /// duplicated value was hit, which re-derives by a targeted scan.
+    void index_remove_occurrence(const T& value, std::size_t index) const {
+        const auto it = index_->find(value);
+        if (it == index_->end()) return;
+        if (it->second.count <= 1) {
+            index_->erase(it);
+            return;
+        }
+        --it->second.count;
+        if (it->second.first == index)
+            it->second.first = scan_first(value, index);
+    }
+
+    /// All occurrences at positions >= `index` are about to shift up by
+    /// one (positional insert).  O(distinct values), no element rescan.
+    void index_shift_up(std::size_t index) const {
+        for (auto& [value, entry] : *index_)
+            if (entry.first >= index) ++entry.first;
+    }
+
+    /// The element at `index` (holding `value`) was erased and everything
+    /// behind it shifted down by one.  Called after the backing erase.
+    void index_erase_at(const T& value, std::size_t index) const {
+        const auto it = index_->find(value);
+        for (auto& [v, entry] : *index_)
+            if (entry.first > index) --entry.first;
+        if (it == index_->end()) return;
+        if (it->second.count <= 1) {
+            index_->erase(it);
+            return;
+        }
+        --it->second.count;
+        // The erased occurrence was the canonical one: re-derive from the
+        // already-shifted backing.
+        if (it->second.first == index)
+            it->second.first = scan_first(value, backing_count());
+    }
+
+    /// First occurrence of `value` in the backing, ignoring `skip`.
+    /// Only reached when duplicates guarantee a hit.
+    [[nodiscard]] std::size_t scan_first(const T& value,
+                                         std::size_t skip) const {
+        const std::size_t n = backing_count();
+        for (std::size_t i = 0; i < n; ++i)
+            if (i != skip && backing_get(i) == value) return i;
+        return n;  // Unreachable while counts are consistent.
+    }
+
     // --- event synthesis ---------------------------------------------------
 
     /// Fold one synthesized event, mirroring ds::ProfiledList's recording
-    /// conventions (op, position, size-at-access).
+    /// conventions (op, position, size-at-access).  Seq issue and fold
+    /// happen under one lock: IncrementalAnalyzer requires per-instance
+    /// seq order, and two shared-lock readers must not reorder between
+    /// taking a seq and folding it.
     void fold(runtime::OpKind op, std::int64_t position,
               std::size_t size) const {
         runtime::AccessEvent ev;
-        ev.seq = seq_.fetch_add(1, std::memory_order_relaxed);
-        ev.time_ns = ev.seq;  // Logical clock: classification under the
-                              // default config is event-based.
         ev.position = position;
         ev.instance = info_.id;
         ev.size = static_cast<std::uint32_t>(size);
         ev.op = op;
         ev.thread = detail::thread_slot();
+        const std::lock_guard<std::mutex> guard(fold_mutex_);
+        ev.seq = seq_++;
+        ev.time_ns = ev.seq;  // Logical clock: classification under the
+                              // default config is event-based.
         analyzer_.fold(ev);
     }
 
@@ -479,12 +574,15 @@ private:
         }
     }
 
-    /// First-occurrence value -> index map (Indexed strategy only).
+    /// Full rebuild of the value -> (first index, count) map — only for
+    /// wholesale reorderings (sort/reverse, entering Indexed); point
+    /// mutations maintain the map incrementally.
     void rebuild_index() const {
         index_->clear();
         for (std::size_t i = 0; i < list_.count(); ++i) {
-            if (!index_->contains_key(list_.get(i)))
-                index_->set(list_.get(i), i);
+            auto [it, fresh] =
+                index_->try_emplace(list_.get(i), IndexEntry{i, 0});
+            ++it->second.count;
         }
     }
 
@@ -530,17 +628,26 @@ private:
         return idx;
     }
 
+    /// Search-index bookkeeping: smallest index holding the value plus
+    /// its occurrence count, so point mutations update in O(1) and only
+    /// erasing the canonical occurrence of a duplicate needs a rescan.
+    struct IndexEntry {
+        std::size_t first = 0;
+        std::size_t count = 0;
+    };
+
     AdaptConfig config_;
     runtime::InstanceInfo info_;
 
     mutable std::shared_mutex mutex_;
     mutable ds::List<T> list_;
     mutable std::optional<std::deque<T>> deque_;
-    mutable std::optional<ds::Dictionary<T, std::size_t>> index_;
+    mutable std::optional<std::unordered_map<T, IndexEntry>> index_;
 
     mutable core::IncrementalAnalyzer analyzer_;
     mutable HysteresisController controller_;
-    mutable std::atomic<std::uint64_t> seq_{0};
+    mutable std::mutex fold_mutex_;
+    mutable std::uint64_t seq_ = 0;
     mutable std::atomic<std::uint64_t> ops_{0};
     mutable std::uint64_t last_observed_ops_ = 0;
 };

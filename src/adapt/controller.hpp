@@ -137,8 +137,10 @@ public:
     }
 
     /// Smoothed per-action score (EWMA of reclassification confidence).
+    /// AdviceAction::Count (the "no action" sentinel) scores 0.
     [[nodiscard]] double score(core::AdviceAction action) const noexcept {
-        return scores_[static_cast<std::size_t>(action)];
+        const auto index = static_cast<std::size_t>(action);
+        return index < scores_.size() ? scores_[index] : 0.0;
     }
 
     [[nodiscard]] const ControllerConfig& config() const noexcept {

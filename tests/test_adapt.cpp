@@ -48,6 +48,15 @@ TEST(AdaptController, StrategyVocabulary) {
     EXPECT_EQ(dsspy::adapt::strategy_name(Strategy::Indexed), "Indexed");
 }
 
+TEST(AdaptController, ScoreOfCountSentinelIsZero) {
+    HysteresisController ctl;
+    const AdviceSignal fs{AdviceAction::BuildIndex, 1.0};
+    ctl.observe(&fs, 1, 100, 400);
+    EXPECT_GT(ctl.score(AdviceAction::BuildIndex), 0.0);
+    // The "no action" sentinel must not read past the score array.
+    EXPECT_EQ(ctl.score(AdviceAction::Count), 0.0);
+}
+
 TEST(AdaptController, ColdContainerAdoptsFirstVerdictQuickly) {
     HysteresisController ctl;
     const AdviceSignal fs{AdviceAction::BuildIndex, 0.9};
@@ -359,6 +368,35 @@ TEST(AdaptConcurrency, ReadersRaceStrategyMigrations) {
     EXPECT_GT(list.count(), 0u);
 }
 
+TEST(AdaptConcurrency, ConcurrentRemovesByValueStayInBounds) {
+    // remove(value) must search and erase in one critical section: with a
+    // released lock between them, concurrent removers see stale indices
+    // and erase out of bounds once the container shrinks underneath them
+    // (the adapt_tsan sweep runs this under TSan).
+    AdaptConfig config = fast_config();
+    config.reclassify_interval = 32;
+    AdaptiveList<int> list(config);
+    constexpr int kValues = 256;
+    for (int round = 0; round < 4; ++round)
+        for (int i = 0; i < kValues; ++i) list.add(i);
+    std::atomic<int> removed{0};
+    {
+        std::vector<std::jthread> removers;
+        for (int t = 0; t < 4; ++t) {
+            removers.emplace_back([&list, &removed, t] {
+                // All threads chase the same values, so most races are
+                // search-hit vs concurrent-shrink.
+                for (int i = 0; i < kValues; ++i)
+                    if (list.remove((i + t * 64) % kValues))
+                        removed.fetch_add(1, std::memory_order_relaxed);
+            });
+        }
+    }
+    // Every successful remove erased exactly one element.
+    EXPECT_EQ(list.count() + static_cast<std::size_t>(removed.load()),
+              static_cast<std::size_t>(4 * kValues));
+}
+
 // --- AdaptiveDictionary ------------------------------------------------------
 
 TEST(AdaptDictionary, BasicMapSemantics) {
@@ -413,6 +451,150 @@ TEST(AdaptDictionary, ValueSearchHeavyWorkloadAdoptsReverseIndex) {
     EXPECT_FALSE(dict.find_key(100'007).has_value());
     dict.remove(7);
     EXPECT_FALSE(dict.find_key(999'999).has_value());
+}
+
+TEST(AdaptDictionary, FailedRemovesAreNotFrontDeleteTraffic) {
+    // A remove() miss is a failed key lookup, not a front delete; a
+    // workload of misses must not synthesize Insert-Delete-Front /
+    // Implement-Queue traffic the real access stream never had.
+    AdaptiveDictionary<int, int> dict(fast_config());
+    for (int i = 0; i < 64; ++i) dict.set(i, i);
+    for (int round = 0; round < 40; ++round)
+        for (int i = 1'000; i < 1'064; ++i) EXPECT_FALSE(dict.remove(i));
+    for (const auto& uc : dict.verdicts()) {
+        EXPECT_NE(uc.kind, UseCaseKind::InsertDeleteFront);
+        EXPECT_NE(uc.kind, UseCaseKind::ImplementQueue);
+    }
+    EXPECT_NE(dict.strategy(), Strategy::DequeBacked);
+}
+
+TEST(AdaptDictionary, ReverseIndexStaysExactUnderDuplicateChurn) {
+    // Exercises the incremental reverse-index maintenance: overwrites and
+    // removals that hit (and miss) the canonical key of duplicated
+    // values, cross-checked against a linear first-key-wins scan.
+    AdaptConfig config = fast_config();
+    AdaptiveDictionary<int, int> dict(config);
+    std::vector<std::pair<int, int>> shadow;  // Insertion-ordered truth.
+    auto shadow_find = [&shadow](int value) {
+        for (const auto& [k, v] : shadow)
+            if (v == value) return std::optional<int>(k);
+        return std::optional<int>();
+    };
+    for (int i = 0; i < 200; ++i) {
+        dict.set(i, i % 7);  // Heavily duplicated values.
+        shadow.emplace_back(i, i % 7);
+    }
+    // The Frequent-Search shape: in-order point reads plus heavy
+    // find_key traffic until the reverse index is adopted.
+    for (int round = 0; round < 3; ++round)
+        for (int i = 0; i < 200; ++i) (void)dict.get(i);
+    for (int round = 0;
+         round < 600 && dict.strategy() != Strategy::Indexed; ++round)
+        for (int v = 0; v < 7; ++v) (void)dict.find_key(v);
+    ASSERT_EQ(dict.strategy(), Strategy::Indexed);
+    std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+    auto next = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    for (int i = 0; i < 2'000; ++i) {
+        const auto r = next();
+        const int key = static_cast<int>(r % 200);
+        const int value = static_cast<int>((r >> 8) % 9);
+        const auto find_shadow = [&shadow, key] {
+            return std::find_if(shadow.begin(), shadow.end(),
+                                [key](const auto& e) {
+                                    return e.first == key;
+                                });
+        };
+        switch (r % 3) {
+            case 0: {  // Overwrite or (re-)insert.
+                dict.set(key, value);
+                if (auto it = find_shadow(); it != shadow.end())
+                    it->second = value;
+                else
+                    shadow.emplace_back(key, value);
+                break;
+            }
+            case 1: {  // Remove (hit or miss).
+                const bool removed = dict.remove(key);
+                auto it = find_shadow();
+                ASSERT_EQ(removed, it != shadow.end());
+                if (it != shadow.end()) shadow.erase(it);
+                break;
+            }
+            default: {  // First-key-wins search on a duplicated value.
+                const auto got = dict.find_key(value);
+                const auto want = shadow_find(value);
+                ASSERT_EQ(got.has_value(), want.has_value());
+                if (want) {
+                    ASSERT_EQ(*got, *want);
+                }
+                break;
+            }
+        }
+    }
+    ASSERT_EQ(dict.count(), shadow.size());
+}
+
+TEST(AdaptList, SearchIndexStaysExactUnderDuplicateChurn) {
+    // Same idea for the list's value -> first-index map: set/insert/
+    // remove_at/remove churn over duplicated values after the Indexed
+    // strategy is adopted, cross-checked against ds::List.
+    AdaptiveList<int> adaptive(fast_config());
+    dsspy::ds::List<int> plain;
+    for (int i = 0; i < 300; ++i) {
+        adaptive.add(i % 11);
+        plain.add(i % 11);
+    }
+    for (int round = 0; round < 3; ++round)
+        for (std::size_t i = 0; i < plain.count(); ++i)
+            (void)adaptive.get(i);
+    for (int round = 0;
+         round < 600 && adaptive.strategy() != Strategy::Indexed; ++round)
+        for (int v = 0; v < 11; ++v) (void)adaptive.index_of(v);
+    ASSERT_EQ(adaptive.strategy(), Strategy::Indexed);
+    std::uint64_t rng = 0xD1B54A32D192ED03ull;
+    auto next = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    for (int i = 0; i < 4'000; ++i) {
+        const auto r = next();
+        const int value = static_cast<int>((r >> 8) % 13);
+        switch (r % 6) {
+            case 0:
+                adaptive.set(r % plain.count(), value);
+                plain.set(r % plain.count(), value);
+                break;
+            case 1:
+                adaptive.insert(r % (plain.count() + 1), value);
+                plain.insert(r % (plain.count() + 1), value);
+                break;
+            case 2:
+                adaptive.add(value);
+                plain.add(value);
+                break;
+            case 3:
+                adaptive.remove_at(r % plain.count());
+                plain.remove_at(r % plain.count());
+                break;
+            case 4:
+                ASSERT_EQ(adaptive.remove(value), plain.remove(value));
+                break;
+            default:
+                ASSERT_EQ(adaptive.index_of(value), plain.index_of(value));
+                break;
+        }
+        ASSERT_GT(plain.count(), 0u);  // Workload never empties the list.
+    }
+    ASSERT_EQ(adaptive.count(), plain.count());
+    for (int v = 0; v < 13; ++v)
+        ASSERT_EQ(adaptive.index_of(v), plain.index_of(v));
 }
 
 TEST(AdaptDictionary, FindKeyReturnsFirstInsertedAmongDuplicateValues) {
